@@ -1,0 +1,82 @@
+// Ablation A2: the effect of K (the maximum number of service-chain
+// instances) on Appro_Multi's cost and running time.
+//
+// Cost is non-increasing in K (more combinations are explored) while running
+// time grows roughly with C(|V_S|, K); the paper fixes K = 3.
+//
+// Two regimes are measured:
+//  * a homogeneous random (Waxman) network with randomly placed servers,
+//    where a server near the source is usually available and one chain
+//    instance is already near-optimal (K buys nothing but time), and
+//  * the hierarchical GEANT-like network with servers at major PoPs, where
+//    destination clusters sit in distant regions and extra instances
+//    genuinely cut bandwidth cost - the effect the paper's Fig. 5 narrative
+//    attributes to K.
+#include "bench_common.h"
+#include "topology/geant.h"
+
+namespace {
+
+using namespace nfvm;
+
+void sweep(const topo::Topology& topo, const core::LinearCosts& costs,
+           const std::vector<nfv::Request>& requests, util::Table& table) {
+  double k1_cost = 0.0;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    std::size_t combos = 0;
+    const bench::OfflineStats stats = bench::run_offline_batch(
+        requests, [&](const nfv::Request& r) {
+          core::ApproMultiOptions opts;
+          opts.max_servers = k;
+          core::OfflineSolution sol = core::appro_multi(topo, costs, r, opts);
+          combos += sol.combinations_explored;
+          return sol;
+        });
+    if (k == 1) k1_cost = stats.cost.mean();
+    table.begin_row()
+        .add(topo.name)
+        .add(k)
+        .add(stats.cost.mean(), 2)
+        .add(k1_cost > 0 ? stats.cost.mean() / k1_cost : 0.0, 3)
+        .add(stats.time_ms.mean(), 2)
+        .add(stats.servers_used.mean(), 2)
+        .add(combos / std::max<std::size_t>(requests.size(), 1));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t per_point = bench::offline_requests_per_point(10);
+
+  std::cout << "# Ablation A2: Appro_Multi cost/time vs K\n";
+  std::cout << "# requests per data point: " << per_point << "\n";
+
+  util::Table table({"topology", "K", "mean_cost", "cost_vs_K1", "mean_ms",
+                     "mean_servers", "combinations"});
+
+  {
+    util::Rng rng(1100);
+    const topo::Topology topo = bench::make_sweep_topology(100, rng);
+    const core::LinearCosts costs = core::random_costs(topo, rng);
+    sim::RequestGenOptions gen_opts;
+    gen_opts.min_dest_ratio = 0.15;
+    gen_opts.max_dest_ratio = 0.15;
+    util::Rng workload(2100);
+    sim::RequestGenerator gen(topo, workload, gen_opts);
+    sweep(topo, costs, gen.sequence(per_point), table);
+  }
+  {
+    util::Rng rng(1200);
+    const topo::Topology topo = topo::make_geant(rng);
+    const core::LinearCosts costs = core::random_costs(topo, rng);
+    sim::RequestGenOptions gen_opts;
+    gen_opts.min_dest_ratio = 0.20;
+    gen_opts.max_dest_ratio = 0.20;
+    util::Rng workload(2200);
+    sim::RequestGenerator gen(topo, workload, gen_opts);
+    sweep(topo, costs, gen.sequence(per_point * 2), table);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation A4: the Steiner engine inside Appro_Multi.
+//
+// The paper builds on Kou-Markowsky-Berman [12]; Takahashi-Matsuyama is the
+// other classic 2-approximation and is cheaper per call (no metric-closure
+// MST + expansion). This ablation compares solution cost and running time of
+// Appro_Multi under both engines - evidence for (or against) the paper's
+// choice of [12].
+#include "bench_common.h"
+#include "graph/steiner.h"
+
+int main() {
+  using namespace nfvm;
+  const std::size_t per_point = bench::offline_requests_per_point(10);
+
+  std::cout << "# Ablation A4: KMB vs Takahashi-Matsuyama inside Appro_Multi (K=3)\n";
+  std::cout << "# requests per data point: " << per_point << "\n";
+
+  util::Table table(
+      {"n", "kmb_cost", "tm_cost", "tm_vs_kmb", "kmb_ms", "tm_ms"});
+
+  for (std::size_t n : {50u, 100u, 150u}) {
+    util::Rng rng(1300 + n);
+    const topo::Topology topo = bench::make_sweep_topology(n, rng);
+    const core::LinearCosts costs = core::random_costs(topo, rng);
+
+    sim::RequestGenOptions gen_opts;
+    gen_opts.min_dest_ratio = 0.15;
+    gen_opts.max_dest_ratio = 0.15;
+    util::Rng workload(2300 + n);
+    sim::RequestGenerator gen(topo, workload, gen_opts);
+    const std::vector<nfv::Request> requests = gen.sequence(per_point);
+
+    const auto run = [&](graph::SteinerEngine engine) {
+      return bench::run_offline_batch(requests, [&](const nfv::Request& r) {
+        core::ApproMultiOptions opts;
+        opts.max_servers = 3;
+        opts.steiner_engine = engine;
+        return core::appro_multi(topo, costs, r, opts);
+      });
+    };
+    const bench::OfflineStats kmb = run(graph::SteinerEngine::kKmb);
+    const bench::OfflineStats tm = run(graph::SteinerEngine::kTakahashiMatsuyama);
+
+    table.begin_row()
+        .add(n)
+        .add(kmb.cost.mean(), 2)
+        .add(tm.cost.mean(), 2)
+        .add(kmb.cost.mean() > 0 ? tm.cost.mean() / kmb.cost.mean() : 0.0, 3)
+        .add(kmb.time_ms.mean(), 2)
+        .add(tm.time_ms.mean(), 2);
+  }
+  table.print(std::cout);
+  return 0;
+}

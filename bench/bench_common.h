@@ -1,0 +1,72 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every binary prints `#`-prefixed metadata lines followed by an aligned
+// whitespace-separated table (util::Table), so the whole harness output is
+// trivially parsable. Workload sizes scale with two environment knobs:
+//   NFVM_BENCH_REQUESTS - requests averaged per offline data point
+//   NFVM_BENCH_ONLINE_REQUESTS - arrival-sequence length for online benches
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "core/alg_one_server.h"
+#include "core/appro_multi.h"
+#include "sim/request_gen.h"
+#include "topology/waxman.h"
+#include "util/env.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace nfvm::bench {
+
+inline std::size_t offline_requests_per_point(std::size_t fallback = 10) {
+  const auto v = util::env_int("NFVM_BENCH_REQUESTS", static_cast<long>(fallback));
+  return v > 0 ? static_cast<std::size_t>(v) : fallback;
+}
+
+inline std::size_t online_sequence_length(std::size_t fallback = 300) {
+  const auto v =
+      util::env_int("NFVM_BENCH_ONLINE_REQUESTS", static_cast<long>(fallback));
+  return v > 0 ? static_cast<std::size_t>(v) : fallback;
+}
+
+/// GT-ITM-like topology for the size sweeps: mean degree ~4 at every n, 10%
+/// servers, paper capacity ranges.
+inline topo::Topology make_sweep_topology(std::size_t n, util::Rng& rng) {
+  topo::WaxmanOptions opts;
+  opts.target_mean_degree = 4.0;
+  return topo::make_waxman(n, rng, opts);
+}
+
+struct OfflineStats {
+  util::RunningStats cost;
+  util::RunningStats time_ms;
+  util::RunningStats servers_used;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+};
+
+/// Runs one offline algorithm over a request batch, timing each call.
+inline OfflineStats run_offline_batch(
+    const std::vector<nfv::Request>& requests,
+    const std::function<core::OfflineSolution(const nfv::Request&)>& algorithm) {
+  OfflineStats stats;
+  for (const nfv::Request& request : requests) {
+    util::Stopwatch watch;
+    const core::OfflineSolution sol = algorithm(request);
+    stats.time_ms.add(watch.elapsed_ms());
+    if (sol.admitted) {
+      ++stats.admitted;
+      stats.cost.add(sol.tree.cost);
+      stats.servers_used.add(static_cast<double>(sol.tree.servers.size()));
+    } else {
+      ++stats.rejected;
+    }
+  }
+  return stats;
+}
+
+}  // namespace nfvm::bench

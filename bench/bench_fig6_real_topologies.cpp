@@ -1,0 +1,59 @@
+// Figure 6 (a)-(d): operational cost and running time of Appro_Multi (K=3)
+// vs Alg_One_Server on the real-like topologies (GEANT and AS1755), varying
+// Dmax/|V| from 0.05 to 0.20.
+//
+// Paper's reported shape: Appro_Multi clearly cheaper (e.g. ~30% lower on
+// AS1755 at ratio 0.15) at slightly higher running time.
+#include "bench_common.h"
+#include "topology/geant.h"
+#include "topology/rocketfuel.h"
+
+int main() {
+  using namespace nfvm;
+  const std::size_t per_point = bench::offline_requests_per_point(20);
+
+  std::cout << "# Figure 6: offline cost & running time on GEANT-like and AS1755-like\n";
+  std::cout << "# requests per data point: " << per_point
+            << " (override with NFVM_BENCH_REQUESTS)\n";
+
+  util::Table table({"topology", "ratio", "appro_cost", "one_srv_cost",
+                     "cost_ratio", "appro_ms", "one_srv_ms"});
+
+  for (int which = 0; which < 2; ++which) {
+    util::Rng rng(42);
+    const topo::Topology topo =
+        which == 0 ? topo::make_geant(rng) : topo::make_as1755(rng);
+    const core::LinearCosts costs = core::random_costs(topo, rng);
+
+    for (double ratio : {0.05, 0.10, 0.15, 0.20}) {
+      sim::RequestGenOptions gen_opts;
+      gen_opts.min_dest_ratio = ratio;
+      gen_opts.max_dest_ratio = ratio;
+      util::Rng workload(7 + 31 * static_cast<std::uint64_t>(which) +
+                         static_cast<std::uint64_t>(ratio * 1000));
+      sim::RequestGenerator gen(topo, workload, gen_opts);
+      const std::vector<nfv::Request> requests = gen.sequence(per_point);
+
+      const bench::OfflineStats appro = bench::run_offline_batch(
+          requests, [&](const nfv::Request& r) {
+            core::ApproMultiOptions opts;
+            opts.max_servers = 3;
+            return core::appro_multi(topo, costs, r, opts);
+          });
+      const bench::OfflineStats one = bench::run_offline_batch(
+          requests,
+          [&](const nfv::Request& r) { return core::alg_one_server(topo, costs, r); });
+
+      table.begin_row()
+          .add(topo.name)
+          .add(ratio, 2)
+          .add(appro.cost.mean(), 2)
+          .add(one.cost.mean(), 2)
+          .add(one.cost.mean() > 0 ? appro.cost.mean() / one.cost.mean() : 0.0, 3)
+          .add(appro.time_ms.mean(), 2)
+          .add(one.time_ms.mean(), 2);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 9 (a)-(b): number of admitted requests vs number of arrivals
+// (50..300) on the real-like topologies GEANT and AS1755.
+//
+// Paper's reported shape: both algorithms admit almost everything up to
+// ~100 arrivals; beyond that Online_CP pulls ahead of SP and the gap grows
+// with the number of requests. One 300-arrival run per algorithm provides
+// every prefix point (the cumulative-admitted series).
+#include "bench_common.h"
+#include "core/online_cp.h"
+#include "core/online_sp.h"
+#include "core/online_sp_static.h"
+#include "sim/simulator.h"
+#include "topology/geant.h"
+#include "topology/rocketfuel.h"
+
+int main() {
+  using namespace nfvm;
+  const std::size_t num_requests = bench::online_sequence_length(300);
+
+  std::cout << "# Figure 9: online admissions vs number of requests ("
+            << num_requests << " max; override with NFVM_BENCH_ONLINE_REQUESTS)\n";
+
+  util::Table table(
+      {"topology", "requests", "online_cp", "sp_static", "sp_adaptive"});
+
+  for (int which = 0; which < 2; ++which) {
+    util::Rng rng(42);
+    const topo::Topology topo =
+        which == 0 ? topo::make_geant(rng) : topo::make_as1755(rng);
+
+    util::Rng workload(9 + which);
+    sim::RequestGenerator gen(topo, workload);
+    const std::vector<nfv::Request> requests = gen.sequence(num_requests);
+
+    core::OnlineCp cp(topo);
+    core::OnlineSp sp(topo);
+    core::OnlineSpStatic sp_static(topo);
+    const sim::SimulationMetrics mcp = sim::run_online(cp, requests);
+    const sim::SimulationMetrics msp = sim::run_online(sp, requests);
+    const sim::SimulationMetrics mst = sim::run_online(sp_static, requests);
+
+    const std::size_t step = std::max<std::size_t>(1, num_requests / 6);
+    for (std::size_t i = step - 1; i < num_requests; i += step) {
+      table.begin_row()
+          .add(topo.name)
+          .add(i + 1)
+          .add(mcp.cumulative_admitted[i])
+          .add(mst.cumulative_admitted[i])
+          .add(msp.cumulative_admitted[i]);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Video-streaming distribution over the GÉANT-like topology.
+//
+// A streaming origin in Amsterdam multicasts a live channel to European
+// PoPs. Every stream must pass a service chain (NAT -> Firewall -> IDS)
+// before delivery. We compare Appro_Multi (K = 1..3) against the
+// Alg_One_Server baseline on operational cost, per event size.
+//
+//   $ ./video_streaming
+#include <iostream>
+#include <vector>
+
+#include "core/alg_one_server.h"
+#include "core/appro_multi.h"
+#include "topology/geant.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+nfvm::graph::VertexId city(const std::string& name) {
+  const auto& names = nfvm::topo::geant_city_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<nfvm::graph::VertexId>(i);
+  }
+  throw std::runtime_error("unknown city " + name);
+}
+
+}  // namespace
+
+int main() {
+  using namespace nfvm;
+
+  util::Rng rng(2026);
+  const topo::Topology geant = topo::make_geant(rng);
+  const core::LinearCosts costs = core::random_costs(geant, rng);
+
+  struct Event {
+    const char* label;
+    std::vector<const char*> audience;
+    double mbps;
+  };
+  const std::vector<Event> events = {
+      {"regional-news", {"Brussels", "Luxembourg", "Paris"}, 80.0},
+      {"football-final",
+       {"London", "Madrid", "Rome", "Warsaw", "Athens", "Stockholm"},
+       160.0},
+      {"continental-launch",
+       {"Lisbon", "Dublin", "Oslo", "Helsinki", "Istanbul", "Nicosia",
+        "Moscow", "Sofia", "Zagreb", "Riga"},
+       120.0},
+  };
+
+  util::Table table({"event", "dests", "Mbps", "alg_one_server", "appro_K1",
+                     "appro_K2", "appro_K3", "saving_%"});
+
+  std::uint64_t id = 0;
+  for (const Event& event : events) {
+    nfv::Request request;
+    request.id = ++id;
+    request.source = city("Amsterdam");
+    for (const char* a : event.audience) request.destinations.push_back(city(a));
+    request.bandwidth_mbps = event.mbps;
+    request.chain = nfv::ServiceChain({nfv::NetworkFunction::kNat,
+                                       nfv::NetworkFunction::kFirewall,
+                                       nfv::NetworkFunction::kIds});
+
+    const core::OfflineSolution base = core::alg_one_server(geant, costs, request);
+    if (!base.admitted) {
+      std::cerr << "baseline rejected " << event.label << ": "
+                << base.reject_reason << "\n";
+      return 1;
+    }
+    double k_cost[3] = {0, 0, 0};
+    for (std::size_t k = 1; k <= 3; ++k) {
+      core::ApproMultiOptions opts;
+      opts.max_servers = k;
+      const core::OfflineSolution sol = core::appro_multi(geant, costs, request, opts);
+      if (!sol.admitted) {
+        std::cerr << "appro_multi(K=" << k << ") rejected " << event.label
+                  << ": " << sol.reject_reason << "\n";
+        return 1;
+      }
+      k_cost[k - 1] = sol.tree.cost;
+    }
+    const double saving = 100.0 * (base.tree.cost - k_cost[2]) / base.tree.cost;
+    table.begin_row()
+        .add(event.label)
+        .add(event.audience.size())
+        .add(event.mbps, 0)
+        .add(base.tree.cost, 2)
+        .add(k_cost[0], 2)
+        .add(k_cost[1], 2)
+        .add(k_cost[2], 2)
+        .add(saving, 1);
+  }
+
+  std::cout << "# Video streaming from Amsterdam over GEANT-like topology\n";
+  std::cout << "# chain <NAT, Firewall, IDS>; costs are operational cost units\n";
+  table.print(std::cout);
+  std::cout << "\nMore service-chain instances (larger K) trade computing cost\n"
+               "for shorter processed-traffic routes; the saving column is\n"
+               "Appro_Multi(K=3) vs the single-server baseline.\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Alg_One_Server - the state-of-the-art baseline of the paper's evaluation
+// (Zhang et al. [22], as described in Section VI-A).
+//
+// A single server implements the whole service chain: route the request's
+// traffic from the source to a candidate server v along a shortest path,
+// span the destinations with an expanded metric-closure MST over D_k (each
+// closure edge is a shortest path in the network), attach the server to that
+// subgraph via its nearest destination, and pick the cheapest (server,
+// subgraph) combination. Because the destination MST is built without
+// Steiner points over {v} ∪ D_k, the baseline's trees are up to ~3x optimal
+// where Appro_Multi's auxiliary-graph KMB stays within 2K.
+#pragma once
+
+#include "core/appro_multi.h"
+
+namespace nfvm::core {
+
+/// Runs the one-server baseline for a single request. `resources` (optional)
+/// enables capacity-aware pruning like Appro_Multi_Cap so the baseline can
+/// also be exercised in capacitated settings.
+OfflineSolution alg_one_server(const topo::Topology& topo, const LinearCosts& costs,
+                               const nfv::Request& request,
+                               const nfv::ResourceState* resources = nullptr);
+
+}  // namespace nfvm::core

@@ -1,0 +1,72 @@
+// Appro_Multi (paper Algorithm 1) and its capacitated variant
+// Appro_Multi_Cap (Section IV-C).
+//
+// For each combination of at most K eligible servers, build the auxiliary
+// graph G_k^i, find a KMB Steiner tree spanning the virtual source and all
+// destinations, and keep the cheapest result over all combinations. The
+// returned pseudo-multicast tree routes every destination's traffic through
+// one of the chosen servers. Approximation ratio: 2K (Theorem 1).
+//
+// Appro_Multi_Cap is the same algorithm run on the subgraph of links with
+// residual bandwidth >= b_k and servers with residual computing >= the
+// chain demand; pass `resources` to enable it.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "core/cost_model.h"
+#include "core/pseudo_tree.h"
+#include "graph/steiner.h"
+#include "nfv/request.h"
+#include "nfv/resources.h"
+#include "topology/topology.h"
+
+namespace nfvm::core {
+
+/// Result of a single-request (offline) algorithm.
+struct OfflineSolution {
+  bool admitted = false;
+  /// Human-readable reason when admitted == false.
+  std::string reject_reason;
+  /// Valid iff admitted.
+  PseudoMulticastTree tree;
+  /// Server combinations (Appro_Multi) or candidate servers
+  /// (Alg_One_Server) evaluated.
+  std::size_t combinations_explored = 0;
+};
+
+struct ApproMultiOptions {
+  /// K: maximum number of servers implementing SC_k (paper default 3).
+  std::size_t max_servers = 3;
+  /// Non-null enables the capacitated variant (Appro_Multi_Cap).
+  const nfv::ResourceState* resources = nullptr;
+  /// Safety valve for pathological |V_S| choose K blow-ups; enumeration is
+  /// stopped (deterministically) after this many combinations.
+  std::size_t max_combinations = std::numeric_limits<std::size_t>::max();
+  /// Steiner approximation used inside every auxiliary graph (paper: KMB).
+  graph::SteinerEngine steiner_engine = graph::SteinerEngine::kKmb;
+  /// Evaluation engine for the combination sweep:
+  ///  * kReference (default) — run full KMB in every auxiliary graph
+  ///    (|terminals| Dijkstras per combination; paper-literal).
+  ///  * kSharedDijkstra — precompute Dijkstras from the source, every
+  ///    destination and every eligible server once per request, then
+  ///    evaluate each combination's metric closure arithmetically
+  ///    (virtual edges and the zero-cost star are composed from the shared
+  ///    tables). Produces identical trees whenever shortest paths are
+  ///    unique (ties may resolve differently, still within the KMB
+  ///    guarantee) and is ~|D_k| times faster on large sweeps. Requires
+  ///    steiner_engine == kKmb (throws std::invalid_argument otherwise).
+  enum class Engine { kReference, kSharedDijkstra };
+  Engine engine = Engine::kReference;
+};
+
+/// Runs Algorithm 1 (or its capacitated variant) for one request.
+/// Throws std::invalid_argument for malformed inputs (bad request, zero K,
+/// cost tables of the wrong size).
+OfflineSolution appro_multi(const topo::Topology& topo, const LinearCosts& costs,
+                            const nfv::Request& request,
+                            const ApproMultiOptions& options = {});
+
+}  // namespace nfvm::core

@@ -1,0 +1,153 @@
+#include "core/aux_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "graph/subgraph.h"
+#include "graph/tree.h"
+
+namespace nfvm::core {
+
+WorkContext build_work_context(const topo::Topology& topo, const LinearCosts& costs,
+                               const nfv::Request& request,
+                               const nfv::ResourceState* resources) {
+  nfv::validate_request(request, topo.graph);
+  if (costs.link_unit_cost.size() != topo.num_links() ||
+      costs.server_unit_cost.size() != topo.num_switches()) {
+    throw std::invalid_argument("build_work_context: cost table size mismatch");
+  }
+
+  WorkContext ctx;
+  const double b = request.bandwidth_mbps;
+
+  // Cost-weighted working graph, dropping links without enough residual
+  // bandwidth in the capacitated case (paper Section IV-C: G' = (V, E')).
+  ctx.cost_graph = graph::Graph(topo.num_switches());
+  ctx.to_physical.reserve(topo.num_links());
+  for (graph::EdgeId e = 0; e < topo.num_links(); ++e) {
+    if (resources != nullptr) {
+      if (resources->residual_bandwidth(e) < b) continue;
+      const graph::Edge& ed = topo.graph.edge(e);
+      // Forwarding-table pruning: a switch without a free flow entry cannot
+      // join any new multicast tree.
+      if (resources->residual_table_entries(ed.u) < 1.0 ||
+          resources->residual_table_entries(ed.v) < 1.0) {
+        continue;
+      }
+    }
+    const graph::Edge& ed = topo.graph.edge(e);
+    ctx.cost_graph.add_edge(ed.u, ed.v, costs.edge_cost(e, b));
+    ctx.to_physical.push_back(e);
+  }
+
+  ctx.sp_source = graph::dijkstra(ctx.cost_graph, request.source);
+
+  ctx.destinations_reachable = true;
+  for (graph::VertexId d : request.destinations) {
+    if (!ctx.sp_source.reachable(d)) {
+      ctx.destinations_reachable = false;
+      break;
+    }
+  }
+
+  const double demand = request.compute_demand_mhz();
+  ctx.server_chain_cost.assign(topo.num_switches(), 0.0);
+  for (graph::VertexId v : topo.servers) {
+    ctx.server_chain_cost[v] = costs.server_cost(v, demand);
+    const bool capacity_ok =
+        resources == nullptr || resources->residual_compute(v) >= demand;
+    if (capacity_ok && ctx.sp_source.reachable(v)) {
+      ctx.eligible_servers.push_back(v);
+    }
+  }
+  return ctx;
+}
+
+AuxiliaryGraph build_auxiliary_graph(const WorkContext& ctx,
+                                     graph::VertexId source,
+                                     std::span<const graph::VertexId> combo) {
+  if (combo.empty()) {
+    throw std::invalid_argument("build_auxiliary_graph: empty server combination");
+  }
+  AuxiliaryGraph aux;
+  aux.num_real_edges = ctx.cost_graph.num_edges();
+  aux.combo.assign(combo.begin(), combo.end());
+
+  // Real part: same vertex/edge ids as cost_graph.
+  aux.graph = graph::Graph(ctx.cost_graph.num_vertices());
+  for (graph::EdgeId e = 0; e < ctx.cost_graph.num_edges(); ++e) {
+    const graph::Edge& ed = ctx.cost_graph.edge(e);
+    aux.graph.add_edge(ed.u, ed.v, ed.weight);
+  }
+
+  aux.virtual_source = aux.graph.add_vertex();
+
+  // Virtual edges s'_k -> v, weighted path-cost + chain cost.
+  aux.virtual_paths.reserve(combo.size());
+  for (graph::VertexId v : combo) {
+    if (!ctx.sp_source.reachable(v)) {
+      throw std::invalid_argument("build_auxiliary_graph: server unreachable");
+    }
+    const double w = ctx.sp_source.dist[v] + ctx.server_chain_cost[v];
+    aux.graph.add_edge(aux.virtual_source, v, w);
+    aux.virtual_paths.push_back(graph::path_edges(ctx.sp_source, v));
+  }
+
+  // Zero-cost correction: physical edges (s_k, v) with v in the combination.
+  for (const graph::Adjacency& adj : ctx.cost_graph.neighbors(source)) {
+    if (std::find(combo.begin(), combo.end(), adj.neighbor) != combo.end()) {
+      aux.graph.set_weight(adj.edge, 0.0);
+    }
+  }
+  return aux;
+}
+
+PseudoMulticastTree realize_pseudo_tree(const WorkContext& ctx,
+                                        const AuxiliaryGraph& aux,
+                                        const std::vector<graph::EdgeId>& tree_edges,
+                                        const nfv::Request& request) {
+  PseudoMulticastTree tree;
+  tree.source = request.source;
+
+  const graph::RootedTree rooted(aux.graph, tree_edges, aux.virtual_source);
+
+  std::map<graph::EdgeId, int> mult;  // physical edge -> traversal count
+  double cost = 0.0;
+  for (graph::EdgeId e : tree_edges) {
+    cost += aux.graph.weight(e);
+    if (aux.is_virtual(e)) {
+      const std::size_t i = aux.virtual_index(e);
+      tree.servers.push_back(aux.combo[i]);
+      for (graph::EdgeId pe : aux.virtual_paths[i]) ++mult[ctx.to_physical[pe]];
+    } else {
+      ++mult[ctx.to_physical[e]];
+    }
+  }
+  tree.cost = cost;
+  std::sort(tree.servers.begin(), tree.servers.end());
+  tree.edge_uses.assign(mult.begin(), mult.end());
+
+  tree.routes.reserve(request.destinations.size());
+  for (graph::VertexId d : request.destinations) {
+    const std::vector<graph::VertexId> aux_path =
+        rooted.path_vertices(aux.virtual_source, d);
+    // aux_path = [s'_k, server, ...dest]; the first hop is necessarily a
+    // virtual edge because s'_k has no other incident edges.
+    if (aux_path.size() < 2) {
+      throw std::logic_error("realize_pseudo_tree: degenerate destination path");
+    }
+    const graph::VertexId server = aux_path[1];
+
+    DestinationRoute route;
+    route.destination = d;
+    route.server = server;
+    route.walk = graph::path_vertices(ctx.sp_source, server);
+    route.server_index = route.walk.size() - 1;
+    route.walk.insert(route.walk.end(), aux_path.begin() + 2, aux_path.end());
+    tree.routes.push_back(std::move(route));
+  }
+  return tree;
+}
+
+}  // namespace nfvm::core

@@ -1,0 +1,75 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nfvm::core {
+
+LinearCosts uniform_costs(const topo::Topology& topo, double link_cost,
+                          double server_cost) {
+  if (!(link_cost >= 0) || !(server_cost >= 0)) {
+    throw std::invalid_argument("uniform_costs: costs must be non-negative");
+  }
+  LinearCosts costs;
+  costs.link_unit_cost.assign(topo.num_links(), link_cost);
+  costs.server_unit_cost.assign(topo.num_switches(), server_cost);
+  return costs;
+}
+
+LinearCosts random_costs(const topo::Topology& topo, util::Rng& rng,
+                         const RandomCostOptions& options) {
+  if (options.min_link_cost < 0 || options.min_link_cost > options.max_link_cost ||
+      options.min_server_cost < 0 ||
+      options.min_server_cost > options.max_server_cost) {
+    throw std::invalid_argument("random_costs: invalid ranges");
+  }
+  LinearCosts costs;
+  costs.link_unit_cost.resize(topo.num_links());
+  for (double& c : costs.link_unit_cost) {
+    c = rng.uniform_real(options.min_link_cost, options.max_link_cost);
+  }
+  costs.server_unit_cost.assign(topo.num_switches(), 0.0);
+  for (graph::VertexId v : topo.servers) {
+    costs.server_unit_cost[v] =
+        rng.uniform_real(options.min_server_cost, options.max_server_cost);
+  }
+  return costs;
+}
+
+ExponentialCostModel::ExponentialCostModel(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  if (!(alpha > 1.0) || !(beta > 1.0)) {
+    throw std::invalid_argument("ExponentialCostModel: alpha and beta must be > 1");
+  }
+}
+
+ExponentialCostModel ExponentialCostModel::paper_default(std::size_t num_vertices) {
+  const double a = 2.0 * static_cast<double>(num_vertices);
+  // alpha = beta = 2|V|; require |V| >= 1 so the base exceeds 1.
+  if (num_vertices == 0) {
+    throw std::invalid_argument("ExponentialCostModel: empty network");
+  }
+  return ExponentialCostModel(a, a);
+}
+
+double ExponentialCostModel::server_weight(graph::VertexId v,
+                                           const nfv::ResourceState& state) const {
+  return std::pow(alpha_, state.compute_utilization(v)) - 1.0;
+}
+
+double ExponentialCostModel::edge_weight(graph::EdgeId e,
+                                         const nfv::ResourceState& state) const {
+  return std::pow(beta_, state.bandwidth_utilization(e)) - 1.0;
+}
+
+double ExponentialCostModel::server_cost(graph::VertexId v,
+                                         const nfv::ResourceState& state) const {
+  return state.compute_capacity(v) * server_weight(v, state);
+}
+
+double ExponentialCostModel::edge_cost(graph::EdgeId e,
+                                       const nfv::ResourceState& state) const {
+  return state.bandwidth_capacity(e) * edge_weight(e, state);
+}
+
+}  // namespace nfvm::core

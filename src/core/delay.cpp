@@ -1,0 +1,51 @@
+#include "core/delay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nfvm::core {
+
+double route_delay_ms(const topo::Topology& topo, const nfv::ServiceChain& chain,
+                      const DestinationRoute& route) {
+  if (!topo.has_delays()) {
+    throw std::invalid_argument("route_delay_ms: topology has no link delays");
+  }
+  double total = chain.processing_delay_ms();
+  for (std::size_t i = 0; i + 1 < route.walk.size(); ++i) {
+    const graph::VertexId a = route.walk[i];
+    const graph::VertexId b = route.walk[i + 1];
+    // Multiple parallel links: the walk does not identify which one, so use
+    // the lowest-latency option (parallel physical links are rare; every
+    // generated topology is simple).
+    double best = std::numeric_limits<double>::infinity();
+    for (const graph::Adjacency& adj : topo.graph.neighbors(a)) {
+      if (adj.neighbor == b) {
+        best = std::min(best, topo.link_delay_ms.at(adj.edge));
+      }
+    }
+    if (!std::isfinite(best)) {
+      throw std::invalid_argument("route_delay_ms: walk uses a non-existent link");
+    }
+    total += best;
+  }
+  return total;
+}
+
+double worst_route_delay_ms(const topo::Topology& topo, const nfv::Request& request,
+                            const PseudoMulticastTree& tree) {
+  double worst = 0.0;
+  for (const DestinationRoute& route : tree.routes) {
+    worst = std::max(worst, route_delay_ms(topo, request.chain, route));
+  }
+  return worst;
+}
+
+bool meets_delay_bound(const topo::Topology& topo, const nfv::Request& request,
+                       const PseudoMulticastTree& tree) {
+  if (!request.has_delay_bound()) return true;
+  return worst_route_delay_ms(topo, request, tree) <= request.max_delay_ms + 1e-9;
+}
+
+}  // namespace nfvm::core

@@ -1,0 +1,33 @@
+// End-to-end delay accounting for pseudo-multicast trees - the
+// delay-constrained extension (the paper's related work points at Kuo et
+// al. [13]; the base algorithms ignore delay).
+//
+// A destination's latency is the sum of propagation delays along its walk
+// (including backhaul detours, which is why pseudo-multicast trees can be
+// delay-expensive) plus the service chain's processing latency. Algorithms
+// honor `Request::max_delay_ms` by skipping candidate trees whose worst
+// destination violates the bound - a feasibility filter, not an optimized
+// delay-aware routing (finding the cheapest delay-bounded tree is NP-hard
+// already for unicast).
+#pragma once
+
+#include "core/pseudo_tree.h"
+#include "topology/topology.h"
+
+namespace nfvm::core {
+
+/// Latency of one destination's route, ms. Requires topo.has_delays();
+/// throws std::invalid_argument otherwise or when the walk uses links that
+/// do not exist.
+double route_delay_ms(const topo::Topology& topo, const nfv::ServiceChain& chain,
+                      const DestinationRoute& route);
+
+/// max over destinations of route_delay_ms; 0 for a tree with no routes.
+double worst_route_delay_ms(const topo::Topology& topo, const nfv::Request& request,
+                            const PseudoMulticastTree& tree);
+
+/// True when the request has no bound, or every destination meets it.
+bool meets_delay_bound(const topo::Topology& topo, const nfv::Request& request,
+                       const PseudoMulticastTree& tree);
+
+}  // namespace nfvm::core

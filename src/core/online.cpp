@@ -1,0 +1,28 @@
+#include "core/online.h"
+
+#include <stdexcept>
+
+namespace nfvm::core {
+
+OnlineAlgorithm::OnlineAlgorithm(const topo::Topology& topo)
+    : topo_(&topo), state_(topo) {}
+
+AdmissionDecision OnlineAlgorithm::process(const nfv::Request& request) {
+  nfv::validate_request(request, topo_->graph);
+  AdmissionDecision decision = try_admit(request);
+  if (decision.admitted) {
+    // try_admit must hand back a footprint that fits; allocate() re-checks
+    // and throws on a contract violation rather than over-committing.
+    state_.allocate(decision.footprint);
+    ++num_admitted_;
+  } else {
+    ++num_rejected_;
+  }
+  return decision;
+}
+
+void OnlineAlgorithm::release(const nfv::Footprint& footprint) {
+  state_.release(footprint);
+}
+
+}  // namespace nfvm::core

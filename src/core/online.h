@@ -1,0 +1,69 @@
+// Shared interface for online NFV-enabled multicast admission algorithms.
+//
+// Requests arrive one by one; the algorithm decides admit/reject without
+// knowledge of future arrivals, and admitted requests permanently consume
+// resources (the paper's throughput experiments have no departures; the
+// interface still supports release for long-running deployments).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pseudo_tree.h"
+#include "nfv/request.h"
+#include "nfv/resources.h"
+#include "topology/topology.h"
+
+namespace nfvm::core {
+
+struct AdmissionDecision {
+  bool admitted = false;
+  std::string reject_reason;
+  /// Valid iff admitted.
+  PseudoMulticastTree tree;
+  /// Resources charged for the request; valid iff admitted.
+  nfv::Footprint footprint;
+};
+
+class OnlineAlgorithm {
+ public:
+  /// The algorithm owns a ResourceState initialized to the topology's full
+  /// capacities. The topology must outlive the algorithm.
+  explicit OnlineAlgorithm(const topo::Topology& topo);
+  virtual ~OnlineAlgorithm() = default;
+
+  OnlineAlgorithm(const OnlineAlgorithm&) = delete;
+  OnlineAlgorithm& operator=(const OnlineAlgorithm&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  /// Processes one arriving request: decides, and on admission allocates the
+  /// footprint. Throws std::invalid_argument for malformed requests.
+  AdmissionDecision process(const nfv::Request& request);
+
+  /// Releases a previously admitted request's resources (departures).
+  void release(const nfv::Footprint& footprint);
+
+  const topo::Topology& topology() const noexcept { return *topo_; }
+  const nfv::ResourceState& resources() const noexcept { return state_; }
+  std::size_t num_admitted() const noexcept { return num_admitted_; }
+  std::size_t num_rejected() const noexcept { return num_rejected_; }
+  std::size_t num_processed() const noexcept { return num_admitted_ + num_rejected_; }
+
+ protected:
+  /// Decide without mutating resource state; `process` handles allocation.
+  virtual AdmissionDecision try_admit(const nfv::Request& request) = 0;
+
+  const topo::Topology* topo_;
+  nfv::ResourceState state_;
+
+ private:
+  std::size_t num_admitted_ = 0;
+  std::size_t num_rejected_ = 0;
+};
+
+}  // namespace nfvm::core

@@ -1,0 +1,154 @@
+#include "core/online_cp.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "core/delay.h"
+#include "graph/steiner.h"
+#include "graph/subgraph.h"
+#include "graph/tree.h"
+
+namespace nfvm::core {
+
+OnlineCp::OnlineCp(const topo::Topology& topo, const OnlineCpOptions& options)
+    : OnlineAlgorithm(topo),
+      model_(options.alpha > 1.0 && options.beta > 1.0
+                 ? ExponentialCostModel(options.alpha, options.beta)
+                 : ExponentialCostModel::paper_default(topo.num_switches())),
+      sigma_v_(options.sigma_v > 0.0
+                   ? options.sigma_v
+                   : static_cast<double>(topo.num_switches()) - 1.0),
+      sigma_e_(options.sigma_e > 0.0
+                   ? options.sigma_e
+                   : static_cast<double>(topo.num_switches()) - 1.0),
+      linear_weights_(options.linear_weights),
+      steiner_engine_(options.steiner_engine),
+      name_(options.linear_weights ? "Online_CP(linear)" : "Online_CP") {}
+
+double OnlineCp::edge_weight(graph::EdgeId e) const {
+  if (linear_weights_) return state_.bandwidth_utilization(e);
+  return model_.edge_weight(e, state_);
+}
+
+double OnlineCp::server_weight(graph::VertexId v) const {
+  if (linear_weights_) return state_.compute_utilization(v);
+  return model_.server_weight(v, state_);
+}
+
+AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
+  AdmissionDecision decision;
+  const double b = request.bandwidth_mbps;
+  const double demand = request.compute_demand_mhz();
+
+  // Step 5 of Algorithm 2: the weighted graph G_k, restricted to links that
+  // can still carry b_k.
+  graph::Subgraph sub = graph::filter_edges(topo_->graph, [&](graph::EdgeId e) {
+    if (state_.residual_bandwidth(e) < b) return false;
+    const graph::Edge& ed = topo_->graph.edge(e);
+    return state_.residual_table_entries(ed.u) >= 1.0 &&
+           state_.residual_table_entries(ed.v) >= 1.0;
+  });
+  for (graph::EdgeId e = 0; e < sub.graph.num_edges(); ++e) {
+    sub.graph.set_weight(e, edge_weight(sub.original_edge[e]));
+  }
+
+  struct Candidate {
+    double cost = 0.0;
+    graph::VertexId server = graph::kInvalidVertex;
+    PseudoMulticastTree tree;
+    nfv::Footprint footprint;
+  };
+  std::optional<Candidate> best;
+  std::string_view reason = "no server has sufficient residual computing";
+
+  for (graph::VertexId v : topo_->servers) {
+    if (state_.residual_compute(v) < demand) continue;
+    const double wv = server_weight(v);
+    if (wv >= sigma_v_) {
+      if (reason == "no server has sufficient residual computing") {
+        reason = "all candidate servers exceed the computing threshold";
+      }
+      continue;
+    }
+
+    // Steiner tree over {s_k, v} ∪ D_k (Algorithm 2, step 8).
+    std::vector<graph::VertexId> terminals;
+    terminals.reserve(request.destinations.size() + 2);
+    terminals.push_back(request.source);
+    terminals.push_back(v);
+    terminals.insert(terminals.end(), request.destinations.begin(),
+                     request.destinations.end());
+    const graph::SteinerResult st =
+        graph::steiner_tree(sub.graph, terminals, steiner_engine_);
+    if (!st.connected) {
+      reason = "source, server and destinations are disconnected at b_k";
+      continue;
+    }
+    if (st.weight >= sigma_e_) {
+      reason = "every candidate tree exceeds the bandwidth threshold";
+      continue;
+    }
+
+    // Pseudo-multicast tree: root at s_k, backhaul from v to the LCA of
+    // {v} ∪ D_k (Algorithm 2, steps 10-12).
+    const graph::RootedTree rooted(sub.graph, st.edges, request.source);
+    std::vector<graph::VertexId> lca_args;
+    lca_args.push_back(v);
+    lca_args.insert(lca_args.end(), request.destinations.begin(),
+                    request.destinations.end());
+    const graph::VertexId meet = rooted.lca(lca_args);
+    const double w_back = rooted.path_weight(v, meet);
+    const double cost = st.weight + wv + w_back;
+    if (best.has_value() && cost >= best->cost) continue;
+
+    Candidate cand;
+    cand.cost = cost;
+    cand.server = v;
+    cand.tree.source = request.source;
+    cand.tree.servers = {v};
+    cand.tree.cost = cost;
+
+    std::map<graph::EdgeId, int> mult;  // physical ids
+    for (graph::EdgeId e : st.edges) ++mult[sub.original_edge[e]];
+    for (graph::EdgeId e : rooted.path_edges(v, meet)) ++mult[sub.original_edge[e]];
+    cand.tree.edge_uses.assign(mult.begin(), mult.end());
+
+    const std::vector<graph::VertexId> to_server =
+        rooted.path_vertices(request.source, v);
+    for (graph::VertexId d : request.destinations) {
+      DestinationRoute route;
+      route.destination = d;
+      route.server = v;
+      route.walk = to_server;
+      route.server_index = route.walk.size() - 1;
+      const std::vector<graph::VertexId> down = rooted.path_vertices(v, d);
+      route.walk.insert(route.walk.end(), down.begin() + 1, down.end());
+      cand.tree.routes.push_back(std::move(route));
+    }
+
+    if (!meets_delay_bound(*topo_, request, cand.tree)) {
+      reason = "no candidate tree meets the delay bound";
+      continue;
+    }
+    cand.footprint = cand.tree.footprint(request, topo_->graph);
+    if (!state_.can_allocate(cand.footprint)) {
+      // Double-traversed backhaul links can need 2 b_k; charge honestly and
+      // skip candidates that no longer fit.
+      reason = "backhaul multiplicities exceed residual bandwidth";
+      continue;
+    }
+    best = std::move(cand);
+  }
+
+  if (!best.has_value()) {
+    decision.reject_reason = std::string(reason);
+    return decision;
+  }
+  decision.admitted = true;
+  decision.tree = std::move(best->tree);
+  decision.footprint = std::move(best->footprint);
+  return decision;
+}
+
+}  // namespace nfvm::core

@@ -1,0 +1,84 @@
+#include "core/online_sp.h"
+
+#include <optional>
+
+#include "core/delay.h"
+#include "graph/dijkstra.h"
+#include "graph/subgraph.h"
+
+namespace nfvm::core {
+
+OnlineSp::OnlineSp(const topo::Topology& topo) : OnlineAlgorithm(topo) {}
+
+AdmissionDecision OnlineSp::try_admit(const nfv::Request& request) {
+  AdmissionDecision decision;
+  const double b = request.bandwidth_mbps;
+  const double demand = request.compute_demand_mhz();
+
+  // Remove links and servers without enough available resources; all
+  // remaining links weigh 1.
+  const graph::Subgraph sub = graph::filter_edges(topo_->graph, [&](graph::EdgeId e) {
+    if (state_.residual_bandwidth(e) < b) return false;
+    const graph::Edge& ed = topo_->graph.edge(e);
+    return state_.residual_table_entries(ed.u) >= 1.0 &&
+           state_.residual_table_entries(ed.v) >= 1.0;
+  });
+
+  const graph::ShortestPaths from_source = graph::dijkstra(sub.graph, request.source);
+
+  struct Candidate {
+    double cost = 0.0;
+    PseudoMulticastTree tree;
+    nfv::Footprint footprint;
+  };
+  std::optional<Candidate> best;
+  std::string_view reason = "no server has sufficient residual computing";
+
+  for (graph::VertexId v : topo_->servers) {
+    if (state_.residual_compute(v) < demand) continue;
+    if (!from_source.reachable(v)) {
+      reason = "server unreachable at the demanded bandwidth";
+      continue;
+    }
+    const graph::ShortestPaths from_server = graph::dijkstra(sub.graph, v);
+    bool all_reachable = true;
+    for (graph::VertexId d : request.destinations) {
+      if (!from_server.reachable(d)) {
+        all_reachable = false;
+        break;
+      }
+    }
+    if (!all_reachable) {
+      reason = "a destination is unreachable at the demanded bandwidth";
+      continue;
+    }
+
+    PseudoMulticastTree tree = make_one_server_spt_tree(
+        request, v, from_source, from_server, &sub.original_edge, /*cost=*/0.0);
+    // Cost = number of link traversals (unit weights on links).
+    tree.cost = static_cast<double>(tree.total_link_traversals());
+    if (best.has_value() && tree.cost >= best->cost) continue;
+    if (!meets_delay_bound(*topo_, request, tree)) {
+      reason = "no candidate tree meets the delay bound";
+      continue;
+    }
+
+    nfv::Footprint footprint = tree.footprint(request, topo_->graph);
+    if (!state_.can_allocate(footprint)) {
+      reason = "path overlaps exceed residual bandwidth";
+      continue;
+    }
+    best = Candidate{tree.cost, std::move(tree), std::move(footprint)};
+  }
+
+  if (!best.has_value()) {
+    decision.reject_reason = std::string(reason);
+    return decision;
+  }
+  decision.admitted = true;
+  decision.tree = std::move(best->tree);
+  decision.footprint = std::move(best->footprint);
+  return decision;
+}
+
+}  // namespace nfvm::core

@@ -1,0 +1,23 @@
+// SP - the baseline online heuristic of the paper's evaluation (Section
+// VI-A): prune links/servers without enough residual resources, give every
+// remaining link the same unit weight, and for each candidate server take
+// the shortest path s_k -> v plus a shortest-path tree rooted at v spanning
+// the destinations; the candidate using the fewest link traversals wins.
+// No admission thresholds: SP admits whenever some candidate is feasible.
+#pragma once
+
+#include "core/online.h"
+
+namespace nfvm::core {
+
+class OnlineSp final : public OnlineAlgorithm {
+ public:
+  explicit OnlineSp(const topo::Topology& topo);
+
+  std::string_view name() const override { return "SP"; }
+
+ protected:
+  AdmissionDecision try_admit(const nfv::Request& request) override;
+};
+
+}  // namespace nfvm::core

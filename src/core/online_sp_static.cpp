@@ -1,0 +1,76 @@
+#include "core/online_sp_static.h"
+
+#include "core/delay.h"
+
+namespace nfvm::core {
+
+OnlineSpStatic::OnlineSpStatic(const topo::Topology& topo)
+    : OnlineAlgorithm(topo), cache_(topo.num_switches()) {}
+
+const graph::ShortestPaths& OnlineSpStatic::paths_from(graph::VertexId v) {
+  if (!cache_.at(v).has_value()) cache_[v] = graph::dijkstra(topo_->graph, v);
+  return *cache_[v];
+}
+
+AdmissionDecision OnlineSpStatic::try_admit(const nfv::Request& request) {
+  AdmissionDecision decision;
+  const double demand = request.compute_demand_mhz();
+  const graph::ShortestPaths& from_source = paths_from(request.source);
+
+  struct Candidate {
+    double cost = 0.0;
+    PseudoMulticastTree tree;
+    nfv::Footprint footprint;
+  };
+  std::optional<Candidate> best;
+  std::string_view reason = "no server has sufficient residual computing";
+
+  for (graph::VertexId v : topo_->servers) {
+    if (state_.residual_compute(v) < demand) continue;
+    if (!from_source.reachable(v)) {
+      reason = "server disconnected from the source";
+      continue;
+    }
+    const graph::ShortestPaths& from_server = paths_from(v);
+    bool all_reachable = true;
+    for (graph::VertexId d : request.destinations) {
+      if (!from_server.reachable(d)) {
+        all_reachable = false;
+        break;
+      }
+    }
+    if (!all_reachable) {
+      reason = "a destination is disconnected";
+      continue;
+    }
+
+    PseudoMulticastTree tree = make_one_server_spt_tree(
+        request, v, from_source, from_server, /*to_physical=*/nullptr,
+        /*cost=*/0.0);
+    tree.cost = static_cast<double>(tree.total_link_traversals());
+    if (best.has_value() && tree.cost >= best->cost) continue;
+    if (!meets_delay_bound(*topo_, request, tree)) {
+      reason = "no candidate tree meets the delay bound";
+      continue;
+    }
+
+    nfv::Footprint footprint = tree.footprint(request, topo_->graph);
+    if (!state_.can_allocate(footprint)) {
+      // The fixed route no longer fits; a static policy does not reroute.
+      reason = "fixed route exceeds residual bandwidth";
+      continue;
+    }
+    best = Candidate{tree.cost, std::move(tree), std::move(footprint)};
+  }
+
+  if (!best.has_value()) {
+    decision.reject_reason = std::string(reason);
+    return decision;
+  }
+  decision.admitted = true;
+  decision.tree = std::move(best->tree);
+  decision.footprint = std::move(best->footprint);
+  return decision;
+}
+
+}  // namespace nfvm::core

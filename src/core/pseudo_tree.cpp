@@ -1,0 +1,177 @@
+#include "core/pseudo_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace nfvm::core {
+namespace {
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+std::size_t PseudoMulticastTree::total_link_traversals() const {
+  std::size_t total = 0;
+  for (const auto& [edge, mult] : edge_uses) total += static_cast<std::size_t>(mult);
+  return total;
+}
+
+std::vector<graph::VertexId> PseudoMulticastTree::touched_switches(
+    const graph::Graph& g) const {
+  std::set<graph::VertexId> touched;
+  touched.insert(source);
+  for (graph::VertexId s : servers) touched.insert(s);
+  for (const auto& [edge, mult] : edge_uses) {
+    const graph::Edge& ed = g.edge(edge);
+    touched.insert(ed.u);
+    touched.insert(ed.v);
+  }
+  return {touched.begin(), touched.end()};
+}
+
+nfv::Footprint PseudoMulticastTree::footprint(const nfv::Request& request,
+                                              const graph::Graph& g) const {
+  nfv::Footprint fp = footprint(request);
+  fp.table_entries = touched_switches(g);
+  return fp;
+}
+
+nfv::Footprint PseudoMulticastTree::footprint(const nfv::Request& request) const {
+  nfv::Footprint fp;
+  fp.bandwidth.reserve(edge_uses.size());
+  for (const auto& [edge, mult] : edge_uses) {
+    fp.bandwidth.emplace_back(edge, request.bandwidth_mbps * mult);
+  }
+  const double demand = request.compute_demand_mhz();
+  fp.compute.reserve(servers.size());
+  for (graph::VertexId s : servers) fp.compute.emplace_back(s, demand);
+  return fp;
+}
+
+PseudoMulticastTree make_one_server_spt_tree(
+    const nfv::Request& request, graph::VertexId server,
+    const graph::ShortestPaths& from_source, const graph::ShortestPaths& from_server,
+    const std::vector<graph::EdgeId>* to_physical, double cost) {
+  if (!from_source.reachable(server)) {
+    throw std::invalid_argument("make_one_server_spt_tree: server unreachable");
+  }
+  for (graph::VertexId d : request.destinations) {
+    if (!from_server.reachable(d)) {
+      throw std::invalid_argument("make_one_server_spt_tree: destination unreachable");
+    }
+  }
+  const auto map_edge = [to_physical](graph::EdgeId e) {
+    return to_physical == nullptr ? e : to_physical->at(e);
+  };
+
+  PseudoMulticastTree tree;
+  tree.source = request.source;
+  tree.servers = {server};
+  tree.cost = cost;
+
+  std::map<graph::EdgeId, int> mult;  // physical ids
+  for (graph::EdgeId e : graph::path_edges(from_source, server)) ++mult[map_edge(e)];
+  std::set<graph::EdgeId> spt_edges;  // g-local ids, deduped across dests
+  for (graph::VertexId d : request.destinations) {
+    for (graph::EdgeId e : graph::path_edges(from_server, d)) spt_edges.insert(e);
+  }
+  for (graph::EdgeId e : spt_edges) ++mult[map_edge(e)];
+  tree.edge_uses.assign(mult.begin(), mult.end());
+
+  const std::vector<graph::VertexId> to_server =
+      graph::path_vertices(from_source, server);
+  for (graph::VertexId d : request.destinations) {
+    DestinationRoute route;
+    route.destination = d;
+    route.server = server;
+    route.walk = to_server;
+    route.server_index = route.walk.size() - 1;
+    const std::vector<graph::VertexId> down = graph::path_vertices(from_server, d);
+    route.walk.insert(route.walk.end(), down.begin() + 1, down.end());
+    tree.routes.push_back(std::move(route));
+  }
+  return tree;
+}
+
+bool validate_pseudo_tree(const graph::Graph& g, const nfv::Request& request,
+                          const PseudoMulticastTree& tree, std::string* error) {
+  if (tree.source != request.source) {
+    return fail(error, "source mismatch");
+  }
+  if (!(tree.cost >= 0)) return fail(error, "negative cost");
+  if (tree.servers.empty()) return fail(error, "no servers used");
+
+  std::unordered_set<graph::VertexId> server_set(tree.servers.begin(),
+                                                 tree.servers.end());
+  if (server_set.size() != tree.servers.size()) {
+    return fail(error, "duplicate server entries");
+  }
+
+  // Edge-use table.
+  std::unordered_map<graph::EdgeId, int> uses;
+  for (const auto& [edge, mult] : tree.edge_uses) {
+    if (!g.has_edge(edge)) return fail(error, "edge_uses references unknown edge");
+    if (mult < 1) return fail(error, "edge multiplicity < 1");
+    if (!uses.emplace(edge, mult).second) {
+      return fail(error, "duplicate edge in edge_uses");
+    }
+  }
+
+  // One route per destination, in request order or any order but complete.
+  std::set<graph::VertexId> wanted(request.destinations.begin(),
+                                   request.destinations.end());
+  std::set<graph::VertexId> routed;
+  for (const DestinationRoute& route : tree.routes) {
+    if (wanted.find(route.destination) == wanted.end()) {
+      return fail(error, "route for a vertex that is not a destination");
+    }
+    if (!routed.insert(route.destination).second) {
+      return fail(error, "duplicate route for a destination");
+    }
+    if (route.walk.empty() || route.walk.front() != request.source) {
+      return fail(error, "route walk does not start at the source");
+    }
+    if (route.walk.back() != route.destination) {
+      return fail(error, "route walk does not end at the destination");
+    }
+    if (route.server_index >= route.walk.size()) {
+      return fail(error, "server_index out of range");
+    }
+    if (route.walk[route.server_index] != route.server) {
+      return fail(error, "walk[server_index] is not the route's server");
+    }
+    if (server_set.find(route.server) == server_set.end()) {
+      return fail(error, "route server not listed in tree.servers");
+    }
+    // The destination must not be reached before processing. (It may appear
+    // earlier as a relay vertex only strictly before the end; the delivery
+    // point is the final element, which is >= server_index by construction.)
+    for (std::size_t i = 0; i + 1 < route.walk.size(); ++i) {
+      const graph::VertexId a = route.walk[i];
+      const graph::VertexId b = route.walk[i + 1];
+      bool adjacent = false;
+      for (const graph::Adjacency& adj : g.neighbors(a)) {
+        if (adj.neighbor == b && uses.find(adj.edge) != uses.end()) {
+          adjacent = true;
+          break;
+        }
+      }
+      if (!adjacent) {
+        return fail(error,
+                    "route walk uses a link that is absent from edge_uses or "
+                    "not in the graph");
+      }
+    }
+  }
+  if (routed != wanted) return fail(error, "some destination has no route");
+  return true;
+}
+
+}  // namespace nfvm::core

@@ -1,0 +1,95 @@
+// Pseudo-multicast trees (paper Section III-B, Fig. 3).
+//
+// A pseudo-multicast tree is the routing structure realizing one NFV-enabled
+// multicast request: a multicast tree plus the extra traversals needed so
+// every destination receives traffic *after* it passed a service-chain
+// server (e.g. processed packets sent back up a tree path and re-forwarded).
+// Physically the same link can therefore carry the request's traffic more
+// than once; `edge_uses` records that multiplicity, which is what capacity
+// accounting charges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+#include "nfv/request.h"
+#include "nfv/resources.h"
+
+namespace nfvm::core {
+
+/// The realized path of one destination: the walk source -> destination and
+/// where on that walk the service chain processes the traffic.
+struct DestinationRoute {
+  graph::VertexId destination = graph::kInvalidVertex;
+  /// Server whose VM processes this destination's traffic.
+  graph::VertexId server = graph::kInvalidVertex;
+  /// Walk from the source to the destination (vertices, inclusive). May
+  /// revisit vertices: backhaul detours are part of the walk.
+  std::vector<graph::VertexId> walk;
+  /// Index into `walk` of the processing point; walk[server_index] == server
+  /// and every destination appears at or after this index.
+  std::size_t server_index = 0;
+};
+
+struct PseudoMulticastTree {
+  graph::VertexId source = graph::kInvalidVertex;
+  /// Distinct servers hosting an instance of the request's chain (<= K).
+  std::vector<graph::VertexId> servers;
+  /// (edge, multiplicity) with multiplicity >= 1: how many times the
+  /// request's traffic traverses the link. Distinct edges only.
+  std::vector<std::pair<graph::EdgeId, int>> edge_uses;
+  /// Per-destination realized routes.
+  std::vector<DestinationRoute> routes;
+  /// Implementation cost in the constructing algorithm's units (linear
+  /// operational cost for the offline algorithms, normalized exponential
+  /// weight for Online_CP, hops for SP).
+  double cost = 0.0;
+
+  /// Total number of link traversals (sum of multiplicities).
+  std::size_t total_link_traversals() const;
+
+  /// Distinct switches the tree touches (edge endpoints, the source and the
+  /// chain servers), sorted ascending. These are the switches that need a
+  /// forwarding-table entry for this multicast group.
+  std::vector<graph::VertexId> touched_switches(const graph::Graph& g) const;
+
+  /// The resources this tree consumes for `request`: bandwidth_mbps per
+  /// traversal on every edge, the chain's computing demand on every server,
+  /// and one forwarding-table entry per touched switch (`g` resolves edge
+  /// endpoints).
+  nfv::Footprint footprint(const nfv::Request& request, const graph::Graph& g) const;
+
+  /// Backward-compatible overload without table entries (for deployments
+  /// that do not track forwarding-table capacities).
+  nfv::Footprint footprint(const nfv::Request& request) const;
+};
+
+/// Assembles the one-server pseudo-multicast tree used by the SP baselines:
+/// the shortest path source -> server plus, for every destination, the
+/// shortest path server -> destination (a shortest-path tree rooted at the
+/// server). Overlapping links accumulate multiplicity. `from_source` and
+/// `from_server` must be shortest-path results on the same working graph;
+/// `to_physical` (optional) remaps that graph's edge ids to physical ids
+/// when it is a filtered subgraph. Throws std::invalid_argument when the
+/// server or a destination is unreachable.
+PseudoMulticastTree make_one_server_spt_tree(
+    const nfv::Request& request, graph::VertexId server,
+    const graph::ShortestPaths& from_source, const graph::ShortestPaths& from_server,
+    const std::vector<graph::EdgeId>* to_physical, double cost);
+
+/// Structural validation of a pseudo-multicast tree against the physical
+/// graph and the request:
+///  - exactly one route per destination, each a contiguous walk in `g`
+///    from the source to the destination,
+///  - the service chain processes before delivery (server_index sound,
+///    server is listed in `servers`),
+///  - every edge a route walks is present in `edge_uses`,
+///  - multiplicities are >= 1 and cost >= 0.
+/// Returns true when valid; otherwise false with a diagnostic in `error`
+/// (when non-null).
+bool validate_pseudo_tree(const graph::Graph& g, const nfv::Request& request,
+                          const PseudoMulticastTree& tree, std::string* error);
+
+}  // namespace nfvm::core

@@ -1,0 +1,61 @@
+#include "graph/apsp.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nfvm::graph {
+
+AllPairsShortestPaths::AllPairsShortestPaths(const Graph& g, bool keep_parents)
+    : n_(g.num_vertices()) {
+  dist_.resize(n_ * n_, kInfiniteDistance);
+  if (keep_parents) per_source_.reserve(n_);
+  for (VertexId s = 0; s < n_; ++s) {
+    ShortestPaths sp = dijkstra(g, s);
+    std::copy(sp.dist.begin(), sp.dist.end(), dist_.begin() + static_cast<long>(s * n_));
+    if (keep_parents) per_source_.push_back(std::move(sp));
+  }
+}
+
+void AllPairsShortestPaths::check(VertexId v) const {
+  if (v >= n_) throw std::out_of_range("AllPairsShortestPaths: bad vertex id");
+}
+
+double AllPairsShortestPaths::distance(VertexId u, VertexId v) const {
+  check(u);
+  check(v);
+  return dist_[static_cast<std::size_t>(u) * n_ + v];
+}
+
+std::vector<VertexId> AllPairsShortestPaths::path(VertexId u, VertexId v) const {
+  check(u);
+  check(v);
+  if (per_source_.empty()) {
+    throw std::logic_error("AllPairsShortestPaths: built without keep_parents");
+  }
+  return path_vertices(per_source_[u], v);
+}
+
+std::vector<EdgeId> AllPairsShortestPaths::path_edges_between(VertexId u,
+                                                              VertexId v) const {
+  check(u);
+  check(v);
+  if (per_source_.empty()) {
+    throw std::logic_error("AllPairsShortestPaths: built without keep_parents");
+  }
+  return path_edges(per_source_[u], v);
+}
+
+double AllPairsShortestPaths::diameter() const {
+  double best = 0.0;
+  for (double d : dist_) {
+    if (d < kInfiniteDistance) best = std::max(best, d);
+  }
+  return best;
+}
+
+bool AllPairsShortestPaths::connected() const {
+  return std::all_of(dist_.begin(), dist_.end(),
+                     [](double d) { return d < kInfiniteDistance; });
+}
+
+}  // namespace nfvm::graph

@@ -1,0 +1,50 @@
+// All-pairs shortest paths (repeated Dijkstra) with a dense distance matrix.
+//
+// Used by the exact solvers and anywhere many distance queries against a
+// static weighted graph are needed. Memory is Theta(n^2) doubles plus the
+// parent structure when path reconstruction is requested.
+#pragma once
+
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+
+namespace nfvm::graph {
+
+class AllPairsShortestPaths {
+ public:
+  /// Runs Dijkstra from every vertex. `keep_parents` retains the full
+  /// per-source structures for path reconstruction (doubles the memory).
+  explicit AllPairsShortestPaths(const Graph& g, bool keep_parents = false);
+
+  std::size_t num_vertices() const noexcept { return n_; }
+
+  /// d(u, v); kInfiniteDistance when disconnected. Throws std::out_of_range.
+  double distance(VertexId u, VertexId v) const;
+
+  bool reachable(VertexId u, VertexId v) const {
+    return distance(u, v) < kInfiniteDistance;
+  }
+
+  /// Vertices of a shortest path u -> v (inclusive); empty if unreachable.
+  /// Throws std::logic_error when constructed without keep_parents.
+  std::vector<VertexId> path(VertexId u, VertexId v) const;
+  /// Edge ids of a shortest path u -> v in travel order.
+  std::vector<EdgeId> path_edges_between(VertexId u, VertexId v) const;
+
+  /// Largest finite distance (0 for an empty/edgeless graph). Infinite
+  /// pairs are ignored; use `connected()` to detect them.
+  double diameter() const;
+  /// True iff all pairs are mutually reachable.
+  bool connected() const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> dist_;  // row-major n x n
+  std::vector<ShortestPaths> per_source_;  // empty unless keep_parents
+
+  void check(VertexId v) const;
+};
+
+}  // namespace nfvm::graph

@@ -1,0 +1,58 @@
+#include "graph/components.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace nfvm::graph {
+
+Components connected_components(const Graph& g) {
+  Components result;
+  result.component.assign(g.num_vertices(), static_cast<std::size_t>(-1));
+  std::queue<VertexId> queue;
+  for (VertexId start = 0; start < g.num_vertices(); ++start) {
+    if (result.component[start] != static_cast<std::size_t>(-1)) continue;
+    const std::size_t label = result.count++;
+    result.component[start] = label;
+    queue.push(start);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop();
+      for (const Adjacency& adj : g.neighbors(u)) {
+        if (result.component[adj.neighbor] == static_cast<std::size_t>(-1)) {
+          result.component[adj.neighbor] = label;
+          queue.push(adj.neighbor);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  return connected_components(g).count <= 1;
+}
+
+std::vector<VertexId> reachable_from(const Graph& g, VertexId source) {
+  if (!g.has_vertex(source)) {
+    throw std::out_of_range("reachable_from: invalid source");
+  }
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::vector<VertexId> order;
+  std::queue<VertexId> queue;
+  seen[source] = true;
+  queue.push(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    order.push_back(u);
+    for (const Adjacency& adj : g.neighbors(u)) {
+      if (!seen[adj.neighbor]) {
+        seen[adj.neighbor] = true;
+        queue.push(adj.neighbor);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace nfvm::graph

@@ -1,0 +1,29 @@
+// Connected components and reachability queries.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nfvm::graph {
+
+struct Components {
+  /// component[v] = dense component index in [0, count).
+  std::vector<std::size_t> component;
+  std::size_t count = 0;
+
+  bool same_component(VertexId a, VertexId b) const {
+    return component.at(a) == component.at(b);
+  }
+};
+
+/// Labels connected components via BFS.
+Components connected_components(const Graph& g);
+
+/// True iff the whole graph is one connected component (empty graph: true).
+bool is_connected(const Graph& g);
+
+/// Vertices reachable from `source` (including `source`).
+std::vector<VertexId> reachable_from(const Graph& g, VertexId source);
+
+}  // namespace nfvm::graph

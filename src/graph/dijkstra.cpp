@@ -1,0 +1,90 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace nfvm::graph {
+namespace {
+
+ShortestPaths run_dijkstra(const Graph& g, VertexId source,
+                           const std::function<bool(EdgeId)>* edge_allowed) {
+  if (!g.has_vertex(source)) {
+    throw std::out_of_range("dijkstra: invalid source vertex");
+  }
+  const std::size_t n = g.num_vertices();
+  ShortestPaths sp;
+  sp.source = source;
+  sp.dist.assign(n, kInfiniteDistance);
+  sp.parent.assign(n, kInvalidVertex);
+  sp.parent_edge.assign(n, kInvalidEdge);
+  sp.dist[source] = 0.0;
+
+  using Item = std::pair<double, VertexId>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > sp.dist[u]) continue;  // stale entry
+    for (const Adjacency& adj : g.neighbors(u)) {
+      if (edge_allowed != nullptr && !(*edge_allowed)(adj.edge)) continue;
+      const double nd = d + g.edge(adj.edge).weight;
+      if (nd < sp.dist[adj.neighbor]) {
+        sp.dist[adj.neighbor] = nd;
+        sp.parent[adj.neighbor] = u;
+        sp.parent_edge[adj.neighbor] = adj.edge;
+        heap.emplace(nd, adj.neighbor);
+      }
+    }
+  }
+  return sp;
+}
+
+}  // namespace
+
+ShortestPaths dijkstra(const Graph& g, VertexId source) {
+  return run_dijkstra(g, source, nullptr);
+}
+
+ShortestPaths dijkstra_filtered(const Graph& g, VertexId source,
+                                const std::function<bool(EdgeId)>& edge_allowed) {
+  return run_dijkstra(g, source, &edge_allowed);
+}
+
+std::vector<VertexId> path_vertices(const ShortestPaths& sp, VertexId target) {
+  if (target >= sp.dist.size()) {
+    throw std::out_of_range("path_vertices: invalid target vertex");
+  }
+  if (!sp.reachable(target)) return {};
+  std::vector<VertexId> path;
+  for (VertexId v = target; v != kInvalidVertex; v = sp.parent[v]) {
+    path.push_back(v);
+    if (v == sp.source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<EdgeId> path_edges(const ShortestPaths& sp, VertexId target) {
+  if (target >= sp.dist.size()) {
+    throw std::out_of_range("path_edges: invalid target vertex");
+  }
+  if (!sp.reachable(target)) return {};
+  std::vector<EdgeId> edges;
+  for (VertexId v = target; v != sp.source && sp.parent[v] != kInvalidVertex;
+       v = sp.parent[v]) {
+    edges.push_back(sp.parent_edge[v]);
+  }
+  std::reverse(edges.begin(), edges.end());
+  return edges;
+}
+
+double shortest_distance(const Graph& g, VertexId from, VertexId to) {
+  if (!g.has_vertex(to)) throw std::out_of_range("shortest_distance: invalid target");
+  return dijkstra(g, from).dist[to];
+}
+
+}  // namespace nfvm::graph

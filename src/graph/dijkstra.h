@@ -1,0 +1,51 @@
+// Single-source shortest paths (Dijkstra) with path extraction.
+//
+// All edge weights in this library are non-negative by construction (the
+// Graph class enforces it), so Dijkstra is always applicable.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nfvm::graph {
+
+inline constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
+
+/// Shortest-path tree from one source.
+struct ShortestPaths {
+  VertexId source = kInvalidVertex;
+  /// dist[v] = weight of the shortest path source -> v (inf if unreachable).
+  std::vector<double> dist;
+  /// parent[v] = previous vertex on a shortest path (kInvalidVertex for the
+  /// source and unreachable vertices).
+  std::vector<VertexId> parent;
+  /// parent_edge[v] = edge used to reach v from parent[v].
+  std::vector<EdgeId> parent_edge;
+
+  bool reachable(VertexId v) const { return dist.at(v) < kInfiniteDistance; }
+};
+
+/// Runs Dijkstra from `source`. Throws std::out_of_range for a bad source.
+ShortestPaths dijkstra(const Graph& g, VertexId source);
+
+/// Dijkstra that ignores edges for which `edge_allowed(e)` is false.
+/// Used to prune links without sufficient residual bandwidth.
+ShortestPaths dijkstra_filtered(const Graph& g, VertexId source,
+                                const std::function<bool(EdgeId)>& edge_allowed);
+
+/// Vertices of the shortest path source -> target (inclusive). Empty when
+/// target is unreachable; {source} when target == source.
+std::vector<VertexId> path_vertices(const ShortestPaths& sp, VertexId target);
+
+/// Edges of the shortest path source -> target in travel order. Empty when
+/// unreachable or target == source.
+std::vector<EdgeId> path_edges(const ShortestPaths& sp, VertexId target);
+
+/// Convenience: weight of the shortest path between two vertices
+/// (runs a fresh Dijkstra; prefer caching ShortestPaths for repeated use).
+double shortest_distance(const Graph& g, VertexId from, VertexId to);
+
+}  // namespace nfvm::graph

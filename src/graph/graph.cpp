@@ -1,0 +1,97 @@
+#include "graph/graph.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace nfvm::graph {
+
+Graph::Graph(std::size_t num_vertices) : adjacency_(num_vertices) {}
+
+VertexId Graph::add_vertex() {
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(adjacency_.size() - 1);
+}
+
+VertexId Graph::add_vertices(std::size_t count) {
+  const VertexId first = static_cast<VertexId>(adjacency_.size());
+  adjacency_.resize(adjacency_.size() + count);
+  return first;
+}
+
+void Graph::check_vertex(VertexId v) const {
+  if (!has_vertex(v)) {
+    throw std::out_of_range("Graph: invalid vertex id " + std::to_string(v));
+  }
+}
+
+EdgeId Graph::add_edge(VertexId u, VertexId v, double weight) {
+  check_vertex(u);
+  check_vertex(v);
+  if (!(weight >= 0.0) || !std::isfinite(weight)) {
+    throw std::invalid_argument("Graph::add_edge: weight must be finite and >= 0");
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, weight});
+  adjacency_[u].push_back(Adjacency{v, id});
+  if (u != v) adjacency_[v].push_back(Adjacency{u, id});
+  return id;
+}
+
+const Edge& Graph::edge(EdgeId e) const {
+  if (!has_edge(e)) {
+    throw std::out_of_range("Graph: invalid edge id " + std::to_string(e));
+  }
+  return edges_[e];
+}
+
+void Graph::set_weight(EdgeId e, double weight) {
+  if (!has_edge(e)) {
+    throw std::out_of_range("Graph: invalid edge id " + std::to_string(e));
+  }
+  if (!(weight >= 0.0) || !std::isfinite(weight)) {
+    throw std::invalid_argument("Graph::set_weight: weight must be finite and >= 0");
+  }
+  edges_[e].weight = weight;
+}
+
+std::span<const Adjacency> Graph::neighbors(VertexId v) const {
+  check_vertex(v);
+  return adjacency_[v];
+}
+
+std::size_t Graph::degree(VertexId v) const {
+  check_vertex(v);
+  std::size_t deg = adjacency_[v].size();
+  // Self-loops appear once in the adjacency list but count twice.
+  for (const Adjacency& adj : adjacency_[v]) {
+    if (adj.neighbor == v) ++deg;
+  }
+  return deg;
+}
+
+VertexId Graph::other_endpoint(EdgeId e, VertexId x) const {
+  const Edge& ed = edge(e);
+  if (ed.u == x) return ed.v;
+  if (ed.v == x) return ed.u;
+  throw std::invalid_argument("Graph::other_endpoint: vertex is not an endpoint");
+}
+
+std::optional<EdgeId> Graph::find_edge(VertexId u, VertexId v) const {
+  check_vertex(u);
+  check_vertex(v);
+  const VertexId scan = adjacency_[u].size() <= adjacency_[v].size() ? u : v;
+  const VertexId want = scan == u ? v : u;
+  for (const Adjacency& adj : adjacency_[scan]) {
+    if (adj.neighbor == want) return adj.edge;
+  }
+  return std::nullopt;
+}
+
+double Graph::total_weight() const noexcept {
+  double sum = 0.0;
+  for (const Edge& e : edges_) sum += e.weight;
+  return sum;
+}
+
+}  // namespace nfvm::graph

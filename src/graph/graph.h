@@ -1,0 +1,93 @@
+// Undirected weighted multigraph.
+//
+// This is the substrate every algorithm in the library runs on. Vertices and
+// edges are dense integer ids, adjacency is a per-vertex vector of
+// {neighbor, edge id} pairs, and edge weights are mutable so the same
+// structure serves both static topologies and the per-request weighted
+// auxiliary graphs of Appro_Multi / Online_CP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace nfvm::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// An undirected edge. `u <= v` is NOT guaranteed; endpoints keep insertion
+/// order so callers can reconstruct orientation-sensitive metadata.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  double weight = 1.0;
+};
+
+/// One adjacency entry: the neighbor reached and the edge used.
+struct Adjacency {
+  VertexId neighbor = kInvalidVertex;
+  EdgeId edge = kInvalidEdge;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  /// Creates a graph with `num_vertices` isolated vertices.
+  explicit Graph(std::size_t num_vertices);
+
+  /// Appends an isolated vertex and returns its id.
+  VertexId add_vertex();
+  /// Appends `count` isolated vertices; returns the id of the first.
+  VertexId add_vertices(std::size_t count);
+
+  /// Adds an undirected edge. Self-loops and parallel edges are permitted
+  /// (parallel edges arise naturally in pseudo-multicast accounting).
+  /// Throws std::out_of_range for invalid endpoints and
+  /// std::invalid_argument for negative or non-finite weights.
+  EdgeId add_edge(VertexId u, VertexId v, double weight = 1.0);
+
+  std::size_t num_vertices() const noexcept { return adjacency_.size(); }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  bool has_vertex(VertexId v) const noexcept { return v < adjacency_.size(); }
+  bool has_edge(EdgeId e) const noexcept { return e < edges_.size(); }
+
+  /// Edge record. Throws std::out_of_range on an invalid id.
+  const Edge& edge(EdgeId e) const;
+
+  double weight(EdgeId e) const { return edge(e).weight; }
+  /// Reassigns an edge weight (>= 0, finite).
+  void set_weight(EdgeId e, double weight);
+
+  /// Neighbors of `v` in insertion order. Throws std::out_of_range.
+  std::span<const Adjacency> neighbors(VertexId v) const;
+
+  /// Degree counting parallel edges; a self-loop contributes 2.
+  std::size_t degree(VertexId v) const;
+
+  /// The endpoint of `e` that is not `x`. For a self-loop returns `x`.
+  /// Throws std::invalid_argument if `x` is not an endpoint of `e`.
+  VertexId other_endpoint(EdgeId e, VertexId x) const;
+
+  /// Finds some edge between u and v (linear in min degree), if any.
+  std::optional<EdgeId> find_edge(VertexId u, VertexId v) const;
+
+  /// All edges, indexed by EdgeId.
+  std::span<const Edge> edges() const noexcept { return edges_; }
+
+  /// Sum of all edge weights.
+  double total_weight() const noexcept;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+
+  void check_vertex(VertexId v) const;
+};
+
+}  // namespace nfvm::graph

@@ -1,0 +1,29 @@
+// Minimum spanning trees / forests (Kruskal).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nfvm::graph {
+
+struct MstResult {
+  /// Edges of the minimum spanning forest, in the order Kruskal accepts them.
+  std::vector<EdgeId> edges;
+  /// Total weight of the forest.
+  double weight = 0.0;
+  /// True iff the forest is a single tree spanning every vertex.
+  bool spanning = false;
+};
+
+/// Minimum spanning forest of the whole graph. Deterministic: ties are
+/// broken by edge id.
+MstResult kruskal_mst(const Graph& g);
+
+/// Minimum spanning forest restricted to `edges` (ids into `g`). Vertices
+/// not touched by `edges` are ignored for the `spanning` flag, which instead
+/// reports whether the chosen edges connect all touched vertices.
+MstResult kruskal_mst_subset(const Graph& g, std::span<const EdgeId> edges);
+
+}  // namespace nfvm::graph

@@ -1,0 +1,426 @@
+#include "graph/steiner.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/dijkstra.h"
+#include "graph/mst.h"
+#include "graph/union_find.h"
+
+namespace nfvm::graph {
+namespace {
+
+std::vector<VertexId> distinct_terminals(const Graph& g,
+                                         std::span<const VertexId> terminals) {
+  if (terminals.empty()) {
+    throw std::invalid_argument("steiner: terminal set must be non-empty");
+  }
+  std::vector<VertexId> distinct(terminals.begin(), terminals.end());
+  for (VertexId t : distinct) {
+    if (!g.has_vertex(t)) throw std::out_of_range("steiner: invalid terminal");
+  }
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  return distinct;
+}
+
+/// Removes non-terminal leaves until none remain; returns surviving edges.
+std::vector<EdgeId> prune_leaves(const Graph& g, std::vector<EdgeId> edges,
+                                 std::span<const VertexId> terminals) {
+  std::vector<bool> is_terminal(g.num_vertices(), false);
+  for (VertexId t : terminals) is_terminal[t] = true;
+
+  // Incidence restricted to `edges`.
+  std::vector<std::vector<std::size_t>> incident(g.num_vertices());
+  std::vector<std::size_t> degree(g.num_vertices(), 0);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& ed = g.edge(edges[i]);
+    incident[ed.u].push_back(i);
+    incident[ed.v].push_back(i);
+    ++degree[ed.u];
+    ++degree[ed.v];
+  }
+
+  std::vector<bool> edge_removed(edges.size(), false);
+  std::queue<VertexId> leaves;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (degree[v] == 1 && !is_terminal[v]) leaves.push(v);
+  }
+  while (!leaves.empty()) {
+    const VertexId v = leaves.front();
+    leaves.pop();
+    if (degree[v] != 1 || is_terminal[v]) continue;
+    for (std::size_t idx : incident[v]) {
+      if (edge_removed[idx]) continue;
+      edge_removed[idx] = true;
+      const Edge& ed = g.edge(edges[idx]);
+      const VertexId other = ed.u == v ? ed.v : ed.u;
+      --degree[v];
+      --degree[other];
+      if (degree[other] == 1 && !is_terminal[other]) leaves.push(other);
+      break;  // a degree-1 vertex has exactly one live incident edge
+    }
+  }
+
+  std::vector<EdgeId> kept;
+  kept.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!edge_removed[i]) kept.push_back(edges[i]);
+  }
+  return kept;
+}
+
+double edges_weight(const Graph& g, std::span<const EdgeId> edges) {
+  double w = 0.0;
+  for (EdgeId e : edges) w += g.weight(e);
+  return w;
+}
+
+}  // namespace
+
+SteinerResult kmb_steiner(const Graph& g, std::span<const VertexId> terminals) {
+  const std::vector<VertexId> terms = distinct_terminals(g, terminals);
+  SteinerResult result;
+  if (terms.size() == 1) {
+    result.connected = true;
+    return result;
+  }
+
+  // Step 1: shortest paths from every terminal.
+  std::vector<ShortestPaths> sp;
+  sp.reserve(terms.size());
+  for (VertexId t : terms) sp.push_back(dijkstra(g, t));
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    if (!sp[0].reachable(terms[i])) return result;  // connected == false
+  }
+
+  // Step 2: MST of the metric closure (Prim on the t x t distance matrix).
+  const std::size_t t = terms.size();
+  std::vector<bool> in_tree(t, false);
+  std::vector<double> best(t, kInfiniteDistance);
+  std::vector<std::size_t> best_from(t, 0);
+  best[0] = 0.0;
+  std::vector<std::pair<std::size_t, std::size_t>> closure_edges;  // (i, j)
+  for (std::size_t step = 0; step < t; ++step) {
+    std::size_t pick = t;
+    for (std::size_t i = 0; i < t; ++i) {
+      if (!in_tree[i] && (pick == t || best[i] < best[pick])) pick = i;
+    }
+    in_tree[pick] = true;
+    if (pick != 0) closure_edges.emplace_back(best_from[pick], pick);
+    for (std::size_t j = 0; j < t; ++j) {
+      if (in_tree[j]) continue;
+      const double d = sp[pick].dist[terms[j]];
+      if (d < best[j]) {
+        best[j] = d;
+        best_from[j] = pick;
+      }
+    }
+  }
+
+  // Step 3: expand closure edges into shortest paths; union of their edges.
+  std::unordered_set<EdgeId> edge_set;
+  for (const auto& [i, j] : closure_edges) {
+    for (EdgeId e : path_edges(sp[i], terms[j])) edge_set.insert(e);
+  }
+  std::vector<EdgeId> expanded(edge_set.begin(), edge_set.end());
+  std::sort(expanded.begin(), expanded.end());  // determinism
+
+  // Step 4: MST of the expanded subgraph.
+  MstResult sub_mst = kruskal_mst_subset(g, expanded);
+
+  // Step 5: prune non-terminal leaves.
+  result.edges = prune_leaves(g, std::move(sub_mst.edges), terms);
+  result.weight = edges_weight(g, result.edges);
+  result.connected = true;
+  return result;
+}
+
+SteinerResult improve_steiner(const Graph& g, SteinerResult current,
+                              std::span<const VertexId> terminals,
+                              std::size_t max_rounds) {
+  if (!current.connected) {
+    throw std::invalid_argument("improve_steiner: input tree is disconnected");
+  }
+  const std::vector<VertexId> terms = distinct_terminals(g, terminals);
+  if (terms.size() <= 1) return current;
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    std::vector<bool> in_tree(g.num_vertices(), false);
+    for (EdgeId e : current.edges) {
+      in_tree[g.edge(e).u] = true;
+      in_tree[g.edge(e).v] = true;
+    }
+    for (VertexId t : terms) in_tree[t] = true;
+
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (in_tree[v]) continue;
+      std::vector<VertexId> extended(terms);
+      extended.push_back(v);
+      SteinerResult candidate = kmb_steiner(g, extended);
+      if (!candidate.connected) continue;
+      // Drop v again if it turned out useless (leaf pruning against the
+      // real terminal set).
+      candidate = kmb_finish(g, candidate.edges, terms);
+      if (candidate.connected && candidate.weight + 1e-12 < current.weight) {
+        current = std::move(candidate);
+        improved = true;
+        // Refresh tree membership for subsequent insertions this round.
+        std::fill(in_tree.begin(), in_tree.end(), false);
+        for (EdgeId e : current.edges) {
+          in_tree[g.edge(e).u] = true;
+          in_tree[g.edge(e).v] = true;
+        }
+        for (VertexId t : terms) in_tree[t] = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return current;
+}
+
+SteinerResult kmb_finish(const Graph& g, std::span<const EdgeId> union_edges,
+                         std::span<const VertexId> terminals) {
+  const std::vector<VertexId> terms = distinct_terminals(g, terminals);
+  SteinerResult result;
+  if (terms.size() == 1) {
+    result.connected = true;
+    return result;
+  }
+  MstResult sub_mst = kruskal_mst_subset(g, union_edges);
+  // Connectivity: all terminals must share one component of the forest.
+  UnionFind uf(g.num_vertices());
+  for (EdgeId e : sub_mst.edges) uf.unite(g.edge(e).u, g.edge(e).v);
+  for (VertexId t : terms) {
+    if (uf.find(t) != uf.find(terms[0])) return result;  // connected == false
+  }
+  result.edges = prune_leaves(g, std::move(sub_mst.edges), terms);
+  result.weight = edges_weight(g, result.edges);
+  result.connected = true;
+  return result;
+}
+
+SteinerResult takahashi_matsuyama_steiner(const Graph& g,
+                                          std::span<const VertexId> terminals) {
+  const std::vector<VertexId> terms = distinct_terminals(g, terminals);
+  SteinerResult result;
+  if (terms.size() == 1) {
+    result.connected = true;
+    return result;
+  }
+
+  const std::size_t n = g.num_vertices();
+  std::vector<bool> in_tree(n, false);
+  std::vector<bool> is_pending_terminal(n, false);
+  in_tree[terms[0]] = true;
+  std::size_t pending = terms.size() - 1;
+  for (std::size_t i = 1; i < terms.size(); ++i) is_pending_terminal[terms[i]] = true;
+
+  // Each round: multi-source Dijkstra from the current tree, attach the
+  // nearest pending terminal along its shortest path.
+  std::vector<double> dist(n);
+  std::vector<VertexId> parent(n);
+  std::vector<EdgeId> parent_edge(n);
+  using Item = std::pair<double, VertexId>;
+
+  while (pending > 0) {
+    std::fill(dist.begin(), dist.end(), kInfiniteDistance);
+    std::fill(parent.begin(), parent.end(), kInvalidVertex);
+    std::fill(parent_edge.begin(), parent_edge.end(), kInvalidEdge);
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    for (VertexId v = 0; v < n; ++v) {
+      if (in_tree[v]) {
+        dist[v] = 0.0;
+        heap.emplace(0.0, v);
+      }
+    }
+    VertexId reached = kInvalidVertex;
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      if (is_pending_terminal[u]) {
+        reached = u;
+        break;  // nearest pending terminal found
+      }
+      for (const Adjacency& adj : g.neighbors(u)) {
+        const double nd = d + g.edge(adj.edge).weight;
+        if (nd < dist[adj.neighbor]) {
+          dist[adj.neighbor] = nd;
+          parent[adj.neighbor] = u;
+          parent_edge[adj.neighbor] = adj.edge;
+          heap.emplace(nd, adj.neighbor);
+        }
+      }
+    }
+    if (reached == kInvalidVertex) return result;  // disconnected
+
+    is_pending_terminal[reached] = false;
+    --pending;
+    for (VertexId v = reached; !in_tree[v]; v = parent[v]) {
+      in_tree[v] = true;
+      result.edges.push_back(parent_edge[v]);
+      result.weight += g.weight(parent_edge[v]);
+    }
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  result.connected = true;
+  return result;
+}
+
+SteinerResult steiner_tree(const Graph& g, std::span<const VertexId> terminals,
+                           SteinerEngine engine) {
+  switch (engine) {
+    case SteinerEngine::kKmb:
+      return kmb_steiner(g, terminals);
+    case SteinerEngine::kTakahashiMatsuyama:
+      return takahashi_matsuyama_steiner(g, terminals);
+  }
+  throw std::invalid_argument("steiner_tree: unknown engine");
+}
+
+SteinerResult exact_steiner(const Graph& g, std::span<const VertexId> terminals) {
+  const std::vector<VertexId> terms = distinct_terminals(g, terminals);
+  SteinerResult result;
+  if (terms.size() == 1) {
+    result.connected = true;
+    return result;
+  }
+  if (terms.size() > kExactSteinerMaxTerminals) {
+    throw std::invalid_argument("exact_steiner: too many terminals for the DP");
+  }
+
+  const std::size_t n = g.num_vertices();
+  // All-pairs shortest paths (repeated Dijkstra keeps parents for paths).
+  std::vector<ShortestPaths> sp;
+  sp.reserve(n);
+  for (VertexId v = 0; v < n; ++v) sp.push_back(dijkstra(g, v));
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    if (!sp[terms[0]].reachable(terms[i])) return result;
+  }
+
+  // Dreyfus-Wagner over subsets of terms[1..]; the tree always implicitly
+  // contains terms[0] via the final query dp[full][terms[0]].
+  const std::size_t bits = terms.size() - 1;
+  const std::size_t num_masks = std::size_t{1} << bits;
+  std::vector<std::vector<double>> dp(num_masks, std::vector<double>(n, kInfiniteDistance));
+
+  // Reconstruction records. kind: 0 = base (path from terminal), 1 = merge
+  // (submask stored in aux), 2 = extend (vertex stored in aux).
+  struct Choice {
+    std::uint8_t kind = 0;
+    std::uint32_t aux = 0;
+  };
+  std::vector<std::vector<Choice>> choice(num_masks, std::vector<Choice>(n));
+
+  for (std::size_t b = 0; b < bits; ++b) {
+    const VertexId term = terms[b + 1];
+    const std::size_t mask = std::size_t{1} << b;
+    for (VertexId v = 0; v < n; ++v) {
+      dp[mask][v] = sp[term].dist[v];
+      choice[mask][v] = Choice{0, static_cast<std::uint32_t>(term)};
+    }
+  }
+
+  for (std::size_t mask = 1; mask < num_masks; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // singletons already done
+    auto& row = dp[mask];
+    // Merge two subtrees at v.
+    for (std::size_t sub = (mask - 1) & mask; sub != 0; sub = (sub - 1) & mask) {
+      const std::size_t rest = mask ^ sub;
+      if (sub > rest) continue;  // each unordered split once
+      const auto& a = dp[sub];
+      const auto& b = dp[rest];
+      for (VertexId v = 0; v < n; ++v) {
+        const double cand = a[v] + b[v];
+        if (cand < row[v]) {
+          row[v] = cand;
+          choice[mask][v] = Choice{1, static_cast<std::uint32_t>(sub)};
+        }
+      }
+    }
+    // Extend through the metric closure: one relaxation round suffices
+    // because sp[u].dist is already the full shortest-path metric.
+    for (VertexId v = 0; v < n; ++v) {
+      for (VertexId u = 0; u < n; ++u) {
+        if (u == v || dp[mask][u] >= kInfiniteDistance) continue;
+        const double cand = dp[mask][u] + sp[u].dist[v];
+        if (cand < row[v]) {
+          row[v] = cand;
+          choice[mask][v] = Choice{2, static_cast<std::uint32_t>(u)};
+        }
+      }
+    }
+  }
+
+  // Reconstruct the edge set.
+  std::unordered_set<EdgeId> edge_set;
+  struct Frame {
+    std::size_t mask;
+    VertexId v;
+  };
+  std::vector<Frame> stack{{num_masks - 1, terms[0]}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Choice c = choice[f.mask][f.v];
+    switch (c.kind) {
+      case 0: {  // base: path terminal -> v
+        for (EdgeId e : path_edges(sp[c.aux], f.v)) edge_set.insert(e);
+        break;
+      }
+      case 1: {  // merge at v
+        stack.push_back(Frame{c.aux, f.v});
+        stack.push_back(Frame{f.mask ^ c.aux, f.v});
+        break;
+      }
+      case 2: {  // extend u -> v
+        for (EdgeId e : path_edges(sp[c.aux], f.v)) edge_set.insert(e);
+        stack.push_back(Frame{f.mask, static_cast<VertexId>(c.aux)});
+        break;
+      }
+      default:
+        throw std::logic_error("exact_steiner: corrupt choice table");
+    }
+  }
+
+  std::vector<EdgeId> chosen(edge_set.begin(), edge_set.end());
+  std::sort(chosen.begin(), chosen.end());
+  // Ties can make the reconstructed union contain a cycle of equal total
+  // weight; clean it up into a tree of the same (optimal) weight.
+  MstResult cleaned = kruskal_mst_subset(g, chosen);
+  result.edges = prune_leaves(g, std::move(cleaned.edges), terms);
+  result.weight = edges_weight(g, result.edges);
+  result.connected = true;
+  return result;
+}
+
+bool is_steiner_tree(const Graph& g, std::span<const EdgeId> edges,
+                     std::span<const VertexId> terminals) {
+  const std::vector<VertexId> terms = distinct_terminals(g, terminals);
+  if (terms.size() == 1) return edges.empty();
+
+  UnionFind uf(g.num_vertices());
+  std::vector<bool> touched(g.num_vertices(), false);
+  for (EdgeId e : edges) {
+    if (!g.has_edge(e)) return false;
+    const Edge& ed = g.edge(e);
+    if (!uf.unite(ed.u, ed.v)) return false;  // cycle (or self-loop)
+    touched[ed.u] = true;
+    touched[ed.v] = true;
+  }
+  for (VertexId t : terms) {
+    if (!touched[t]) return false;
+    if (uf.find(t) != uf.find(terms[0])) return false;
+  }
+  // Connected over touched vertices: #touched vertices == #edges + 1.
+  std::size_t touched_count = 0;
+  for (bool b : touched) touched_count += b ? 1 : 0;
+  return touched_count == edges.size() + 1;
+}
+
+}  // namespace nfvm::graph

@@ -1,0 +1,28 @@
+// Edge-filtered subgraph copies.
+//
+// Capacity-aware algorithms (Appro_Multi_Cap, Online_CP, SP) operate on the
+// subgraph of links with enough residual bandwidth. Vertex ids are preserved
+// (V' = V in the paper's construction); edge ids are remapped and the mapping
+// back to the original graph is retained.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nfvm::graph {
+
+struct Subgraph {
+  Graph graph;
+  /// original_edge[e'] = id in the source graph of subgraph edge e'.
+  std::vector<EdgeId> original_edge;
+
+  /// Maps a list of subgraph edge ids back to source-graph ids.
+  std::vector<EdgeId> to_original(const std::vector<EdgeId>& sub_edges) const;
+};
+
+/// Copies `g` keeping only edges with `keep_edge(e) == true`.
+Subgraph filter_edges(const Graph& g, const std::function<bool(EdgeId)>& keep_edge);
+
+}  // namespace nfvm::graph

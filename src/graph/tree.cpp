@@ -1,0 +1,157 @@
+#include "graph/tree.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace nfvm::graph {
+
+RootedTree::RootedTree(const Graph& g, std::span<const EdgeId> tree_edges,
+                       VertexId root)
+    : graph_(&g), root_(root) {
+  if (!g.has_vertex(root)) throw std::out_of_range("RootedTree: invalid root");
+  const std::size_t n = g.num_vertices();
+  parent_.assign(n, kInvalidVertex);
+  parent_edge_.assign(n, kInvalidEdge);
+  depth_.assign(n, 0);
+  dist_.assign(n, 0.0);
+  present_.assign(n, false);
+
+  // Adjacency restricted to tree edges.
+  std::vector<std::vector<Adjacency>> adj(n);
+  for (EdgeId e : tree_edges) {
+    const Edge& ed = g.edge(e);
+    if (ed.u == ed.v) throw std::invalid_argument("RootedTree: self-loop in tree edges");
+    adj[ed.u].push_back(Adjacency{ed.v, e});
+    adj[ed.v].push_back(Adjacency{ed.u, e});
+  }
+
+  // BFS orientation from the root.
+  std::queue<VertexId> queue;
+  present_[root] = true;
+  queue.push(root);
+  std::size_t visited_edges = 0;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    order_.push_back(u);
+    for (const Adjacency& a : adj[u]) {
+      if (a.edge == parent_edge_[u]) continue;
+      if (present_[a.neighbor]) {
+        throw std::invalid_argument("RootedTree: edges contain a cycle");
+      }
+      present_[a.neighbor] = true;
+      parent_[a.neighbor] = u;
+      parent_edge_[a.neighbor] = a.edge;
+      depth_[a.neighbor] = depth_[u] + 1;
+      dist_[a.neighbor] = dist_[u] + g.edge(a.edge).weight;
+      queue.push(a.neighbor);
+      ++visited_edges;
+    }
+  }
+  // Edges touching the root's component but unused would indicate a cycle;
+  // detected above. Edges fully outside the component are allowed (forest).
+  (void)visited_edges;
+
+  // Binary lifting tables.
+  std::size_t max_depth = 0;
+  for (VertexId v : order_) max_depth = std::max(max_depth, depth_[v]);
+  std::size_t levels = 1;
+  while ((std::size_t{1} << levels) <= std::max<std::size_t>(max_depth, 1)) ++levels;
+  up_.assign(levels, std::vector<VertexId>(n, kInvalidVertex));
+  up_[0] = parent_;
+  for (std::size_t k = 1; k < levels; ++k) {
+    for (VertexId v : order_) {
+      const VertexId mid = up_[k - 1][v];
+      up_[k][v] = mid == kInvalidVertex ? kInvalidVertex : up_[k - 1][mid];
+    }
+  }
+}
+
+void RootedTree::check_present(VertexId v) const {
+  if (v >= present_.size() || !present_[v]) {
+    throw std::out_of_range("RootedTree: vertex not in the rooted tree");
+  }
+}
+
+bool RootedTree::contains(VertexId v) const {
+  return v < present_.size() && present_[v];
+}
+
+VertexId RootedTree::parent(VertexId v) const {
+  check_present(v);
+  return parent_[v];
+}
+
+EdgeId RootedTree::parent_edge(VertexId v) const {
+  check_present(v);
+  return parent_edge_[v];
+}
+
+std::size_t RootedTree::depth(VertexId v) const {
+  check_present(v);
+  return depth_[v];
+}
+
+double RootedTree::dist_from_root(VertexId v) const {
+  check_present(v);
+  return dist_[v];
+}
+
+VertexId RootedTree::lca(VertexId a, VertexId b) const {
+  check_present(a);
+  check_present(b);
+  if (depth_[a] < depth_[b]) std::swap(a, b);
+  std::size_t diff = depth_[a] - depth_[b];
+  for (std::size_t k = 0; diff != 0; ++k, diff >>= 1) {
+    if (diff & 1) a = up_[k][a];
+  }
+  if (a == b) return a;
+  for (std::size_t k = up_.size(); k-- > 0;) {
+    if (up_[k][a] != up_[k][b]) {
+      a = up_[k][a];
+      b = up_[k][b];
+    }
+  }
+  return parent_[a];
+}
+
+VertexId RootedTree::lca(std::span<const VertexId> vertices) const {
+  if (vertices.empty()) throw std::invalid_argument("RootedTree::lca: empty span");
+  VertexId acc = vertices.front();
+  for (std::size_t i = 1; i < vertices.size(); ++i) acc = lca(acc, vertices[i]);
+  return acc;
+}
+
+bool RootedTree::is_ancestor(VertexId ancestor, VertexId v) const {
+  return lca(ancestor, v) == ancestor;
+}
+
+std::vector<VertexId> RootedTree::path_vertices(VertexId a, VertexId b) const {
+  const VertexId meet = lca(a, b);
+  std::vector<VertexId> up_part;
+  for (VertexId v = a; v != meet; v = parent_[v]) up_part.push_back(v);
+  up_part.push_back(meet);
+  std::vector<VertexId> down_part;
+  for (VertexId v = b; v != meet; v = parent_[v]) down_part.push_back(v);
+  std::reverse(down_part.begin(), down_part.end());
+  up_part.insert(up_part.end(), down_part.begin(), down_part.end());
+  return up_part;
+}
+
+std::vector<EdgeId> RootedTree::path_edges(VertexId a, VertexId b) const {
+  const VertexId meet = lca(a, b);
+  std::vector<EdgeId> edges;
+  for (VertexId v = a; v != meet; v = parent_[v]) edges.push_back(parent_edge_[v]);
+  std::vector<EdgeId> down;
+  for (VertexId v = b; v != meet; v = parent_[v]) down.push_back(parent_edge_[v]);
+  edges.insert(edges.end(), down.rbegin(), down.rend());
+  return edges;
+}
+
+double RootedTree::path_weight(VertexId a, VertexId b) const {
+  const VertexId meet = lca(a, b);
+  return dist_[a] + dist_[b] - 2.0 * dist_[meet];
+}
+
+}  // namespace nfvm::graph

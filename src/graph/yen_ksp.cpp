@@ -1,0 +1,105 @@
+#include "graph/yen_ksp.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace nfvm::graph {
+namespace {
+
+WeightedPath to_weighted_path(const Graph& g, const ShortestPaths& sp,
+                              VertexId target) {
+  WeightedPath path;
+  path.vertices = path_vertices(sp, target);
+  path.edges = path_edges(sp, target);
+  for (EdgeId e : path.edges) path.weight += g.weight(e);
+  return path;
+}
+
+}  // namespace
+
+std::vector<WeightedPath> yen_k_shortest_paths(const Graph& g, VertexId source,
+                                               VertexId target, std::size_t k) {
+  if (k == 0) throw std::invalid_argument("yen_k_shortest_paths: k must be >= 1");
+  if (!g.has_vertex(source) || !g.has_vertex(target)) {
+    throw std::out_of_range("yen_k_shortest_paths: invalid endpoint");
+  }
+  if (source == target) {
+    throw std::invalid_argument("yen_k_shortest_paths: source == target");
+  }
+
+  std::vector<WeightedPath> result;
+  {
+    const ShortestPaths sp = dijkstra(g, source);
+    if (!sp.reachable(target)) return result;
+    result.push_back(to_weighted_path(g, sp, target));
+  }
+
+  // Candidate pool ordered by (weight, vertex sequence) for determinism.
+  const auto candidate_less = [](const WeightedPath& a, const WeightedPath& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    return a.vertices < b.vertices;
+  };
+  std::set<WeightedPath, decltype(candidate_less)> candidates(candidate_less);
+  std::set<std::vector<VertexId>> seen;  // vertex sequences already produced
+  seen.insert(result[0].vertices);
+
+  while (result.size() < k) {
+    const WeightedPath& last = result.back();
+    // Deviate at every spur vertex of the previous path.
+    for (std::size_t spur = 0; spur + 1 < last.vertices.size(); ++spur) {
+      const VertexId spur_vertex = last.vertices[spur];
+      // Root = last.vertices[0..spur]; its weight.
+      double root_weight = 0.0;
+      for (std::size_t i = 0; i < spur; ++i) root_weight += g.weight(last.edges[i]);
+
+      // Banned edges: the next edge of every accepted path sharing the root.
+      std::set<EdgeId> banned_edges;
+      for (const WeightedPath& p : result) {
+        if (p.vertices.size() <= spur) continue;
+        if (!std::equal(p.vertices.begin(), p.vertices.begin() + spur + 1,
+                        last.vertices.begin())) {
+          continue;
+        }
+        if (p.edges.size() > spur) banned_edges.insert(p.edges[spur]);
+      }
+      // Banned vertices: the root path minus the spur vertex (looplessness).
+      std::vector<bool> banned_vertex(g.num_vertices(), false);
+      for (std::size_t i = 0; i < spur; ++i) banned_vertex[last.vertices[i]] = true;
+
+      const ShortestPaths sp = dijkstra_filtered(g, spur_vertex, [&](EdgeId e) {
+        if (banned_edges.count(e) != 0) return false;
+        const Edge& ed = g.edge(e);
+        return !banned_vertex[ed.u] && !banned_vertex[ed.v];
+      });
+      if (!sp.reachable(target)) continue;
+
+      WeightedPath spur_path = to_weighted_path(g, sp, target);
+      WeightedPath full;
+      full.vertices.assign(last.vertices.begin(), last.vertices.begin() + spur);
+      full.vertices.insert(full.vertices.end(), spur_path.vertices.begin(),
+                           spur_path.vertices.end());
+      full.edges.assign(last.edges.begin(), last.edges.begin() + spur);
+      full.edges.insert(full.edges.end(), spur_path.edges.begin(),
+                        spur_path.edges.end());
+      full.weight = root_weight + spur_path.weight;
+      if (seen.count(full.vertices) == 0) candidates.insert(std::move(full));
+    }
+
+    // Pop the best unseen candidate.
+    bool advanced = false;
+    while (!candidates.empty()) {
+      WeightedPath best = *candidates.begin();
+      candidates.erase(candidates.begin());
+      if (seen.insert(best.vertices).second) {
+        result.push_back(std::move(best));
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;  // the pool is exhausted
+  }
+  return result;
+}
+
+}  // namespace nfvm::graph

@@ -1,0 +1,32 @@
+// Yen's algorithm for the k shortest loopless paths between two vertices.
+//
+// Used for path-diversity analysis (how much slack a topology has around its
+// shortest routes) and as a building block for multipath extensions. Runs
+// Dijkstra O(k·n) times in the worst case; intended for k up to a few tens.
+#pragma once
+
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+
+namespace nfvm::graph {
+
+struct WeightedPath {
+  /// Vertices from source to target inclusive.
+  std::vector<VertexId> vertices;
+  /// Edges in travel order (one fewer than vertices).
+  std::vector<EdgeId> edges;
+  double weight = 0.0;
+};
+
+/// Returns up to `k` loopless shortest paths from `source` to `target` in
+/// non-decreasing weight order (ties broken deterministically by the
+/// deviation structure). Fewer than `k` paths are returned when the graph
+/// does not contain that many distinct loopless paths; empty when target is
+/// unreachable. Throws std::invalid_argument for k == 0 or source == target,
+/// std::out_of_range for invalid vertices.
+std::vector<WeightedPath> yen_k_shortest_paths(const Graph& g, VertexId source,
+                                               VertexId target, std::size_t k);
+
+}  // namespace nfvm::graph

@@ -1,0 +1,90 @@
+#include "io/dot.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace nfvm::io {
+namespace {
+
+void emit_node(std::ostringstream& os, const topo::Topology& topo,
+               graph::VertexId v, const std::string& extra,
+               const DotOptions& options) {
+  os << "  n" << v << " [label=\"" << v << "\"";
+  if (topo.is_server(v)) os << ", shape=box";
+  if (!extra.empty()) os << ", " << extra;
+  if (options.use_coordinates && !topo.coords.empty()) {
+    os << ", pos=\"" << topo.coords[v].x * 10.0 << "," << topo.coords[v].y * 10.0
+       << "!\"";
+  }
+  os << "];\n";
+}
+
+}  // namespace
+
+std::string to_dot(const topo::Topology& topo, const DotOptions& options) {
+  std::ostringstream os;
+  os << "graph \"" << (topo.name.empty() ? "topology" : topo.name) << "\" {\n";
+  os << "  node [fontsize=10];\n";
+  for (graph::VertexId v = 0; v < topo.num_switches(); ++v) {
+    emit_node(os, topo, v, "", options);
+  }
+  for (graph::EdgeId e = 0; e < topo.num_links(); ++e) {
+    const graph::Edge& ed = topo.graph.edge(e);
+    os << "  n" << ed.u << " -- n" << ed.v;
+    if (options.label_bandwidth && e < topo.link_bandwidth.size()) {
+      os << " [label=\"" << topo.link_bandwidth[e] << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const topo::Topology& topo, const nfv::Request& request,
+                   const core::PseudoMulticastTree& tree,
+                   const DotOptions& options) {
+  std::map<graph::EdgeId, int> uses;
+  for (const auto& [e, mult] : tree.edge_uses) {
+    if (!topo.graph.has_edge(e)) {
+      throw std::invalid_argument("to_dot: tree references unknown edge");
+    }
+    uses.emplace(e, mult);
+  }
+  const std::set<graph::VertexId> dests(request.destinations.begin(),
+                                        request.destinations.end());
+  const std::set<graph::VertexId> chain_servers(tree.servers.begin(),
+                                                tree.servers.end());
+
+  std::ostringstream os;
+  os << "graph \"" << (topo.name.empty() ? "topology" : topo.name) << "\" {\n";
+  os << "  node [fontsize=10];\n";
+  for (graph::VertexId v = 0; v < topo.num_switches(); ++v) {
+    std::string extra;
+    if (v == request.source) {
+      extra = "style=filled, fillcolor=gold";
+    } else if (chain_servers.count(v) != 0) {
+      extra = "style=filled, fillcolor=lightblue";
+    } else if (dests.count(v) != 0) {
+      extra = "style=filled, fillcolor=palegreen";
+    }
+    emit_node(os, topo, v, extra, options);
+  }
+  for (graph::EdgeId e = 0; e < topo.num_links(); ++e) {
+    const graph::Edge& ed = topo.graph.edge(e);
+    os << "  n" << ed.u << " -- n" << ed.v;
+    const auto it = uses.find(e);
+    if (it != uses.end()) {
+      os << " [penwidth=2.5, color=crimson, label=\"x" << it->second << "\"]";
+    } else {
+      os << " [color=gray70]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace nfvm::io

@@ -1,0 +1,32 @@
+// Graphviz (DOT) export for topologies and pseudo-multicast trees.
+//
+// Render with e.g. `neato -Tsvg topo.dot -o topo.svg`. Server switches are
+// drawn as boxes; when a pseudo-multicast tree is supplied, its links are
+// bold and labelled with traversal multiplicities, the source/destinations/
+// chain servers are color-coded.
+#pragma once
+
+#include <string>
+
+#include "core/pseudo_tree.h"
+#include "topology/topology.h"
+
+namespace nfvm::io {
+
+struct DotOptions {
+  /// Use stored coordinates as fixed node positions (neato -n friendly).
+  bool use_coordinates = true;
+  /// Label links with their bandwidth capacity.
+  bool label_bandwidth = false;
+};
+
+/// DOT rendering of the bare topology.
+std::string to_dot(const topo::Topology& topo, const DotOptions& options = {});
+
+/// DOT rendering with one request's pseudo-multicast tree overlaid.
+/// Throws std::invalid_argument if the tree references unknown links.
+std::string to_dot(const topo::Topology& topo, const nfv::Request& request,
+                   const core::PseudoMulticastTree& tree,
+                   const DotOptions& options = {});
+
+}  // namespace nfvm::io

@@ -1,0 +1,42 @@
+// NFV-enabled multicast requests: r_k = (s_k, D_k; b_k, SC_k).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "nfv/service_chain.h"
+
+namespace nfvm::nfv {
+
+struct Request {
+  /// Monotonic request id (k in the paper).
+  std::uint64_t id = 0;
+  /// Source switch s_k.
+  graph::VertexId source = graph::kInvalidVertex;
+  /// Destination switches D_k (non-empty, distinct, none equal to source).
+  std::vector<graph::VertexId> destinations;
+  /// Demanded bandwidth b_k, Mbps.
+  double bandwidth_mbps = 0.0;
+  /// Service chain SC_k.
+  ServiceChain chain;
+  /// Optional end-to-end delay bound, ms (source -> any destination,
+  /// including chain processing). 0 = unconstrained - the base paper's
+  /// setting; positive values enable the delay-constrained extension.
+  double max_delay_ms = 0.0;
+
+  bool has_delay_bound() const noexcept { return max_delay_ms > 0.0; }
+
+  /// C_v(SC_k) under the consolidation model: demand is server-independent.
+  double compute_demand_mhz() const { return chain.compute_demand_mhz(bandwidth_mbps); }
+
+  std::string to_string() const;
+};
+
+/// Validates the request against a graph: all vertices exist, destinations
+/// are distinct and exclude the source, bandwidth positive, chain non-empty.
+/// Throws std::invalid_argument describing the first violation.
+void validate_request(const Request& request, const graph::Graph& g);
+
+}  // namespace nfvm::nfv

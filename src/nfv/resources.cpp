@@ -1,0 +1,172 @@
+#include "nfv/resources.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace nfvm::nfv {
+namespace {
+
+constexpr double kSlack = 1e-9;  // float tolerance for capacity checks
+
+std::vector<std::pair<std::size_t, double>> aggregate_impl(
+    const std::vector<std::pair<std::uint32_t, double>>& entries) {
+  std::map<std::size_t, double> acc;
+  for (const auto& [id, amount] : entries) {
+    if (!(amount >= 0)) {
+      throw std::invalid_argument("resources: negative footprint amount");
+    }
+    acc[id] += amount;
+  }
+  return {acc.begin(), acc.end()};
+}
+
+}  // namespace
+
+ResourceState::ResourceState(const topo::Topology& topo)
+    : bandwidth_capacity_(topo.link_bandwidth),
+      residual_bandwidth_(topo.link_bandwidth),
+      compute_capacity_(topo.server_compute),
+      residual_compute_(topo.server_compute),
+      table_capacity_(topo.switch_table_capacity),
+      residual_table_(topo.switch_table_capacity) {
+  if (bandwidth_capacity_.size() != topo.num_links() ||
+      compute_capacity_.size() != topo.num_switches()) {
+    throw std::invalid_argument("ResourceState: topology capacities not assigned");
+  }
+}
+
+double ResourceState::bandwidth_utilization(graph::EdgeId e) const {
+  const double cap = bandwidth_capacity_.at(e);
+  return cap <= 0 ? 0.0 : 1.0 - residual_bandwidth_.at(e) / cap;
+}
+
+double ResourceState::compute_utilization(graph::VertexId v) const {
+  const double cap = compute_capacity_.at(v);
+  return cap <= 0 ? 0.0 : 1.0 - residual_compute_.at(v) / cap;
+}
+
+std::vector<std::pair<std::size_t, double>> ResourceState::aggregate(
+    const std::vector<std::pair<graph::EdgeId, double>>& entries) {
+  return aggregate_impl(entries);
+}
+
+std::vector<std::pair<std::size_t, double>> ResourceState::aggregate_v(
+    const std::vector<std::pair<graph::VertexId, double>>& entries) {
+  return aggregate_impl(entries);
+}
+
+double ResourceState::residual_table_entries(graph::VertexId v) const {
+  if (!tracks_tables()) return std::numeric_limits<double>::infinity();
+  return residual_table_.at(v);
+}
+
+double ResourceState::table_capacity(graph::VertexId v) const {
+  if (!tracks_tables()) return std::numeric_limits<double>::infinity();
+  return table_capacity_.at(v);
+}
+
+namespace {
+std::vector<std::pair<std::size_t, double>> aggregate_tables(
+    const std::vector<graph::VertexId>& entries) {
+  std::map<std::size_t, double> acc;
+  for (graph::VertexId v : entries) acc[v] += 1.0;
+  return {acc.begin(), acc.end()};
+}
+}  // namespace
+
+bool ResourceState::can_allocate(const Footprint& fp) const {
+  for (const auto& [e, amount] : aggregate(fp.bandwidth)) {
+    if (amount > residual_bandwidth_.at(e) + kSlack) return false;
+  }
+  for (const auto& [v, amount] : aggregate_v(fp.compute)) {
+    if (amount > residual_compute_.at(v) + kSlack) return false;
+  }
+  if (tracks_tables()) {
+    for (const auto& [v, amount] : aggregate_tables(fp.table_entries)) {
+      if (amount > residual_table_.at(v) + kSlack) return false;
+    }
+  }
+  return true;
+}
+
+void ResourceState::allocate(const Footprint& fp) {
+  const auto bw = aggregate(fp.bandwidth);
+  const auto cp = aggregate_v(fp.compute);
+  const auto tb = tracks_tables() ? aggregate_tables(fp.table_entries)
+                                  : std::vector<std::pair<std::size_t, double>>{};
+  for (const auto& [e, amount] : bw) {
+    if (amount > residual_bandwidth_.at(e) + kSlack) {
+      throw std::runtime_error("ResourceState::allocate: bandwidth overflow");
+    }
+  }
+  for (const auto& [v, amount] : cp) {
+    if (amount > residual_compute_.at(v) + kSlack) {
+      throw std::runtime_error("ResourceState::allocate: compute overflow");
+    }
+  }
+  for (const auto& [v, amount] : tb) {
+    if (amount > residual_table_.at(v) + kSlack) {
+      throw std::runtime_error("ResourceState::allocate: table overflow");
+    }
+  }
+  for (const auto& [e, amount] : bw) {
+    residual_bandwidth_[e] = std::max(0.0, residual_bandwidth_[e] - amount);
+  }
+  for (const auto& [v, amount] : cp) {
+    residual_compute_[v] = std::max(0.0, residual_compute_[v] - amount);
+  }
+  for (const auto& [v, amount] : tb) {
+    residual_table_[v] = std::max(0.0, residual_table_[v] - amount);
+  }
+}
+
+void ResourceState::release(const Footprint& fp) {
+  const auto bw = aggregate(fp.bandwidth);
+  const auto cp = aggregate_v(fp.compute);
+  const auto tb = tracks_tables() ? aggregate_tables(fp.table_entries)
+                                  : std::vector<std::pair<std::size_t, double>>{};
+  for (const auto& [e, amount] : bw) {
+    if (residual_bandwidth_.at(e) + amount > bandwidth_capacity_[e] + kSlack) {
+      throw std::runtime_error("ResourceState::release: bandwidth over capacity");
+    }
+  }
+  for (const auto& [v, amount] : cp) {
+    if (residual_compute_.at(v) + amount > compute_capacity_[v] + kSlack) {
+      throw std::runtime_error("ResourceState::release: compute over capacity");
+    }
+  }
+  for (const auto& [v, amount] : tb) {
+    if (residual_table_.at(v) + amount > table_capacity_[v] + kSlack) {
+      throw std::runtime_error("ResourceState::release: table over capacity");
+    }
+  }
+  for (const auto& [e, amount] : bw) {
+    residual_bandwidth_[e] = std::min(bandwidth_capacity_[e], residual_bandwidth_[e] + amount);
+  }
+  for (const auto& [v, amount] : cp) {
+    residual_compute_[v] = std::min(compute_capacity_[v], residual_compute_[v] + amount);
+  }
+  for (const auto& [v, amount] : tb) {
+    residual_table_[v] = std::min(table_capacity_[v], residual_table_[v] + amount);
+  }
+}
+
+double ResourceState::total_allocated_bandwidth() const {
+  double total = 0.0;
+  for (std::size_t e = 0; e < residual_bandwidth_.size(); ++e) {
+    total += bandwidth_capacity_[e] - residual_bandwidth_[e];
+  }
+  return total;
+}
+
+double ResourceState::total_allocated_compute() const {
+  double total = 0.0;
+  for (std::size_t v = 0; v < residual_compute_.size(); ++v) {
+    total += compute_capacity_[v] - residual_compute_[v];
+  }
+  return total;
+}
+
+}  // namespace nfvm::nfv

@@ -1,0 +1,91 @@
+// Residual-resource bookkeeping for capacitated and online admission.
+//
+// Tracks C_v(k) (available computing at each server) and B_e(k) (available
+// bandwidth at each link) as requests are admitted and released. A
+// `Footprint` records exactly what one admitted request consumed so it can
+// be released symmetrically; bandwidth entries carry multiplicities because
+// pseudo-multicast trees may traverse a link more than once (tree pass +
+// backhaul detour).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "topology/topology.h"
+
+namespace nfvm::nfv {
+
+/// What one admitted request consumes.
+struct Footprint {
+  /// (link, Mbps) pairs; the same link may appear once with an aggregated
+  /// amount or multiple times - allocation sums entries.
+  std::vector<std::pair<graph::EdgeId, double>> bandwidth;
+  /// (server, MHz) pairs.
+  std::vector<std::pair<graph::VertexId, double>> compute;
+  /// Switches receiving one new forwarding-table (flow) entry for this
+  /// multicast group. Ignored when the topology does not track table
+  /// capacities. Duplicates aggregate like the other resources.
+  std::vector<graph::VertexId> table_entries;
+
+  bool empty() const noexcept {
+    return bandwidth.empty() && compute.empty() && table_entries.empty();
+  }
+};
+
+class ResourceState {
+ public:
+  /// Initializes residuals to the topology's full capacities.
+  explicit ResourceState(const topo::Topology& topo);
+
+  double bandwidth_capacity(graph::EdgeId e) const { return bandwidth_capacity_.at(e); }
+  double residual_bandwidth(graph::EdgeId e) const { return residual_bandwidth_.at(e); }
+  double compute_capacity(graph::VertexId v) const { return compute_capacity_.at(v); }
+  double residual_compute(graph::VertexId v) const { return residual_compute_.at(v); }
+
+  /// True when the topology declared forwarding-table capacities.
+  bool tracks_tables() const noexcept { return !table_capacity_.empty(); }
+  /// Residual flow entries at switch v; +infinity when not tracked.
+  double residual_table_entries(graph::VertexId v) const;
+  double table_capacity(graph::VertexId v) const;
+
+  /// Utilization in [0, 1]: 1 - residual/capacity.
+  double bandwidth_utilization(graph::EdgeId e) const;
+  double compute_utilization(graph::VertexId v) const;
+
+  std::size_t num_links() const noexcept { return residual_bandwidth_.size(); }
+  std::size_t num_switches() const noexcept { return residual_compute_.size(); }
+
+  /// True iff every entry of the footprint fits in the current residuals
+  /// (entries for the same resource are summed before checking).
+  bool can_allocate(const Footprint& fp) const;
+
+  /// Atomically consumes the footprint. Throws std::runtime_error (leaving
+  /// the state unchanged) if it does not fit, std::out_of_range on bad ids.
+  void allocate(const Footprint& fp);
+
+  /// Returns the footprint's resources. Throws std::runtime_error if a
+  /// release would exceed the capacity (double release), leaving the state
+  /// unchanged.
+  void release(const Footprint& fp);
+
+  /// Sum of allocated bandwidth over all links (Mbps).
+  double total_allocated_bandwidth() const;
+  /// Sum of allocated compute over all servers (MHz).
+  double total_allocated_compute() const;
+
+ private:
+  std::vector<double> bandwidth_capacity_;
+  std::vector<double> residual_bandwidth_;
+  std::vector<double> compute_capacity_;
+  std::vector<double> residual_compute_;
+  std::vector<double> table_capacity_;   // empty when not tracked
+  std::vector<double> residual_table_;
+
+  /// Aggregates footprint entries into dense (id -> amount) maps.
+  static std::vector<std::pair<std::size_t, double>> aggregate(
+      const std::vector<std::pair<graph::EdgeId, double>>& entries);
+  static std::vector<std::pair<std::size_t, double>> aggregate_v(
+      const std::vector<std::pair<graph::VertexId, double>>& entries);
+};
+
+}  // namespace nfvm::nfv

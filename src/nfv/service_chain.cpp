@@ -1,0 +1,60 @@
+#include "nfv/service_chain.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nfvm::nfv {
+
+ServiceChain::ServiceChain(std::vector<NetworkFunction> functions)
+    : functions_(std::move(functions)) {
+  if (functions_.empty()) {
+    throw std::invalid_argument("ServiceChain: must contain at least one NF");
+  }
+}
+
+double ServiceChain::compute_demand_mhz(double bandwidth_mbps) const {
+  if (!(bandwidth_mbps > 0)) {
+    throw std::invalid_argument("ServiceChain: bandwidth must be positive");
+  }
+  double total = 0.0;
+  for (NetworkFunction nf : functions_) {
+    total += compute_demand_per_100mbps(nf) * (bandwidth_mbps / 100.0);
+  }
+  return total;
+}
+
+double ServiceChain::processing_delay_ms() const {
+  double total = 0.0;
+  for (NetworkFunction nf : functions_) total += nfv::processing_delay_ms(nf);
+  return total;
+}
+
+std::string ServiceChain::to_string() const {
+  std::string out = "<";
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += nfv::to_string(functions_[i]);
+  }
+  out += ">";
+  return out;
+}
+
+ServiceChain random_service_chain(util::Rng& rng, std::size_t min_length,
+                                  std::size_t max_length) {
+  if (min_length == 0 || min_length > max_length ||
+      max_length > kNumNetworkFunctions) {
+    throw std::invalid_argument("random_service_chain: bad length bounds");
+  }
+  const std::size_t len = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(min_length),
+                      static_cast<std::int64_t>(max_length)));
+  std::vector<std::size_t> picks =
+      rng.sample_without_replacement(kNumNetworkFunctions, len);
+  std::sort(picks.begin(), picks.end());  // canonical NF order
+  std::vector<NetworkFunction> fns;
+  fns.reserve(len);
+  for (std::size_t p : picks) fns.push_back(kAllNetworkFunctions[p]);
+  return ServiceChain(std::move(fns));
+}
+
+}  // namespace nfvm::nfv

@@ -1,0 +1,50 @@
+// Service chains: an ordered sequence of network functions that every packet
+// of a request must traverse before reaching any destination (paper Fig. 2,
+// e.g. <NAT, Firewall, IDS>). Following the paper's consolidation assumption
+// (Section III-B), one server hosts a VM running the whole chain, so the
+// chain's computing demand is the sum over its functions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nfv/network_function.h"
+#include "util/rng.h"
+
+namespace nfvm::nfv {
+
+class ServiceChain {
+ public:
+  ServiceChain() = default;
+  /// Throws std::invalid_argument when `functions` is empty (every
+  /// NFV-enabled request has at least one NF).
+  explicit ServiceChain(std::vector<NetworkFunction> functions);
+
+  const std::vector<NetworkFunction>& functions() const noexcept { return functions_; }
+  std::size_t length() const noexcept { return functions_.size(); }
+  bool empty() const noexcept { return functions_.empty(); }
+
+  /// C_v(SC_k): total computing demand (MHz) to run this chain on one server
+  /// for a flow of `bandwidth_mbps`. Scales linearly with traffic rate.
+  double compute_demand_mhz(double bandwidth_mbps) const;
+
+  /// Total per-packet processing latency of the chain, ms (sum over NFs;
+  /// rate-independent). Used by the delay-constrained extension.
+  double processing_delay_ms() const;
+
+  /// "<NAT, Firewall, IDS>" formatting for logs and examples.
+  std::string to_string() const;
+
+  bool operator==(const ServiceChain&) const = default;
+
+ private:
+  std::vector<NetworkFunction> functions_;
+};
+
+/// Random chain: picks a length in [min_length, max_length] and that many
+/// distinct NFs, keeping the canonical order of kAllNetworkFunctions (a
+/// chain like <NAT, Firewall, IDS> is realistic; <IDS, NAT> is not).
+ServiceChain random_service_chain(util::Rng& rng, std::size_t min_length = 1,
+                                  std::size_t max_length = 3);
+
+}  // namespace nfvm::nfv

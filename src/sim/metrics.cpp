@@ -1,0 +1,3 @@
+#include "sim/metrics.h"
+
+// Header-only data for now; this TU anchors the library target.

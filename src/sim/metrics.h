@@ -1,0 +1,35 @@
+// Aggregated metrics of a simulation run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace nfvm::sim {
+
+struct SimulationMetrics {
+  std::size_t num_requests = 0;
+  std::size_t num_admitted = 0;
+  std::size_t num_rejected = 0;
+  /// Admission decisions in arrival order (true = admitted).
+  std::vector<bool> decisions;
+  /// Cumulative admitted count after each arrival (throughput-over-time,
+  /// the series plotted in the paper's Fig. 9).
+  std::vector<std::size_t> cumulative_admitted;
+  /// Implementation cost of each admitted request, in the algorithm's units.
+  util::SampleSet admitted_costs;
+  /// Per-request decision latency, seconds.
+  util::SampleSet decision_seconds;
+  /// Final resource utilization.
+  double final_bandwidth_utilization = 0.0;
+  double final_compute_utilization = 0.0;
+
+  double acceptance_ratio() const {
+    return num_requests == 0
+               ? 0.0
+               : static_cast<double>(num_admitted) / static_cast<double>(num_requests);
+  }
+};
+
+}  // namespace nfvm::sim

@@ -1,0 +1,50 @@
+// Random NFV-enabled multicast request generation following the paper's
+// evaluation settings (Section VI-A): random source and destinations, the
+// destination count bounded by D_max = ratio * |V| with the ratio drawn from
+// [0.05, 0.2] (or fixed), bandwidth uniform in [50, 200] Mbps, and a random
+// service chain over the five network functions.
+#pragma once
+
+#include <vector>
+
+#include "nfv/request.h"
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace nfvm::sim {
+
+struct RequestGenOptions {
+  /// Bounds for the per-request ratio D_max/|V|. Set both equal to fix it.
+  double min_dest_ratio = 0.05;
+  double max_dest_ratio = 0.20;
+  /// Bandwidth demand range, Mbps.
+  double min_bandwidth_mbps = 50.0;
+  double max_bandwidth_mbps = 200.0;
+  /// Service chain length bounds (1..5 distinct NFs).
+  std::size_t min_chain_length = 1;
+  std::size_t max_chain_length = 3;
+};
+
+class RequestGenerator {
+ public:
+  /// Throws std::invalid_argument for inconsistent options or a topology
+  /// too small to host source + one destination.
+  RequestGenerator(const topo::Topology& topo, util::Rng& rng,
+                   const RequestGenOptions& options = {});
+
+  /// Generates the next request (ids increase from 1). The destination count
+  /// is uniform in [1, max(1, floor(ratio * |V|))]; destinations are
+  /// distinct and exclude the source.
+  nfv::Request next();
+
+  /// Generates a whole arrival sequence.
+  std::vector<nfv::Request> sequence(std::size_t count);
+
+ private:
+  const topo::Topology* topo_;
+  util::Rng* rng_;
+  RequestGenOptions options_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace nfvm::sim

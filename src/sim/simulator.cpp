@@ -1,0 +1,145 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace nfvm::sim {
+
+SimulationMetrics run_online(core::OnlineAlgorithm& algorithm,
+                             std::span<const nfv::Request> requests,
+                             const SimulatorOptions& options) {
+  SimulationMetrics metrics;
+  metrics.num_requests = requests.size();
+  metrics.decisions.reserve(requests.size());
+  metrics.cumulative_admitted.reserve(requests.size());
+
+  for (const nfv::Request& request : requests) {
+    util::Stopwatch watch;
+    const core::AdmissionDecision decision = algorithm.process(request);
+    metrics.decision_seconds.add(watch.elapsed_seconds());
+
+    if (decision.admitted) {
+      if (options.validate_trees) {
+        std::string error;
+        if (!core::validate_pseudo_tree(algorithm.topology().graph, request,
+                                        decision.tree, &error)) {
+          throw std::logic_error("run_online: invalid pseudo-multicast tree for " +
+                                 request.to_string() + ": " + error);
+        }
+      }
+      ++metrics.num_admitted;
+      metrics.admitted_costs.add(decision.tree.cost);
+    } else {
+      ++metrics.num_rejected;
+    }
+    metrics.decisions.push_back(decision.admitted);
+    metrics.cumulative_admitted.push_back(metrics.num_admitted);
+  }
+
+  // Mean utilizations across links / servers at the end of the run.
+  const nfv::ResourceState& state = algorithm.resources();
+  double bw = 0.0;
+  for (graph::EdgeId e = 0; e < state.num_links(); ++e) {
+    bw += state.bandwidth_utilization(e);
+  }
+  metrics.final_bandwidth_utilization =
+      state.num_links() == 0 ? 0.0 : bw / static_cast<double>(state.num_links());
+  double cp = 0.0;
+  std::size_t servers = 0;
+  for (graph::VertexId v = 0; v < state.num_switches(); ++v) {
+    if (state.compute_capacity(v) > 0) {
+      cp += state.compute_utilization(v);
+      ++servers;
+    }
+  }
+  metrics.final_compute_utilization =
+      servers == 0 ? 0.0 : cp / static_cast<double>(servers);
+  return metrics;
+}
+
+}  // namespace nfvm::sim
+
+namespace nfvm::sim {
+
+std::vector<TimedRequest> make_poisson_workload(RequestGenerator& generator,
+                                                util::Rng& rng, std::size_t count,
+                                                const DynamicWorkloadOptions& options) {
+  if (!(options.arrival_rate > 0) || !(options.mean_duration > 0)) {
+    throw std::invalid_argument("make_poisson_workload: rates must be positive");
+  }
+  std::vector<TimedRequest> workload;
+  workload.reserve(count);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    clock += rng.exponential(options.arrival_rate);
+    TimedRequest tr;
+    tr.request = generator.next();
+    tr.arrival_time = clock;
+    tr.duration = rng.exponential(1.0 / options.mean_duration);
+    workload.push_back(std::move(tr));
+  }
+  return workload;
+}
+
+DynamicMetrics run_online_dynamic(core::OnlineAlgorithm& algorithm,
+                                  std::span<const TimedRequest> requests,
+                                  const SimulatorOptions& options) {
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    if (requests[i].arrival_time < requests[i - 1].arrival_time) {
+      throw std::invalid_argument("run_online_dynamic: arrivals not sorted");
+    }
+  }
+
+  DynamicMetrics metrics;
+  metrics.num_requests = requests.size();
+
+  // Departure queue: (departure_time, footprint). Earliest departure first.
+  struct Departure {
+    double time;
+    nfv::Footprint footprint;
+  };
+  const auto later = [](const Departure& a, const Departure& b) {
+    return a.time > b.time;
+  };
+  std::priority_queue<Departure, std::vector<Departure>, decltype(later)> active(later);
+
+  double active_sum = 0.0;
+  for (const TimedRequest& tr : requests) {
+    while (!active.empty() && active.top().time <= tr.arrival_time) {
+      algorithm.release(active.top().footprint);
+      active.pop();
+    }
+    const core::AdmissionDecision decision = algorithm.process(tr.request);
+    if (decision.admitted) {
+      if (options.validate_trees) {
+        std::string error;
+        if (!core::validate_pseudo_tree(algorithm.topology().graph, tr.request,
+                                        decision.tree, &error)) {
+          throw std::logic_error("run_online_dynamic: invalid tree for " +
+                                 tr.request.to_string() + ": " + error);
+        }
+      }
+      ++metrics.num_admitted;
+      metrics.admitted_costs.add(decision.tree.cost);
+      active.push(Departure{tr.arrival_time + tr.duration, decision.footprint});
+    } else {
+      ++metrics.num_rejected;
+    }
+    metrics.peak_active = std::max(metrics.peak_active, active.size());
+    active_sum += static_cast<double>(active.size());
+  }
+  metrics.mean_active = requests.empty()
+                            ? 0.0
+                            : active_sum / static_cast<double>(requests.size());
+  // Drain remaining departures so the algorithm's state returns to idle.
+  while (!active.empty()) {
+    algorithm.release(active.top().footprint);
+    active.pop();
+  }
+  return metrics;
+}
+
+}  // namespace nfvm::sim

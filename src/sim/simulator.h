@@ -1,0 +1,76 @@
+// Online admission simulator: feeds an arrival sequence to an online
+// algorithm, validates every admitted pseudo-multicast tree against the
+// physical topology, and aggregates metrics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/online.h"
+#include "sim/metrics.h"
+#include "sim/request_gen.h"
+
+namespace nfvm::sim {
+
+struct SimulatorOptions {
+  /// Validate every admitted tree with core::validate_pseudo_tree and throw
+  /// std::logic_error on a violation. Cheap; on by default.
+  bool validate_trees = true;
+};
+
+/// Runs the full sequence through `algorithm` (which carries resource state
+/// across calls). Returns the aggregated metrics.
+SimulationMetrics run_online(core::OnlineAlgorithm& algorithm,
+                             std::span<const nfv::Request> requests,
+                             const SimulatorOptions& options = {});
+
+/// A request with an arrival time and a holding duration - the dynamic
+/// workload model (the paper's throughput experiments keep admitted
+/// requests forever; real deployments release resources on departure, which
+/// OnlineAlgorithm::release supports and this simulator exercises).
+struct TimedRequest {
+  nfv::Request request;
+  /// Arrival instant (monotonically non-decreasing across a workload).
+  double arrival_time = 0.0;
+  /// Holding time; resources release at arrival_time + duration.
+  double duration = 0.0;
+};
+
+struct DynamicWorkloadOptions {
+  /// Poisson arrival rate (arrivals per unit time).
+  double arrival_rate = 1.0;
+  /// Mean of the exponential holding-time distribution.
+  double mean_duration = 20.0;
+};
+
+/// Draws `count` requests from `generator` with Poisson arrivals and
+/// exponential holding times from `rng`.
+std::vector<TimedRequest> make_poisson_workload(RequestGenerator& generator,
+                                                util::Rng& rng, std::size_t count,
+                                                const DynamicWorkloadOptions& options = {});
+
+struct DynamicMetrics {
+  std::size_t num_requests = 0;
+  std::size_t num_admitted = 0;
+  std::size_t num_rejected = 0;
+  /// Largest number of simultaneously active admitted requests.
+  std::size_t peak_active = 0;
+  /// Active count averaged over arrival instants.
+  double mean_active = 0.0;
+  util::SampleSet admitted_costs;
+
+  double acceptance_ratio() const {
+    return num_requests == 0
+               ? 0.0
+               : static_cast<double>(num_admitted) / static_cast<double>(num_requests);
+  }
+};
+
+/// Event-driven run: before each arrival, footprints of departed requests
+/// are released; then the arrival is offered to the algorithm. Requests must
+/// be sorted by arrival_time (throws std::invalid_argument otherwise).
+DynamicMetrics run_online_dynamic(core::OnlineAlgorithm& algorithm,
+                                  std::span<const TimedRequest> requests,
+                                  const SimulatorOptions& options = {});
+
+}  // namespace nfvm::sim

@@ -1,0 +1,126 @@
+#include "topology/geant.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nfvm::topo {
+namespace {
+
+// 40 PoPs. Coordinates are approximate (longitude, latitude) pairs used only
+// for plotting/debugging; the algorithms never read them.
+struct City {
+  const char* name;
+  double lon;
+  double lat;
+};
+
+constexpr std::array<City, 40> kCities = {{
+    {"Amsterdam", 4.9, 52.4},   {"Athens", 23.7, 38.0},
+    {"Belgrade", 20.5, 44.8},   {"Bratislava", 17.1, 48.1},
+    {"Brussels", 4.4, 50.8},    {"Bucharest", 26.1, 44.4},
+    {"Budapest", 19.0, 47.5},   {"Copenhagen", 12.6, 55.7},
+    {"Dublin", -6.3, 53.3},     {"Frankfurt", 8.7, 50.1},
+    {"Geneva", 6.1, 46.2},      {"Hamburg", 10.0, 53.6},
+    {"Helsinki", 24.9, 60.2},   {"Istanbul", 29.0, 41.0},
+    {"Kaunas", 23.9, 54.9},     {"Kiev", 30.5, 50.5},
+    {"Lisbon", -9.1, 38.7},     {"Ljubljana", 14.5, 46.1},
+    {"London", -0.1, 51.5},     {"Luxembourg", 6.1, 49.6},
+    {"Madrid", -3.7, 40.4},     {"Milan", 9.2, 45.5},
+    {"Moscow", 37.6, 55.8},     {"Nicosia", 33.4, 35.2},
+    {"Oslo", 10.8, 59.9},       {"Paris", 2.3, 48.9},
+    {"Poznan", 16.9, 52.4},     {"Prague", 14.4, 50.1},
+    {"Riga", 24.1, 56.9},       {"Rome", 12.5, 41.9},
+    {"Sofia", 23.3, 42.7},      {"Stockholm", 18.1, 59.3},
+    {"Tallinn", 24.8, 59.4},    {"TelAviv", 34.8, 32.1},
+    {"Vienna", 16.4, 48.2},     {"Vilnius", 25.3, 54.7},
+    {"Warsaw", 21.0, 52.2},     {"Zagreb", 16.0, 45.8},
+    {"Zurich", 8.5, 47.4},      {"Malta", 14.5, 35.9},
+}};
+
+// 61 PoP-to-PoP links (name pairs).
+constexpr std::array<std::pair<const char*, const char*>, 61> kLinks = {{
+    {"Amsterdam", "London"},     {"Amsterdam", "Frankfurt"},
+    {"Amsterdam", "Brussels"},   {"Amsterdam", "Hamburg"},
+    {"Amsterdam", "Copenhagen"}, {"Amsterdam", "Dublin"},
+    {"London", "Paris"},         {"London", "Dublin"},
+    {"London", "Madrid"},        {"London", "Lisbon"},
+    {"Paris", "Geneva"},         {"Paris", "Madrid"},
+    {"Paris", "Brussels"},       {"Paris", "Luxembourg"},
+    {"Frankfurt", "Geneva"},     {"Frankfurt", "Prague"},
+    {"Frankfurt", "Hamburg"},    {"Frankfurt", "Vienna"},
+    {"Frankfurt", "Luxembourg"}, {"Frankfurt", "Poznan"},
+    {"Frankfurt", "TelAviv"},    {"Geneva", "Milan"},
+    {"Geneva", "Zurich"},        {"Geneva", "Madrid"},
+    {"Zurich", "Milan"},         {"Zurich", "Vienna"},
+    {"Milan", "Rome"},           {"Milan", "Vienna"},
+    {"Rome", "Malta"},           {"Rome", "Athens"},
+    {"Athens", "Nicosia"},       {"Athens", "Sofia"},
+    {"Athens", "Istanbul"},      {"Sofia", "Bucharest"},
+    {"Sofia", "Belgrade"},       {"Bucharest", "Budapest"},
+    {"Bucharest", "Istanbul"},   {"Budapest", "Vienna"},
+    {"Budapest", "Zagreb"},      {"Budapest", "Bratislava"},
+    {"Belgrade", "Zagreb"},      {"Zagreb", "Ljubljana"},
+    {"Ljubljana", "Vienna"},     {"Vienna", "Prague"},
+    {"Vienna", "Bratislava"},    {"Prague", "Poznan"},
+    {"Poznan", "Warsaw"},        {"Warsaw", "Kaunas"},
+    {"Warsaw", "Kiev"},          {"Kaunas", "Vilnius"},
+    {"Kaunas", "Riga"},          {"Vilnius", "Kiev"},
+    {"Riga", "Tallinn"},         {"Tallinn", "Helsinki"},
+    {"Helsinki", "Stockholm"},   {"Stockholm", "Copenhagen"},
+    {"Stockholm", "Oslo"},       {"Stockholm", "Moscow"},
+    {"Oslo", "Copenhagen"},      {"Copenhagen", "Hamburg"},
+    {"TelAviv", "Nicosia"},
+}};
+
+// Nine servers at the major PoPs, as in [7]'s GÉANT middlebox setting.
+constexpr std::array<const char*, 9> kServers = {
+    "Amsterdam", "Frankfurt", "Geneva", "London", "Madrid",
+    "Milan",     "Paris",     "Prague", "Vienna",
+};
+
+}  // namespace
+
+const std::vector<std::string>& geant_city_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    out.reserve(kCities.size());
+    for (const City& c : kCities) out.emplace_back(c.name);
+    return out;
+  }();
+  return names;
+}
+
+Topology make_geant(util::Rng& rng, const CapacityOptions& options) {
+  Topology topo;
+  topo.name = "geant";
+  topo.graph = graph::Graph(kCities.size());
+  topo.coords.resize(kCities.size());
+
+  std::unordered_map<std::string, graph::VertexId> index;
+  for (std::size_t i = 0; i < kCities.size(); ++i) {
+    index.emplace(kCities[i].name, static_cast<graph::VertexId>(i));
+    // Normalize roughly into the unit square (lon in [-10, 40], lat [30, 62]).
+    topo.coords[i].x = (kCities[i].lon + 10.0) / 50.0;
+    topo.coords[i].y = (kCities[i].lat - 30.0) / 32.0;
+  }
+
+  for (const auto& [a, b] : kLinks) {
+    const auto ia = index.find(a);
+    const auto ib = index.find(b);
+    if (ia == index.end() || ib == index.end()) {
+      throw std::logic_error("make_geant: unknown city in link table");
+    }
+    topo.graph.add_edge(ia->second, ib->second, 1.0);
+  }
+
+  topo.servers.clear();
+  for (const char* s : kServers) topo.servers.push_back(index.at(s));
+  std::sort(topo.servers.begin(), topo.servers.end());
+
+  assign_capacities(topo, rng, options);
+  return topo;
+}
+
+}  // namespace nfvm::topo

@@ -1,0 +1,27 @@
+// GÉANT-like pan-European research network topology.
+//
+// The paper evaluates on the GÉANT topology [5] with nine servers (placement
+// as in Gushchin et al. [7]). The exact historical snapshot is not in the
+// paper; this module embeds a 40-node / 61-link approximation of the GÉANT
+// PoP-level map. The reproduction only depends on the scale (tens of nodes),
+// mesh-like core, and the server count, all of which are preserved
+// (documented in DESIGN.md, "Substitutions").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace nfvm::topo {
+
+/// Builds the GÉANT-like topology. City coordinates are rough lon/lat
+/// normalized into the unit square. Nine fixed servers at the major PoPs.
+/// Capacities are drawn from the default paper ranges using `rng`.
+Topology make_geant(util::Rng& rng, const CapacityOptions& options = {});
+
+/// City name of each GÉANT vertex (index == VertexId).
+const std::vector<std::string>& geant_city_names();
+
+}  // namespace nfvm::topo

@@ -1,0 +1,122 @@
+#include "topology/rocketfuel.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace nfvm::topo {
+
+Topology make_isp_like(const std::string& name, const IspOptions& options,
+                       util::Rng& rng, const CapacityOptions& caps) {
+  const std::size_t n = options.num_nodes;
+  const std::size_t m = options.num_links;
+  if (n < 2) throw std::invalid_argument("make_isp_like: need >= 2 nodes");
+  if (m < n - 1) throw std::invalid_argument("make_isp_like: too few links for connectivity");
+  if (m > n * (n - 1) / 2) throw std::invalid_argument("make_isp_like: too many links");
+  if (options.num_servers == 0 || options.num_servers > n) {
+    throw std::invalid_argument("make_isp_like: bad server count");
+  }
+
+  util::Rng wiring(options.structure_seed);
+
+  Topology topo;
+  topo.name = name;
+  topo.graph = graph::Graph(n);
+
+  std::vector<std::size_t> degree(n, 0);
+  // `endpoints` holds one entry per edge endpoint, so sampling an element
+  // uniformly samples a vertex proportionally to its degree (+1 smoothing
+  // below keeps isolated vertices attachable).
+  auto pick_preferential = [&](graph::VertexId exclude) {
+    // total weight = sum(degree) + n (the +1 smoothing per vertex)
+    std::size_t total = 0;
+    for (std::size_t d : degree) total += d + 1;
+    for (;;) {
+      std::uint64_t roll = wiring.next_below(total);
+      for (graph::VertexId v = 0; v < n; ++v) {
+        const std::size_t w = degree[v] + 1;
+        if (roll < w) {
+          if (v == exclude) break;  // resample
+          return v;
+        }
+        roll -= w;
+      }
+    }
+  };
+
+  // Spanning tree: attach node i to a degree-biased earlier node.
+  for (graph::VertexId i = 1; i < n; ++i) {
+    std::size_t total = 0;
+    for (graph::VertexId v = 0; v < i; ++v) total += degree[v] + 1;
+    std::uint64_t roll = wiring.next_below(total);
+    graph::VertexId target = 0;
+    for (graph::VertexId v = 0; v < i; ++v) {
+      const std::size_t w = degree[v] + 1;
+      if (roll < w) {
+        target = v;
+        break;
+      }
+      roll -= w;
+    }
+    topo.graph.add_edge(i, target, 1.0);
+    ++degree[i];
+    ++degree[target];
+  }
+
+  // Extra links with preferential endpoints, rejecting duplicates/self-loops.
+  std::size_t added = n - 1;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 200 * m + 10000;
+  while (added < m) {
+    if (++attempts > max_attempts) {
+      throw std::runtime_error("make_isp_like: could not place all links");
+    }
+    const graph::VertexId u = pick_preferential(graph::kInvalidVertex);
+    const graph::VertexId v = pick_preferential(u);
+    if (topo.graph.find_edge(u, v).has_value()) continue;
+    topo.graph.add_edge(u, v, 1.0);
+    ++degree[u];
+    ++degree[v];
+    ++added;
+  }
+
+  // Server placement: ISP middleboxes sit at well-connected PoPs; bias the
+  // sample toward high-degree switches using the *caller's* rng so different
+  // simulation runs see different placements on the same wiring.
+  std::vector<graph::VertexId> by_degree(n);
+  for (graph::VertexId v = 0; v < n; ++v) by_degree[v] = v;
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](graph::VertexId a, graph::VertexId b) {
+                     return degree[a] > degree[b];
+                   });
+  // Choose servers from the top half (uniformly within it).
+  const std::size_t pool = std::max<std::size_t>(options.num_servers, (n + 1) / 2);
+  const std::vector<std::size_t> picks =
+      rng.sample_without_replacement(std::min(pool, n), options.num_servers);
+  topo.servers.clear();
+  for (std::size_t p : picks) topo.servers.push_back(by_degree[p]);
+  std::sort(topo.servers.begin(), topo.servers.end());
+
+  assign_capacities(topo, rng, caps);
+  return topo;
+}
+
+Topology make_as1755(util::Rng& rng, const CapacityOptions& caps) {
+  IspOptions opts;
+  opts.num_nodes = 87;
+  opts.num_links = 161;
+  opts.num_servers = 9;
+  opts.structure_seed = 0x1755;
+  return make_isp_like("as1755", opts, rng, caps);
+}
+
+Topology make_as4755(util::Rng& rng, const CapacityOptions& caps) {
+  IspOptions opts;
+  opts.num_nodes = 121;
+  opts.num_links = 228;
+  opts.num_servers = 12;
+  opts.structure_seed = 0x4755;
+  return make_isp_like("as4755", opts, rng, caps);
+}
+
+}  // namespace nfvm::topo

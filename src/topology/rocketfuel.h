@@ -1,0 +1,41 @@
+// Rocketfuel-like ISP topologies (AS1755 "Ebone" and AS4755 "VSNL").
+//
+// The paper uses the Rocketfuel ISP maps [20], which are measurement data we
+// do not ship. We substitute deterministic synthetic topologies that match
+// the published PoP-level node/link counts (AS1755: 87/161, AS4755: 121/228)
+// and reproduce the heavy-tailed degree distribution of ISP graphs via
+// preferential attachment. The online/offline experiments depend on scale,
+// diameter and degree skew, which this construction matches (DESIGN.md,
+// "Substitutions").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace nfvm::topo {
+
+struct IspOptions {
+  std::size_t num_nodes = 0;
+  std::size_t num_links = 0;  // must be >= num_nodes - 1
+  std::size_t num_servers = 0;
+  /// Structure seed: the wiring is a pure function of this value, so the
+  /// "AS1755-like" graph is identical across runs and machines.
+  std::uint64_t structure_seed = 0;
+};
+
+/// Generates a connected preferential-attachment ISP-like topology.
+/// Capacities and the (degree-biased) server placement are drawn from `rng`.
+/// Throws std::invalid_argument on inconsistent options.
+Topology make_isp_like(const std::string& name, const IspOptions& options,
+                       util::Rng& rng, const CapacityOptions& caps = {});
+
+/// AS1755 (Ebone) stand-in: 87 nodes, 161 links, 9 servers.
+Topology make_as1755(util::Rng& rng, const CapacityOptions& caps = {});
+
+/// AS4755 (VSNL) stand-in: 121 nodes, 228 links, 12 servers.
+Topology make_as4755(util::Rng& rng, const CapacityOptions& caps = {});
+
+}  // namespace nfvm::topo

@@ -1,0 +1,94 @@
+#include "topology/transit_stub.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace nfvm::topo {
+
+Topology make_transit_stub(std::size_t num_nodes, util::Rng& rng,
+                           const TransitStubOptions& options) {
+  if (num_nodes < 8) {
+    throw std::invalid_argument("make_transit_stub: need >= 8 nodes");
+  }
+  if (options.mean_stub_size < 2) {
+    throw std::invalid_argument("make_transit_stub: mean_stub_size must be >= 2");
+  }
+
+  std::size_t transit = options.transit_nodes;
+  if (transit == 0) transit = std::max<std::size_t>(3, num_nodes / 20);
+  if (transit + options.mean_stub_size > num_nodes) {
+    throw std::invalid_argument("make_transit_stub: too many transit nodes");
+  }
+
+  Topology topo;
+  topo.name = "transit-stub-" + std::to_string(num_nodes);
+  topo.graph = graph::Graph(num_nodes);
+
+  // Vertex ids: [0, transit) are core switches; the rest are stub switches.
+  // Core: ring plus random chords so the core is 2-connected and small-world.
+  for (graph::VertexId t = 0; t < transit; ++t) {
+    topo.graph.add_edge(t, static_cast<graph::VertexId>((t + 1) % transit), 1.0);
+  }
+  if (transit > 3) {
+    for (graph::VertexId a = 0; a < transit; ++a) {
+      for (graph::VertexId b = a + 2; b < transit; ++b) {
+        if (a == 0 && b + 1 == transit) continue;  // ring edge already
+        if (rng.bernoulli(options.transit_extra_edge_prob)) {
+          topo.graph.add_edge(a, b, 1.0);
+        }
+      }
+    }
+  }
+
+  // Partition the remaining switches into stub domains of ~mean_stub_size,
+  // assigned round-robin to transit nodes.
+  const std::size_t stub_total = num_nodes - transit;
+  const std::size_t num_stubs =
+      std::max<std::size_t>(1, (stub_total + options.mean_stub_size / 2) /
+                                   options.mean_stub_size);
+  graph::VertexId next = static_cast<graph::VertexId>(transit);
+  for (std::size_t s = 0; s < num_stubs; ++s) {
+    const std::size_t remaining_stubs = num_stubs - s;
+    const std::size_t remaining_nodes = num_nodes - next;
+    // Spread remaining nodes evenly over remaining stubs.
+    const std::size_t size = remaining_nodes / remaining_stubs;
+    if (size == 0) break;
+    const graph::VertexId first = next;
+    next += static_cast<graph::VertexId>(size);
+
+    // Random spanning tree inside the stub: attach each node to a random
+    // earlier node of the same stub.
+    for (graph::VertexId v = first + 1; v < next; ++v) {
+      const graph::VertexId parent =
+          first + static_cast<graph::VertexId>(rng.next_below(v - first));
+      topo.graph.add_edge(v, parent, 1.0);
+    }
+    // Extra intra-stub edges.
+    for (graph::VertexId a = first; a < next; ++a) {
+      for (graph::VertexId b = a + 1; b < next; ++b) {
+        if (topo.graph.find_edge(a, b).has_value()) continue;
+        if (rng.bernoulli(options.stub_extra_edge_prob)) {
+          topo.graph.add_edge(a, b, 1.0);
+        }
+      }
+    }
+    // Uplink: one random stub switch to this stub's transit node.
+    const graph::VertexId gateway =
+        first + static_cast<graph::VertexId>(rng.next_below(next - first));
+    const graph::VertexId attach =
+        static_cast<graph::VertexId>(s % transit);
+    topo.graph.add_edge(gateway, attach, 1.0);
+  }
+
+  choose_servers_fraction(topo, options.server_fraction, rng);
+  if (options.assign_capacities) {
+    assign_capacities(topo, rng, options.capacities);
+  } else {
+    topo.link_bandwidth.assign(topo.num_links(), 0.0);
+    topo.server_compute.assign(topo.num_switches(), 0.0);
+  }
+  return topo;
+}
+
+}  // namespace nfvm::topo

@@ -1,0 +1,41 @@
+// GT-ITM transit-stub topologies (Zegura, Calvert, Bhattacharjee).
+//
+// GT-ITM [6], the generator the paper uses, is best known for its
+// hierarchical transit-stub model: a small, well-connected transit core with
+// stub domains (campus/edge networks) hanging off each transit node.
+// Destinations scattered across stub domains force multicast traffic through
+// the core repeatedly - the regime where placing several service-chain
+// instances (K > 1) visibly beats a single instance. The flat Waxman model
+// (waxman.h) complements this with homogeneous random graphs.
+#pragma once
+
+#include <cstddef>
+
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace nfvm::topo {
+
+struct TransitStubOptions {
+  /// Number of transit (core) switches; 0 = pick ~max(3, n/20).
+  std::size_t transit_nodes = 0;
+  /// Average stub-domain size; stub count adjusts to reach `num_nodes`.
+  std::size_t mean_stub_size = 6;
+  /// Probability of an extra intra-stub edge beyond the spanning tree,
+  /// per candidate pair.
+  double stub_extra_edge_prob = 0.25;
+  /// Extra transit-transit edges beyond the core ring, per candidate pair.
+  double transit_extra_edge_prob = 0.5;
+  /// Fraction of switches that get servers (paper: 10%).
+  double server_fraction = 0.10;
+  bool assign_capacities = true;
+  CapacityOptions capacities = {};
+};
+
+/// Generates a connected transit-stub topology with exactly `num_nodes`
+/// switches. Deterministic given `rng`. Throws std::invalid_argument for
+/// num_nodes < 8 or inconsistent options.
+Topology make_transit_stub(std::size_t num_nodes, util::Rng& rng,
+                           const TransitStubOptions& options = {});
+
+}  // namespace nfvm::topo

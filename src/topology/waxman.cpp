@@ -1,0 +1,95 @@
+#include "topology/waxman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/components.h"
+
+namespace nfvm::topo {
+namespace {
+
+double euclid(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+Topology make_waxman(std::size_t num_nodes, util::Rng& rng,
+                     const WaxmanOptions& options) {
+  if (num_nodes < 2) throw std::invalid_argument("make_waxman: need >= 2 nodes");
+  if (!(options.alpha > 0) || !(options.beta > 0) || options.beta > 1.0) {
+    throw std::invalid_argument("make_waxman: alpha must be > 0, beta in (0,1]");
+  }
+
+  Topology topo;
+  topo.name = "waxman-" + std::to_string(num_nodes);
+  topo.graph = graph::Graph(num_nodes);
+  topo.coords.resize(num_nodes);
+  for (Point& p : topo.coords) {
+    p.x = rng.uniform01();
+    p.y = rng.uniform01();
+  }
+
+  const double max_dist = std::sqrt(2.0);  // unit square diagonal
+  double beta = options.beta;
+  if (options.target_mean_degree > 0.0) {
+    // Rescale beta so that, for these coordinates, the expected edge count
+    // is target_mean_degree * n / 2.
+    double locality_sum = 0.0;
+    for (graph::VertexId u = 0; u < num_nodes; ++u) {
+      for (graph::VertexId v = u + 1; v < num_nodes; ++v) {
+        locality_sum += std::exp(
+            -euclid(topo.coords[u], topo.coords[v]) / (options.alpha * max_dist));
+      }
+    }
+    const double target_edges =
+        options.target_mean_degree * static_cast<double>(num_nodes) / 2.0;
+    beta = std::min(1.0, target_edges / std::max(locality_sum, 1e-12));
+  }
+  for (graph::VertexId u = 0; u < num_nodes; ++u) {
+    for (graph::VertexId v = u + 1; v < num_nodes; ++v) {
+      const double d = euclid(topo.coords[u], topo.coords[v]);
+      const double p = beta * std::exp(-d / (options.alpha * max_dist));
+      if (rng.bernoulli(p)) topo.graph.add_edge(u, v, 1.0);
+    }
+  }
+
+  // Connectivity repair: while more than one component, add the shortest
+  // candidate edge between the first component and any other.
+  for (;;) {
+    const graph::Components comps = graph::connected_components(topo.graph);
+    if (comps.count <= 1) break;
+    double best = std::numeric_limits<double>::infinity();
+    graph::VertexId bu = graph::kInvalidVertex;
+    graph::VertexId bv = graph::kInvalidVertex;
+    for (graph::VertexId u = 0; u < num_nodes; ++u) {
+      if (comps.component[u] != 0) continue;
+      for (graph::VertexId v = 0; v < num_nodes; ++v) {
+        if (comps.component[v] == 0) continue;
+        const double d = euclid(topo.coords[u], topo.coords[v]);
+        if (d < best) {
+          best = d;
+          bu = u;
+          bv = v;
+        }
+      }
+    }
+    topo.graph.add_edge(bu, bv, 1.0);
+  }
+
+  choose_servers_fraction(topo, options.server_fraction, rng);
+  if (options.assign_capacities) {
+    assign_capacities(topo, rng, options.capacities);
+  } else {
+    topo.link_bandwidth.assign(topo.num_links(), 0.0);
+    topo.server_compute.assign(topo.num_switches(), 0.0);
+  }
+  return topo;
+}
+
+}  // namespace nfvm::topo

@@ -1,0 +1,42 @@
+// GT-ITM-style random topologies (Waxman model).
+//
+// The paper generates its 50-250 node SDNs with GT-ITM [6]; GT-ITM's flat
+// random graphs are Waxman graphs: vertices are placed uniformly in the unit
+// square and an edge (u, v) exists with probability
+//     P(u, v) = beta * exp(-d(u, v) / (alpha * L)),
+// where d is Euclidean distance and L the maximum possible distance. We add
+// a connectivity repair pass (joining nearest components) because the
+// evaluation assumes connected SDNs.
+#pragma once
+
+#include <cstddef>
+
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace nfvm::topo {
+
+struct WaxmanOptions {
+  /// Locality parameter: larger alpha -> longer edges become likely.
+  double alpha = 0.25;
+  /// Density parameter: larger beta -> more edges overall.
+  double beta = 0.4;
+  /// When > 0, beta is rescaled (given the drawn coordinates) so the
+  /// expected mean degree equals this value - GT-ITM evaluations keep the
+  /// degree roughly constant across network sizes, whereas a fixed beta
+  /// densifies quadratically. The paper's sweeps use ~4.
+  double target_mean_degree = 0.0;
+  /// Fraction of switches that get servers (paper: 10%).
+  double server_fraction = 0.10;
+  /// Assign link/server capacities from the default paper ranges.
+  bool assign_capacities = true;
+  CapacityOptions capacities = {};
+};
+
+/// Generates a connected Waxman topology with `num_nodes` switches.
+/// Deterministic given `rng` state. Throws std::invalid_argument for
+/// num_nodes < 2 or out-of-range parameters.
+Topology make_waxman(std::size_t num_nodes, util::Rng& rng,
+                     const WaxmanOptions& options = {});
+
+}  // namespace nfvm::topo

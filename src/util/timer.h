@@ -1,0 +1,28 @@
+// Minimal wall-clock stopwatch used to report algorithm running times in the
+// benchmark harness (paper Fig. 5(d)-(f), Fig. 6(c)-(d)).
+#pragma once
+
+#include <chrono>
+
+namespace nfvm::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last reset, in seconds.
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const noexcept { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nfvm::util

@@ -1,0 +1,171 @@
+#include "core/aux_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace nfvm::core {
+namespace {
+
+/// 5-switch path 0-1-2-3-4 with servers at 2 and 4; unit capacities large.
+struct Fixture {
+  topo::Topology topo;
+  LinearCosts costs;
+  nfv::Request request;
+
+  Fixture() {
+    topo.name = "path5";
+    topo.graph = graph::Graph(5);
+    topo.graph.add_edge(0, 1, 1.0);  // e0
+    topo.graph.add_edge(1, 2, 1.0);  // e1
+    topo.graph.add_edge(2, 3, 1.0);  // e2
+    topo.graph.add_edge(3, 4, 1.0);  // e3
+    topo.servers = {2, 4};
+    topo.link_bandwidth = {1000, 1000, 1000, 1000};
+    topo.server_compute = {0, 0, 8000, 0, 8000};
+
+    costs = uniform_costs(topo, /*link=*/1.0, /*server=*/0.01);
+
+    request.id = 1;
+    request.source = 0;
+    request.destinations = {3};
+    request.bandwidth_mbps = 100.0;
+    request.chain = nfv::ServiceChain({nfv::NetworkFunction::kNat});
+  }
+};
+
+TEST(WorkContext, UncapacitatedKeepsAllLinks) {
+  Fixture f;
+  const WorkContext ctx = build_work_context(f.topo, f.costs, f.request, nullptr);
+  EXPECT_EQ(ctx.cost_graph.num_edges(), 4u);
+  EXPECT_TRUE(ctx.destinations_reachable);
+  EXPECT_EQ(ctx.eligible_servers, (std::vector<graph::VertexId>{2, 4}));
+}
+
+TEST(WorkContext, EdgeWeightsAreCostTimesBandwidth) {
+  Fixture f;
+  const WorkContext ctx = build_work_context(f.topo, f.costs, f.request, nullptr);
+  for (graph::EdgeId e = 0; e < ctx.cost_graph.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(ctx.cost_graph.weight(e), 100.0);  // 1.0 * 100 Mbps
+  }
+}
+
+TEST(WorkContext, ServerChainCostUsesUnitCost) {
+  Fixture f;
+  const WorkContext ctx = build_work_context(f.topo, f.costs, f.request, nullptr);
+  const double demand = f.request.compute_demand_mhz();
+  EXPECT_DOUBLE_EQ(ctx.server_chain_cost[2], 0.01 * demand);
+  EXPECT_DOUBLE_EQ(ctx.server_chain_cost[0], 0.0);
+}
+
+TEST(WorkContext, CapacitatedPrunesLinks) {
+  Fixture f;
+  nfv::ResourceState state(f.topo);
+  nfv::Footprint fp;
+  fp.bandwidth = {{1, 950.0}};  // leaves 50 < b_k = 100 on link 1
+  state.allocate(fp);
+  const WorkContext ctx = build_work_context(f.topo, f.costs, f.request, &state);
+  EXPECT_EQ(ctx.cost_graph.num_edges(), 3u);
+  EXPECT_FALSE(ctx.destinations_reachable);  // path graph loses connectivity
+}
+
+TEST(WorkContext, CapacitatedPrunesServers) {
+  Fixture f;
+  nfv::ResourceState state(f.topo);
+  nfv::Footprint fp;
+  fp.compute = {{2, 7999.0}};
+  state.allocate(fp);
+  const WorkContext ctx = build_work_context(f.topo, f.costs, f.request, &state);
+  EXPECT_EQ(ctx.eligible_servers, (std::vector<graph::VertexId>{4}));
+}
+
+TEST(WorkContext, ToPhysicalMapsBack) {
+  Fixture f;
+  nfv::ResourceState state(f.topo);
+  nfv::Footprint fp;
+  fp.bandwidth = {{0, 950.0}};
+  state.allocate(fp);
+  const WorkContext ctx = build_work_context(f.topo, f.costs, f.request, &state);
+  ASSERT_EQ(ctx.to_physical.size(), 3u);
+  EXPECT_EQ(ctx.to_physical[0], 1u);  // edge 0 was dropped
+}
+
+TEST(WorkContext, RejectsMalformedCostTables) {
+  Fixture f;
+  LinearCosts bad = f.costs;
+  bad.link_unit_cost.pop_back();
+  EXPECT_THROW(build_work_context(f.topo, bad, f.request, nullptr),
+               std::invalid_argument);
+}
+
+TEST(AuxGraph, StructureMatchesPaper) {
+  Fixture f;
+  const WorkContext ctx = build_work_context(f.topo, f.costs, f.request, nullptr);
+  const std::vector<graph::VertexId> combo{2, 4};
+  const AuxiliaryGraph aux = build_auxiliary_graph(ctx, f.request.source, combo);
+
+  EXPECT_EQ(aux.graph.num_vertices(), 6u);  // V + s'_k
+  EXPECT_EQ(aux.virtual_source, 5u);
+  EXPECT_EQ(aux.num_real_edges, 4u);
+  EXPECT_EQ(aux.graph.num_edges(), 6u);  // 4 real + 2 virtual
+  EXPECT_TRUE(aux.is_virtual(4));
+  EXPECT_TRUE(aux.is_virtual(5));
+  EXPECT_FALSE(aux.is_virtual(3));
+  EXPECT_EQ(aux.virtual_index(4), 0u);
+  EXPECT_EQ(aux.virtual_index(5), 1u);
+}
+
+TEST(AuxGraph, VirtualEdgeWeightIsPathPlusChainCost) {
+  Fixture f;
+  const WorkContext ctx = build_work_context(f.topo, f.costs, f.request, nullptr);
+  const AuxiliaryGraph aux =
+      build_auxiliary_graph(ctx, f.request.source, std::vector<graph::VertexId>{2});
+  // Shortest path 0->2 costs 200 (two links at 100 each), plus chain cost.
+  const double chain_cost = ctx.server_chain_cost[2];
+  EXPECT_DOUBLE_EQ(aux.graph.weight(4), 200.0 + chain_cost);
+  EXPECT_EQ(aux.virtual_paths[0], (std::vector<graph::EdgeId>{0, 1}));
+}
+
+TEST(AuxGraph, ZeroCostCorrectionAppliesToSourceServerLinks) {
+  // Make the source adjacent to a server: source 1, server 2, link e1.
+  Fixture f;
+  f.request.source = 1;
+  const WorkContext ctx = build_work_context(f.topo, f.costs, f.request, nullptr);
+  const AuxiliaryGraph aux =
+      build_auxiliary_graph(ctx, f.request.source, std::vector<graph::VertexId>{2});
+  EXPECT_DOUBLE_EQ(aux.graph.weight(1), 0.0);  // physical (1,2) zeroed
+  EXPECT_DOUBLE_EQ(aux.graph.weight(0), 100.0);
+}
+
+TEST(AuxGraph, NoZeroCostForNonComboServers) {
+  Fixture f;
+  f.request.source = 3;  // adjacent to servers 2 and 4
+  f.request.destinations = {0};
+  const WorkContext ctx = build_work_context(f.topo, f.costs, f.request, nullptr);
+  const AuxiliaryGraph aux =
+      build_auxiliary_graph(ctx, f.request.source, std::vector<graph::VertexId>{4});
+  EXPECT_DOUBLE_EQ(aux.graph.weight(3), 0.0);    // (3,4): combo server
+  EXPECT_DOUBLE_EQ(aux.graph.weight(2), 100.0);  // (2,3): server not in combo
+}
+
+TEST(AuxGraph, EmptyComboThrows) {
+  Fixture f;
+  const WorkContext ctx = build_work_context(f.topo, f.costs, f.request, nullptr);
+  EXPECT_THROW(
+      build_auxiliary_graph(ctx, f.request.source, std::vector<graph::VertexId>{}),
+      std::invalid_argument);
+}
+
+TEST(AuxGraph, SourceCoLocatedServerGetsZeroPath) {
+  Fixture f;
+  f.request.source = 2;  // the server itself
+  f.request.destinations = {4};
+  const WorkContext ctx = build_work_context(f.topo, f.costs, f.request, nullptr);
+  const AuxiliaryGraph aux =
+      build_auxiliary_graph(ctx, f.request.source, std::vector<graph::VertexId>{2});
+  EXPECT_DOUBLE_EQ(aux.graph.weight(4), ctx.server_chain_cost[2]);
+  EXPECT_TRUE(aux.virtual_paths[0].empty());
+}
+
+}  // namespace
+}  // namespace nfvm::core

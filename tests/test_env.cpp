@@ -1,0 +1,53 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace nfvm::util {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("NFVM_TEST_VAR"); }
+};
+
+TEST_F(EnvTest, IntFallbackWhenUnset) {
+  unsetenv("NFVM_TEST_VAR");
+  EXPECT_EQ(env_int("NFVM_TEST_VAR", 42), 42);
+}
+
+TEST_F(EnvTest, IntParsesValue) {
+  setenv("NFVM_TEST_VAR", "123", 1);
+  EXPECT_EQ(env_int("NFVM_TEST_VAR", 42), 123);
+}
+
+TEST_F(EnvTest, IntParsesNegative) {
+  setenv("NFVM_TEST_VAR", "-7", 1);
+  EXPECT_EQ(env_int("NFVM_TEST_VAR", 42), -7);
+}
+
+TEST_F(EnvTest, IntFallbackOnGarbage) {
+  setenv("NFVM_TEST_VAR", "12abc", 1);
+  EXPECT_EQ(env_int("NFVM_TEST_VAR", 42), 42);
+  setenv("NFVM_TEST_VAR", "", 1);
+  EXPECT_EQ(env_int("NFVM_TEST_VAR", 42), 42);
+}
+
+TEST_F(EnvTest, DoubleParsesValue) {
+  setenv("NFVM_TEST_VAR", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("NFVM_TEST_VAR", 1.0), 2.5);
+}
+
+TEST_F(EnvTest, DoubleFallbackOnGarbage) {
+  setenv("NFVM_TEST_VAR", "x", 1);
+  EXPECT_DOUBLE_EQ(env_double("NFVM_TEST_VAR", 1.5), 1.5);
+}
+
+TEST_F(EnvTest, DoubleFallbackWhenUnset) {
+  unsetenv("NFVM_TEST_VAR");
+  EXPECT_DOUBLE_EQ(env_double("NFVM_TEST_VAR", 0.25), 0.25);
+}
+
+}  // namespace
+}  // namespace nfvm::util

@@ -1,0 +1,121 @@
+// Model-based fuzzing of the Graph class: random operation sequences are
+// mirrored against a trivially correct adjacency-matrix reference and all
+// observable queries must agree.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace nfvm::graph {
+namespace {
+
+/// Reference implementation: dense matrix of multiplicity + edge list.
+class ReferenceGraph {
+ public:
+  std::size_t add_vertex() {
+    for (auto& row : matrix_) row.push_back(0);
+    matrix_.emplace_back(matrix_.size() + 1, 0);
+    return matrix_.size() - 1;
+  }
+
+  void add_edge(std::size_t u, std::size_t v, double w) {
+    edges_.push_back({u, v, w});
+    ++matrix_[u][v];
+    if (u != v) ++matrix_[v][u];
+  }
+
+  std::size_t num_vertices() const { return matrix_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  std::size_t degree(std::size_t v) const {
+    std::size_t deg = 0;
+    for (std::size_t u = 0; u < matrix_.size(); ++u) {
+      deg += static_cast<std::size_t>(matrix_[v][u]);
+      if (u == v) deg += static_cast<std::size_t>(matrix_[v][u]);  // loops x2
+    }
+    return deg;
+  }
+
+  int multiplicity(std::size_t u, std::size_t v) const { return matrix_[u][v]; }
+
+  double total_weight() const {
+    double sum = 0;
+    for (const auto& e : edges_) sum += e.w;
+    return sum;
+  }
+
+  struct E {
+    std::size_t u, v;
+    double w;
+  };
+  const std::vector<E>& edges() const { return edges_; }
+
+ private:
+  std::vector<std::vector<int>> matrix_;
+  std::vector<E> edges_;
+};
+
+class GraphModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphModelTest, RandomOperationSequenceAgrees) {
+  util::Rng rng(GetParam());
+  Graph g;
+  ReferenceGraph ref;
+
+  for (int step = 0; step < 600; ++step) {
+    const std::uint64_t op = rng.next_below(10);
+    if (op < 3 || g.num_vertices() == 0) {
+      const VertexId a = g.add_vertex();
+      const std::size_t b = ref.add_vertex();
+      ASSERT_EQ(a, b);
+    } else {
+      const auto u = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+      const auto v = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+      const double w = rng.uniform_real(0.0, 5.0);
+      g.add_edge(u, v, w);
+      ref.add_edge(u, v, w);
+    }
+  }
+
+  ASSERT_EQ(g.num_vertices(), ref.num_vertices());
+  ASSERT_EQ(g.num_edges(), ref.num_edges());
+  EXPECT_NEAR(g.total_weight(), ref.total_weight(), 1e-9);
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), ref.degree(v)) << "vertex " << v;
+  }
+
+  // Edge records match the reference list, id by id.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    EXPECT_EQ(ed.u, ref.edges()[e].u);
+    EXPECT_EQ(ed.v, ref.edges()[e].v);
+    EXPECT_DOUBLE_EQ(ed.weight, ref.edges()[e].w);
+  }
+
+  // Adjacency multiplicities agree with the matrix.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    std::vector<int> count(g.num_vertices(), 0);
+    for (const Adjacency& adj : g.neighbors(u)) ++count[adj.neighbor];
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (u == v) continue;  // self-loops appear once per adjacency list
+      EXPECT_EQ(count[v], ref.multiplicity(u, v)) << u << "-" << v;
+    }
+  }
+
+  // find_edge agrees with the matrix on existence.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(g.find_edge(u, v).has_value(), ref.multiplicity(u, v) > 0)
+          << u << "-" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphModelTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace nfvm::graph

@@ -1,0 +1,267 @@
+#include "core/pseudo_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace nfvm::core {
+namespace {
+
+/// Path graph 0-1-2-3 with the server at 1.
+struct Fixture {
+  graph::Graph g{4};
+  nfv::Request request;
+  PseudoMulticastTree tree;
+
+  Fixture() {
+    g.add_edge(0, 1, 1.0);  // e0
+    g.add_edge(1, 2, 1.0);  // e1
+    g.add_edge(2, 3, 1.0);  // e2
+
+    request.id = 1;
+    request.source = 0;
+    request.destinations = {3};
+    request.bandwidth_mbps = 100.0;
+    request.chain = nfv::ServiceChain({nfv::NetworkFunction::kFirewall});
+
+    tree.source = 0;
+    tree.servers = {1};
+    tree.edge_uses = {{0, 1}, {1, 1}, {2, 1}};
+    DestinationRoute route;
+    route.destination = 3;
+    route.server = 1;
+    route.walk = {0, 1, 2, 3};
+    route.server_index = 1;
+    tree.routes = {route};
+    tree.cost = 3.0;
+  }
+};
+
+TEST(PseudoTree, ValidTreePasses) {
+  Fixture f;
+  std::string error;
+  EXPECT_TRUE(validate_pseudo_tree(f.g, f.request, f.tree, &error)) << error;
+}
+
+TEST(PseudoTree, TotalTraversals) {
+  Fixture f;
+  EXPECT_EQ(f.tree.total_link_traversals(), 3u);
+  f.tree.edge_uses[1].second = 2;
+  EXPECT_EQ(f.tree.total_link_traversals(), 4u);
+}
+
+TEST(PseudoTree, FootprintChargesBandwidthTimesMultiplicity) {
+  Fixture f;
+  f.tree.edge_uses = {{0, 1}, {1, 2}, {2, 1}};
+  const nfv::Footprint fp = f.tree.footprint(f.request);
+  ASSERT_EQ(fp.bandwidth.size(), 3u);
+  EXPECT_DOUBLE_EQ(fp.bandwidth[1].second, 200.0);  // 2 x 100 Mbps
+  ASSERT_EQ(fp.compute.size(), 1u);
+  EXPECT_EQ(fp.compute[0].first, 1u);
+  EXPECT_DOUBLE_EQ(fp.compute[0].second, f.request.compute_demand_mhz());
+}
+
+TEST(PseudoTree, FootprintChargesEveryServer) {
+  Fixture f;
+  f.tree.servers = {1, 2};
+  const nfv::Footprint fp = f.tree.footprint(f.request);
+  EXPECT_EQ(fp.compute.size(), 2u);
+}
+
+TEST(PseudoTree, SourceMismatchRejected) {
+  Fixture f;
+  f.tree.source = 1;
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, NegativeCostRejected) {
+  Fixture f;
+  f.tree.cost = -1.0;
+  std::string error;
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, &error));
+  EXPECT_EQ(error, "negative cost");
+}
+
+TEST(PseudoTree, NoServersRejected) {
+  Fixture f;
+  f.tree.servers.clear();
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, DuplicateServersRejected) {
+  Fixture f;
+  f.tree.servers = {1, 1};
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, UnknownEdgeRejected) {
+  Fixture f;
+  f.tree.edge_uses.push_back({9, 1});
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, ZeroMultiplicityRejected) {
+  Fixture f;
+  f.tree.edge_uses[0].second = 0;
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, DuplicateEdgeEntryRejected) {
+  Fixture f;
+  f.tree.edge_uses.push_back({0, 1});
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, MissingRouteRejected) {
+  Fixture f;
+  f.tree.routes.clear();
+  std::string error;
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, &error));
+  EXPECT_EQ(error, "some destination has no route");
+}
+
+TEST(PseudoTree, RouteForNonDestinationRejected) {
+  Fixture f;
+  f.tree.routes[0].destination = 2;
+  f.tree.routes[0].walk = {0, 1, 2};
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, WalkMustStartAtSource) {
+  Fixture f;
+  f.tree.routes[0].walk = {1, 2, 3};
+  f.tree.routes[0].server_index = 0;
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, WalkMustEndAtDestination) {
+  Fixture f;
+  f.tree.routes[0].walk = {0, 1, 2};
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, ServerIndexMustPointAtServer) {
+  Fixture f;
+  f.tree.routes[0].server_index = 2;  // walk[2] == 2, not the server
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, ServerIndexOutOfRangeRejected) {
+  Fixture f;
+  f.tree.routes[0].server_index = 9;
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, RouteServerMustBeListed) {
+  Fixture f;
+  f.tree.servers = {2};
+  // Route still claims server 1.
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, WalkThroughNonAdjacentVerticesRejected) {
+  Fixture f;
+  f.tree.routes[0].walk = {0, 2, 3};  // 0-2 is not a link
+  f.tree.routes[0].server_index = 0;
+  f.tree.routes[0].server = 0;
+  f.tree.servers = {0};
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, WalkOverEdgeMissingFromUsesRejected) {
+  Fixture f;
+  f.tree.edge_uses = {{0, 1}, {1, 1}};  // e2 missing but walked
+  EXPECT_FALSE(validate_pseudo_tree(f.g, f.request, f.tree, nullptr));
+}
+
+TEST(PseudoTree, BackhaulWalkWithRevisitsAccepted) {
+  // Destination 0 side: walk 0 -> 1 (server) -> 0 is impossible (source is
+  // 0); instead test a detour walk 0,1,2,1,... on a request to 3 plus 0-side
+  // branch. Build: source 0, dests {2}, server at 3, walk 0,1,2,3,2.
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+
+  nfv::Request request;
+  request.id = 2;
+  request.source = 0;
+  request.destinations = {2};
+  request.bandwidth_mbps = 50.0;
+  request.chain = nfv::ServiceChain({nfv::NetworkFunction::kNat});
+
+  PseudoMulticastTree tree;
+  tree.source = 0;
+  tree.servers = {3};
+  tree.edge_uses = {{0, 1}, {1, 1}, {2, 2}};  // 2-3 walked twice
+  DestinationRoute route;
+  route.destination = 2;
+  route.server = 3;
+  route.walk = {0, 1, 2, 3, 2};
+  route.server_index = 3;
+  tree.routes = {route};
+  tree.cost = 4.0;
+
+  std::string error;
+  EXPECT_TRUE(validate_pseudo_tree(g, request, tree, &error)) << error;
+}
+
+TEST(MakeOneServerSptTree, BuildsValidTreeWithMapping) {
+  // Filtered working graph scenario: identity mapping here for simplicity.
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+
+  nfv::Request r;
+  r.id = 1;
+  r.source = 0;
+  r.destinations = {3};
+  r.bandwidth_mbps = 100.0;
+  r.chain = nfv::ServiceChain({nfv::NetworkFunction::kNat});
+
+  const graph::ShortestPaths from_source = graph::dijkstra(g, 0);
+  const graph::ShortestPaths from_server = graph::dijkstra(g, 2);
+  PseudoMulticastTree tree =
+      make_one_server_spt_tree(r, 2, from_source, from_server, nullptr, 3.0);
+  EXPECT_DOUBLE_EQ(tree.cost, 3.0);
+  std::string error;
+  EXPECT_TRUE(validate_pseudo_tree(g, r, tree, &error)) << error;
+}
+
+TEST(MakeOneServerSptTree, ThrowsOnUnreachableServer) {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 1.0);  // vertex 2 isolated
+
+  nfv::Request r;
+  r.id = 1;
+  r.source = 0;
+  r.destinations = {1};
+  r.bandwidth_mbps = 50.0;
+  r.chain = nfv::ServiceChain({nfv::NetworkFunction::kNat});
+
+  const graph::ShortestPaths from_source = graph::dijkstra(g, 0);
+  const graph::ShortestPaths from_server = graph::dijkstra(g, 2);
+  EXPECT_THROW(
+      make_one_server_spt_tree(r, 2, from_source, from_server, nullptr, 0.0),
+      std::invalid_argument);
+}
+
+TEST(MakeOneServerSptTree, ThrowsOnUnreachableDestination) {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 1.0);  // vertex 2 isolated
+
+  nfv::Request r;
+  r.id = 1;
+  r.source = 0;
+  r.destinations = {2};
+  r.bandwidth_mbps = 50.0;
+  r.chain = nfv::ServiceChain({nfv::NetworkFunction::kNat});
+
+  const graph::ShortestPaths from_source = graph::dijkstra(g, 0);
+  const graph::ShortestPaths from_server = graph::dijkstra(g, 1);
+  EXPECT_THROW(
+      make_one_server_spt_tree(r, 1, from_source, from_server, nullptr, 0.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfvm::core

@@ -1,0 +1,94 @@
+#include "nfv/request.h"
+
+#include <gtest/gtest.h>
+
+namespace nfvm::nfv {
+namespace {
+
+Request valid_request() {
+  Request r;
+  r.id = 1;
+  r.source = 0;
+  r.destinations = {2, 3};
+  r.bandwidth_mbps = 100.0;
+  r.chain = ServiceChain({NetworkFunction::kNat, NetworkFunction::kFirewall});
+  return r;
+}
+
+graph::Graph path_graph(std::size_t n) {
+  graph::Graph g(n);
+  for (graph::VertexId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, 1.0);
+  return g;
+}
+
+TEST(Request, ValidPasses) {
+  const graph::Graph g = path_graph(4);
+  EXPECT_NO_THROW(validate_request(valid_request(), g));
+}
+
+TEST(Request, ComputeDemandDelegatesToChain) {
+  const Request r = valid_request();
+  EXPECT_DOUBLE_EQ(r.compute_demand_mhz(), r.chain.compute_demand_mhz(100.0));
+}
+
+TEST(Request, SourceOutOfRange) {
+  const graph::Graph g = path_graph(4);
+  Request r = valid_request();
+  r.source = 9;
+  EXPECT_THROW(validate_request(r, g), std::invalid_argument);
+}
+
+TEST(Request, EmptyDestinations) {
+  const graph::Graph g = path_graph(4);
+  Request r = valid_request();
+  r.destinations.clear();
+  EXPECT_THROW(validate_request(r, g), std::invalid_argument);
+}
+
+TEST(Request, DuplicateDestination) {
+  const graph::Graph g = path_graph(4);
+  Request r = valid_request();
+  r.destinations = {2, 2};
+  EXPECT_THROW(validate_request(r, g), std::invalid_argument);
+}
+
+TEST(Request, DestinationOutOfRange) {
+  const graph::Graph g = path_graph(4);
+  Request r = valid_request();
+  r.destinations = {2, 9};
+  EXPECT_THROW(validate_request(r, g), std::invalid_argument);
+}
+
+TEST(Request, SourceAsDestination) {
+  const graph::Graph g = path_graph(4);
+  Request r = valid_request();
+  r.destinations = {0, 2};
+  EXPECT_THROW(validate_request(r, g), std::invalid_argument);
+}
+
+TEST(Request, NonPositiveBandwidth) {
+  const graph::Graph g = path_graph(4);
+  Request r = valid_request();
+  r.bandwidth_mbps = 0.0;
+  EXPECT_THROW(validate_request(r, g), std::invalid_argument);
+  r.bandwidth_mbps = -10.0;
+  EXPECT_THROW(validate_request(r, g), std::invalid_argument);
+}
+
+TEST(Request, EmptyChainRejected) {
+  const graph::Graph g = path_graph(4);
+  Request r = valid_request();
+  r.chain = ServiceChain();
+  EXPECT_THROW(validate_request(r, g), std::invalid_argument);
+}
+
+TEST(Request, ToStringMentionsPieces) {
+  const Request r = valid_request();
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("r1"), std::string::npos);
+  EXPECT_NE(s.find("s=0"), std::string::npos);
+  EXPECT_NE(s.find("NAT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfvm::nfv

@@ -1,0 +1,146 @@
+#include "sim/request_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "topology/waxman.h"
+
+namespace nfvm::sim {
+namespace {
+
+TEST(RequestGen, GeneratesValidRequests) {
+  util::Rng rng(1);
+  const topo::Topology t = topo::make_waxman(50, rng);
+  RequestGenerator gen(t, rng);
+  for (int i = 0; i < 200; ++i) {
+    const nfv::Request r = gen.next();
+    EXPECT_NO_THROW(nfv::validate_request(r, t.graph));
+  }
+}
+
+TEST(RequestGen, IdsAreSequentialFromOne) {
+  util::Rng rng(2);
+  const topo::Topology t = topo::make_waxman(30, rng);
+  RequestGenerator gen(t, rng);
+  EXPECT_EQ(gen.next().id, 1u);
+  EXPECT_EQ(gen.next().id, 2u);
+  EXPECT_EQ(gen.next().id, 3u);
+}
+
+TEST(RequestGen, BandwidthWithinPaperRange) {
+  util::Rng rng(3);
+  const topo::Topology t = topo::make_waxman(40, rng);
+  RequestGenerator gen(t, rng);
+  for (int i = 0; i < 300; ++i) {
+    const nfv::Request r = gen.next();
+    EXPECT_GE(r.bandwidth_mbps, 50.0);
+    EXPECT_LT(r.bandwidth_mbps, 200.0);
+  }
+}
+
+TEST(RequestGen, DestinationCountBoundedByRatio) {
+  util::Rng rng(4);
+  const topo::Topology t = topo::make_waxman(100, rng);
+  RequestGenOptions opts;
+  opts.min_dest_ratio = 0.2;
+  opts.max_dest_ratio = 0.2;
+  RequestGenerator gen(t, rng, opts);
+  for (int i = 0; i < 300; ++i) {
+    const nfv::Request r = gen.next();
+    EXPECT_GE(r.destinations.size(), 1u);
+    EXPECT_LE(r.destinations.size(), 20u);  // 0.2 * 100
+  }
+}
+
+TEST(RequestGen, SmallRatioStillYieldsOneDestination) {
+  util::Rng rng(5);
+  const topo::Topology t = topo::make_waxman(10, rng);
+  RequestGenOptions opts;
+  opts.min_dest_ratio = 0.05;  // floor(0.5) = 0 -> clamped to 1
+  opts.max_dest_ratio = 0.05;
+  RequestGenerator gen(t, rng, opts);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.next().destinations.size(), 1u);
+  }
+}
+
+TEST(RequestGen, DestinationsDistinctAndExcludeSource) {
+  util::Rng rng(6);
+  const topo::Topology t = topo::make_waxman(60, rng);
+  RequestGenerator gen(t, rng);
+  for (int i = 0; i < 300; ++i) {
+    const nfv::Request r = gen.next();
+    std::set<graph::VertexId> distinct(r.destinations.begin(), r.destinations.end());
+    EXPECT_EQ(distinct.size(), r.destinations.size());
+    EXPECT_EQ(distinct.count(r.source), 0u);
+  }
+}
+
+TEST(RequestGen, ChainLengthWithinBounds) {
+  util::Rng rng(7);
+  const topo::Topology t = topo::make_waxman(30, rng);
+  RequestGenOptions opts;
+  opts.min_chain_length = 2;
+  opts.max_chain_length = 4;
+  RequestGenerator gen(t, rng, opts);
+  for (int i = 0; i < 200; ++i) {
+    const nfv::Request r = gen.next();
+    EXPECT_GE(r.chain.length(), 2u);
+    EXPECT_LE(r.chain.length(), 4u);
+  }
+}
+
+TEST(RequestGen, SequenceProducesRequestedCount) {
+  util::Rng rng(8);
+  const topo::Topology t = topo::make_waxman(30, rng);
+  RequestGenerator gen(t, rng);
+  const auto seq = gen.sequence(25);
+  EXPECT_EQ(seq.size(), 25u);
+  EXPECT_EQ(seq.back().id, 25u);
+}
+
+TEST(RequestGen, DeterministicGivenSeed) {
+  const topo::Topology t = [] {
+    util::Rng rng(9);
+    return topo::make_waxman(30, rng);
+  }();
+  util::Rng ra(100);
+  util::Rng rb(100);
+  RequestGenerator ga(t, ra);
+  RequestGenerator gb(t, rb);
+  for (int i = 0; i < 50; ++i) {
+    const nfv::Request a = ga.next();
+    const nfv::Request b = gb.next();
+    EXPECT_EQ(a.source, b.source);
+    EXPECT_EQ(a.destinations, b.destinations);
+    EXPECT_DOUBLE_EQ(a.bandwidth_mbps, b.bandwidth_mbps);
+    EXPECT_EQ(a.chain, b.chain);
+  }
+}
+
+TEST(RequestGen, RejectsBadOptions) {
+  util::Rng rng(10);
+  const topo::Topology t = topo::make_waxman(30, rng);
+  RequestGenOptions opts;
+  opts.min_dest_ratio = 0.0;
+  EXPECT_THROW(RequestGenerator(t, rng, opts), std::invalid_argument);
+  opts = {};
+  opts.min_bandwidth_mbps = -1;
+  EXPECT_THROW(RequestGenerator(t, rng, opts), std::invalid_argument);
+  opts = {};
+  opts.min_chain_length = 4;
+  opts.max_chain_length = 2;
+  EXPECT_THROW(RequestGenerator(t, rng, opts), std::invalid_argument);
+}
+
+TEST(RequestGen, TinyTopologyRejected) {
+  topo::Topology t;
+  t.graph = graph::Graph(1);
+  util::Rng rng(11);
+  EXPECT_THROW(RequestGenerator(t, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfvm::sim

@@ -1,0 +1,160 @@
+#include "io/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/geant.h"
+#include "topology/waxman.h"
+#include "util/rng.h"
+
+namespace nfvm::io {
+namespace {
+
+TEST(Serialize, RoundTripWaxman) {
+  util::Rng rng(1);
+  const topo::Topology orig = topo::make_waxman(30, rng);
+  const topo::Topology copy = topology_from_string(topology_to_string(orig));
+
+  EXPECT_EQ(copy.name, orig.name);
+  EXPECT_EQ(copy.num_switches(), orig.num_switches());
+  ASSERT_EQ(copy.num_links(), orig.num_links());
+  EXPECT_EQ(copy.servers, orig.servers);
+  for (graph::EdgeId e = 0; e < orig.num_links(); ++e) {
+    EXPECT_EQ(copy.graph.edge(e).u, orig.graph.edge(e).u);
+    EXPECT_EQ(copy.graph.edge(e).v, orig.graph.edge(e).v);
+    EXPECT_NEAR(copy.link_bandwidth[e], orig.link_bandwidth[e], 1e-6);
+  }
+  for (graph::VertexId v : orig.servers) {
+    EXPECT_NEAR(copy.server_compute[v], orig.server_compute[v], 1e-6);
+  }
+  ASSERT_EQ(copy.coords.size(), orig.coords.size());
+  for (std::size_t i = 0; i < orig.coords.size(); ++i) {
+    EXPECT_NEAR(copy.coords[i].x, orig.coords[i].x, 1e-6);
+    EXPECT_NEAR(copy.coords[i].y, orig.coords[i].y, 1e-6);
+  }
+  EXPECT_NO_THROW(topo::validate_topology(copy));
+}
+
+TEST(Serialize, RoundTripGeant) {
+  util::Rng rng(2);
+  const topo::Topology orig = topo::make_geant(rng);
+  const topo::Topology copy = topology_from_string(topology_to_string(orig));
+  EXPECT_EQ(copy.num_switches(), 40u);
+  EXPECT_EQ(copy.num_links(), 61u);
+  EXPECT_EQ(copy.servers.size(), 9u);
+}
+
+TEST(Serialize, WriteRejectsUnassignedCapacities) {
+  topo::Topology t;
+  t.graph = graph::Graph(2);
+  t.graph.add_edge(0, 1, 1.0);
+  EXPECT_THROW(topology_to_string(t), std::invalid_argument);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "nfvm-topology 1\n"
+      "\n"
+      "name demo\n"
+      "nodes 3\n"
+      "# another comment\n"
+      "server 1 5000\n"
+      "edge 0 1 1000\n"
+      "edge 1 2 2000\n";
+  const topo::Topology t = topology_from_string(text);
+  EXPECT_EQ(t.name, "demo");
+  EXPECT_EQ(t.num_switches(), 3u);
+  EXPECT_EQ(t.num_links(), 2u);
+  EXPECT_EQ(t.servers, (std::vector<graph::VertexId>{1}));
+  EXPECT_DOUBLE_EQ(t.server_compute[1], 5000.0);
+  EXPECT_DOUBLE_EQ(t.link_bandwidth[1], 2000.0);
+}
+
+TEST(Serialize, MissingHeaderRejected) {
+  EXPECT_THROW(topology_from_string("nodes 3\n"), std::runtime_error);
+}
+
+TEST(Serialize, WrongVersionRejected) {
+  EXPECT_THROW(topology_from_string("nfvm-topology 2\nnodes 3\n"),
+               std::runtime_error);
+}
+
+TEST(Serialize, DirectiveBeforeNodesRejected) {
+  EXPECT_THROW(topology_from_string("nfvm-topology 1\nedge 0 1 100\n"),
+               std::runtime_error);
+}
+
+TEST(Serialize, OutOfRangeVertexRejected) {
+  EXPECT_THROW(
+      topology_from_string("nfvm-topology 1\nnodes 2\nedge 0 5 100\n"),
+      std::runtime_error);
+}
+
+TEST(Serialize, UnknownDirectiveRejected) {
+  EXPECT_THROW(
+      topology_from_string("nfvm-topology 1\nnodes 2\nfrobnicate 1\n"),
+      std::runtime_error);
+}
+
+TEST(Serialize, NonPositiveBandwidthRejected) {
+  EXPECT_THROW(
+      topology_from_string("nfvm-topology 1\nnodes 2\nedge 0 1 0\n"),
+      std::runtime_error);
+}
+
+TEST(Serialize, DuplicateServerRejected) {
+  EXPECT_THROW(topology_from_string("nfvm-topology 1\nnodes 2\nserver 0 100\n"
+                                    "server 0 200\nedge 0 1 10\n"),
+               std::runtime_error);
+}
+
+TEST(Serialize, DuplicateNodesDirectiveRejected) {
+  EXPECT_THROW(topology_from_string("nfvm-topology 1\nnodes 2\nnodes 3\n"),
+               std::runtime_error);
+}
+
+TEST(Serialize, RoundTripWithDelays) {
+  util::Rng rng(20);
+  topo::Topology orig = topo::make_waxman(20, rng);
+  topo::assign_delays(orig, rng, 0.2, 3.0);
+  const topo::Topology copy = topology_from_string(topology_to_string(orig));
+  ASSERT_TRUE(copy.has_delays());
+  ASSERT_EQ(copy.link_delay_ms.size(), orig.link_delay_ms.size());
+  for (std::size_t e = 0; e < orig.link_delay_ms.size(); ++e) {
+    EXPECT_NEAR(copy.link_delay_ms[e], orig.link_delay_ms[e], 1e-9);
+  }
+}
+
+TEST(Serialize, RoundTripWithTableCapacities) {
+  util::Rng rng(21);
+  topo::Topology orig = topo::make_waxman(15, rng);
+  topo::assign_table_capacities(orig, 32.0);
+  orig.switch_table_capacity[3] = 8.0;
+  const topo::Topology copy = topology_from_string(topology_to_string(orig));
+  ASSERT_TRUE(copy.has_table_capacities());
+  ASSERT_EQ(copy.switch_table_capacity.size(), orig.switch_table_capacity.size());
+  EXPECT_DOUBLE_EQ(copy.switch_table_capacity[3], 8.0);
+  EXPECT_DOUBLE_EQ(copy.switch_table_capacity[0], 32.0);
+}
+
+TEST(Serialize, BadTableLineRejected) {
+  EXPECT_THROW(topology_from_string("nfvm-topology 1\nnodes 2\ntable 0 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(topology_from_string("nfvm-topology 1\nnodes 2\ntable 9 5\n"),
+               std::runtime_error);
+}
+
+TEST(Serialize, MixedDelayPresenceRejected) {
+  EXPECT_THROW(topology_from_string("nfvm-topology 1\nnodes 3\n"
+                                    "edge 0 1 100 1.5\nedge 1 2 100\n"),
+               std::runtime_error);
+}
+
+TEST(Serialize, NonPositiveDelayRejected) {
+  EXPECT_THROW(topology_from_string("nfvm-topology 1\nnodes 2\n"
+                                    "edge 0 1 100 0\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nfvm::io

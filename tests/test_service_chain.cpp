@@ -1,0 +1,96 @@
+#include "nfv/service_chain.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace nfvm::nfv {
+namespace {
+
+TEST(ServiceChain, EmptyChainRejected) {
+  EXPECT_THROW(ServiceChain(std::vector<NetworkFunction>{}), std::invalid_argument);
+}
+
+TEST(ServiceChain, DefaultConstructedIsEmpty) {
+  ServiceChain chain;
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(chain.length(), 0u);
+}
+
+TEST(ServiceChain, ComputeDemandSumsFunctions) {
+  const ServiceChain chain({NetworkFunction::kNat, NetworkFunction::kFirewall,
+                            NetworkFunction::kIds});
+  const double per100 = compute_demand_per_100mbps(NetworkFunction::kNat) +
+                        compute_demand_per_100mbps(NetworkFunction::kFirewall) +
+                        compute_demand_per_100mbps(NetworkFunction::kIds);
+  EXPECT_DOUBLE_EQ(chain.compute_demand_mhz(100.0), per100);
+  EXPECT_DOUBLE_EQ(chain.compute_demand_mhz(200.0), 2.0 * per100);
+  EXPECT_DOUBLE_EQ(chain.compute_demand_mhz(50.0), 0.5 * per100);
+}
+
+TEST(ServiceChain, DemandScalesLinearlyWithBandwidth) {
+  const ServiceChain chain({NetworkFunction::kProxy});
+  const double d1 = chain.compute_demand_mhz(60.0);
+  const double d2 = chain.compute_demand_mhz(120.0);
+  EXPECT_NEAR(d2, 2.0 * d1, 1e-9);
+}
+
+TEST(ServiceChain, NonPositiveBandwidthThrows) {
+  const ServiceChain chain({NetworkFunction::kNat});
+  EXPECT_THROW(chain.compute_demand_mhz(0.0), std::invalid_argument);
+  EXPECT_THROW(chain.compute_demand_mhz(-5.0), std::invalid_argument);
+}
+
+TEST(ServiceChain, ToStringPaperStyle) {
+  const ServiceChain chain({NetworkFunction::kNat, NetworkFunction::kFirewall,
+                            NetworkFunction::kIds});
+  EXPECT_EQ(chain.to_string(), "<NAT, Firewall, IDS>");
+}
+
+TEST(ServiceChain, EqualityComparable) {
+  const ServiceChain a({NetworkFunction::kNat});
+  const ServiceChain b({NetworkFunction::kNat});
+  const ServiceChain c({NetworkFunction::kIds});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RandomServiceChain, LengthWithinBounds) {
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const ServiceChain chain = random_service_chain(rng, 1, 3);
+    EXPECT_GE(chain.length(), 1u);
+    EXPECT_LE(chain.length(), 3u);
+  }
+}
+
+TEST(RandomServiceChain, FunctionsDistinctAndCanonicalOrder) {
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const ServiceChain chain = random_service_chain(rng, 2, 5);
+    std::set<NetworkFunction> distinct(chain.functions().begin(),
+                                       chain.functions().end());
+    EXPECT_EQ(distinct.size(), chain.length());
+    EXPECT_TRUE(std::is_sorted(chain.functions().begin(), chain.functions().end(),
+                               [](NetworkFunction a, NetworkFunction b) {
+                                 return static_cast<int>(a) < static_cast<int>(b);
+                               }));
+  }
+}
+
+TEST(RandomServiceChain, FullLengthChainUsesAllFive) {
+  util::Rng rng(3);
+  const ServiceChain chain = random_service_chain(rng, 5, 5);
+  EXPECT_EQ(chain.length(), 5u);
+}
+
+TEST(RandomServiceChain, BadBoundsThrow) {
+  util::Rng rng(4);
+  EXPECT_THROW(random_service_chain(rng, 0, 3), std::invalid_argument);
+  EXPECT_THROW(random_service_chain(rng, 3, 2), std::invalid_argument);
+  EXPECT_THROW(random_service_chain(rng, 1, 6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nfvm::nfv

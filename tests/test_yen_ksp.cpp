@@ -1,0 +1,166 @@
+#include "graph/yen_ksp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "topology/waxman.h"
+#include "util/rng.h"
+
+namespace nfvm::graph {
+namespace {
+
+/// The classic Yen example shape: multiple distinct routes 0 -> 5.
+Graph diamond_chain() {
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);  // e0
+  g.add_edge(0, 2, 2.0);  // e1
+  g.add_edge(1, 2, 1.0);  // e2
+  g.add_edge(1, 3, 3.0);  // e3
+  g.add_edge(2, 3, 1.0);  // e4
+  g.add_edge(2, 4, 4.0);  // e5
+  g.add_edge(3, 4, 1.0);  // e6
+  g.add_edge(3, 5, 5.0);  // e7
+  g.add_edge(4, 5, 1.0);  // e8
+  return g;
+}
+
+bool is_simple_path(const Graph& g, const WeightedPath& p, VertexId s, VertexId t) {
+  if (p.vertices.empty() || p.vertices.front() != s || p.vertices.back() != t) {
+    return false;
+  }
+  std::set<VertexId> distinct(p.vertices.begin(), p.vertices.end());
+  if (distinct.size() != p.vertices.size()) return false;  // loop
+  if (p.edges.size() + 1 != p.vertices.size()) return false;
+  double w = 0.0;
+  for (std::size_t i = 0; i < p.edges.size(); ++i) {
+    const Edge& e = g.edge(p.edges[i]);
+    const bool forward = e.u == p.vertices[i] && e.v == p.vertices[i + 1];
+    const bool backward = e.v == p.vertices[i] && e.u == p.vertices[i + 1];
+    if (!forward && !backward) return false;
+    w += e.weight;
+  }
+  return std::abs(w - p.weight) < 1e-9;
+}
+
+TEST(YenKsp, FirstPathIsShortest) {
+  const Graph g = diamond_chain();
+  const auto paths = yen_k_shortest_paths(g, 0, 5, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  // Two optimal routes of weight 5 exist (0-1-2-3-4-5 and 0-2-3-4-5);
+  // whichever tie-break Dijkstra takes, the weight is 5.
+  EXPECT_DOUBLE_EQ(paths[0].weight, 5.0);
+  EXPECT_TRUE(is_simple_path(g, paths[0], 0, 5));
+}
+
+TEST(YenKsp, PathsAreSortedSimpleAndDistinct) {
+  const Graph g = diamond_chain();
+  const auto paths = yen_k_shortest_paths(g, 0, 5, 10);
+  ASSERT_GE(paths.size(), 3u);
+  std::set<std::vector<VertexId>> distinct;
+  double last = 0.0;
+  for (const WeightedPath& p : paths) {
+    EXPECT_TRUE(is_simple_path(g, p, 0, 5));
+    EXPECT_GE(p.weight + 1e-12, last);
+    last = p.weight;
+    EXPECT_TRUE(distinct.insert(p.vertices).second) << "duplicate path";
+  }
+}
+
+TEST(YenKsp, SecondPathIsSecondBest) {
+  const Graph g = diamond_chain();
+  const auto paths = yen_k_shortest_paths(g, 0, 5, 2);
+  ASSERT_EQ(paths.size(), 2u);
+  // Alternatives: 0-2-3-4-5 = 2+1+1+1 = 5 (tie) or deviations of weight >= 5.
+  EXPECT_DOUBLE_EQ(paths[1].weight, 5.0);
+  EXPECT_NE(paths[1].vertices, paths[0].vertices);
+}
+
+TEST(YenKsp, ExhaustsWhenFewPathsExist) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const auto paths = yen_k_shortest_paths(g, 0, 2, 5);
+  EXPECT_EQ(paths.size(), 1u);  // only one simple path exists
+}
+
+TEST(YenKsp, UnreachableTargetEmpty) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto paths = yen_k_shortest_paths(g, 0, 2, 3);
+  EXPECT_TRUE(paths.empty());
+}
+
+TEST(YenKsp, ParallelEdgesCountAsDistinctRoutes) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.0);
+  const auto paths = yen_k_shortest_paths(g, 0, 1, 5);
+  // Vertex sequences are identical, so Yen (loopless, vertex-sequence
+  // deduplicated) reports one path using the cheaper edge.
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(paths[0].weight, 1.0);
+}
+
+TEST(YenKsp, ArgumentValidation) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(yen_k_shortest_paths(g, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(yen_k_shortest_paths(g, 0, 0, 2), std::invalid_argument);
+  EXPECT_THROW(yen_k_shortest_paths(g, 0, 9, 2), std::out_of_range);
+}
+
+TEST(YenKsp, AgreesWithBruteForceOnSmallRandomGraphs) {
+  // Enumerate all simple paths by DFS and compare the best 4.
+  util::Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g(7);
+    for (VertexId u = 0; u < 7; ++u) {
+      for (VertexId v = u + 1; v < 7; ++v) {
+        if (rng.bernoulli(0.5)) g.add_edge(u, v, rng.uniform_real(1.0, 5.0));
+      }
+    }
+    // Brute force.
+    std::vector<double> all_weights;
+    std::vector<VertexId> stack{0};
+    std::vector<bool> used(7, false);
+    used[0] = true;
+    std::function<void(VertexId, double)> dfs = [&](VertexId u, double w) {
+      if (u == 6) {
+        all_weights.push_back(w);
+        return;
+      }
+      for (const Adjacency& adj : g.neighbors(u)) {
+        if (used[adj.neighbor]) continue;
+        used[adj.neighbor] = true;
+        dfs(adj.neighbor, w + g.weight(adj.edge));
+        used[adj.neighbor] = false;
+      }
+    };
+    dfs(0, 0.0);
+    std::sort(all_weights.begin(), all_weights.end());
+
+    const auto paths = yen_k_shortest_paths(g, 0, 6, 4);
+    ASSERT_EQ(paths.size(), std::min<std::size_t>(4, all_weights.size()))
+        << "trial " << trial;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      EXPECT_NEAR(paths[i].weight, all_weights[i], 1e-9)
+          << "trial " << trial << " path " << i;
+    }
+  }
+}
+
+TEST(YenKsp, WorksOnGeneratedTopology) {
+  util::Rng rng(11);
+  const topo::Topology t = topo::make_waxman(40, rng);
+  const auto paths = yen_k_shortest_paths(t.graph, 0, 39, 8);
+  ASSERT_GE(paths.size(), 2u);
+  for (const WeightedPath& p : paths) {
+    EXPECT_TRUE(is_simple_path(t.graph, p, 0, 39));
+  }
+}
+
+}  // namespace
+}  // namespace nfvm::graph

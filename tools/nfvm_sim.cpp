@@ -1,0 +1,229 @@
+// nfvm_sim - command-line online-admission simulator.
+//
+//   nfvm_sim [options]
+//     --topology <waxman|transit-stub|geant|as1755|as4755>   (default waxman)
+//     --nodes <n>            switches for generated topologies (default 100)
+//     --seed <s>             RNG seed for topology + workload (default 1)
+//     --mode <online|offline>                                (default online)
+//     --algorithm <online_cp|online_sp|online_sp_static|all> (online mode)
+//     --requests <r>         arrivals (default 300)
+//     --dest-ratio <x>       fix Dmax/|V| (default: U[0.05, 0.2])
+//     --max-delay <ms>       delay bound per request (assigns link delays)
+//     --dynamic              Poisson arrivals + exponential holding times
+//     --arrival-rate <x>     (dynamic only, default 1.0)
+//     --mean-duration <x>    (dynamic only, default 20.0)
+//     --dump-topology <file> write the topology in nfvm-topology format
+//     --dump-dot <file>      write a Graphviz rendering of the topology
+//
+// Prints one metrics row per algorithm.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/alg_one_server.h"
+#include "core/appro_multi.h"
+#include "core/chain_split.h"
+#include "core/online_cp.h"
+#include "core/online_sp.h"
+#include "core/online_sp_static.h"
+#include "io/dot.h"
+#include "io/serialize.h"
+#include "sim/simulator.h"
+#include "topology/geant.h"
+#include "topology/rocketfuel.h"
+#include "topology/transit_stub.h"
+#include "topology/waxman.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace nfvm;
+
+struct Options {
+  std::string mode = "online";
+  std::string topology = "waxman";
+  std::size_t nodes = 100;
+  std::uint64_t seed = 1;
+  std::string algorithm = "all";
+  std::size_t requests = 300;
+  double dest_ratio = 0.0;  // 0 = paper default range
+  double max_delay_ms = 0.0;  // 0 = unconstrained
+  bool dynamic = false;
+  double arrival_rate = 1.0;
+  double mean_duration = 20.0;
+  std::string dump_topology;
+  std::string dump_dot;
+};
+
+[[noreturn]] void usage(const std::string& error) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n";
+  std::cerr << "usage: nfvm_sim [--mode online|offline] [--topology T] [--nodes N] [--seed S]\n"
+               "                [--algorithm A] [--requests R] [--dest-ratio X]\n"
+               "                [--max-delay MS] [--dynamic] [--arrival-rate X] [--mean-duration X]\n"
+               "                [--dump-topology FILE] [--dump-dot FILE]\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage("");
+    else if (arg == "--mode") opts.mode = need_value(i);
+    else if (arg == "--topology") opts.topology = need_value(i);
+    else if (arg == "--nodes") opts.nodes = std::stoul(need_value(i));
+    else if (arg == "--seed") opts.seed = std::stoull(need_value(i));
+    else if (arg == "--algorithm") opts.algorithm = need_value(i);
+    else if (arg == "--requests") opts.requests = std::stoul(need_value(i));
+    else if (arg == "--dest-ratio") opts.dest_ratio = std::stod(need_value(i));
+    else if (arg == "--max-delay") opts.max_delay_ms = std::stod(need_value(i));
+    else if (arg == "--dynamic") opts.dynamic = true;
+    else if (arg == "--arrival-rate") opts.arrival_rate = std::stod(need_value(i));
+    else if (arg == "--mean-duration") opts.mean_duration = std::stod(need_value(i));
+    else if (arg == "--dump-topology") opts.dump_topology = need_value(i);
+    else if (arg == "--dump-dot") opts.dump_dot = need_value(i);
+    else usage("unknown option " + arg);
+  }
+  return opts;
+}
+
+topo::Topology build_topology(const Options& opts, util::Rng& rng) {
+  if (opts.topology == "waxman") {
+    topo::WaxmanOptions wo;
+    wo.target_mean_degree = 4.0;
+    return topo::make_waxman(opts.nodes, rng, wo);
+  }
+  if (opts.topology == "transit-stub") return topo::make_transit_stub(opts.nodes, rng);
+  if (opts.topology == "geant") return topo::make_geant(rng);
+  if (opts.topology == "as1755") return topo::make_as1755(rng);
+  if (opts.topology == "as4755") return topo::make_as4755(rng);
+  usage("unknown topology " + opts.topology);
+}
+
+std::unique_ptr<core::OnlineAlgorithm> build_algorithm(const std::string& name,
+                                                       const topo::Topology& topo) {
+  if (name == "online_cp") return std::make_unique<core::OnlineCp>(topo);
+  if (name == "online_sp") return std::make_unique<core::OnlineSp>(topo);
+  if (name == "online_sp_static") return std::make_unique<core::OnlineSpStatic>(topo);
+  usage("unknown algorithm " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_args(argc, argv);
+
+  util::Rng rng(opts.seed);
+  topo::Topology topo = build_topology(opts, rng);
+  if (opts.max_delay_ms > 0) topo::assign_delays(topo, rng);
+  std::cout << "# topology " << topo.name << ": " << topo.num_switches()
+            << " switches, " << topo.num_links() << " links, "
+            << topo.servers.size() << " servers\n";
+
+  if (!opts.dump_topology.empty()) {
+    std::ofstream out(opts.dump_topology);
+    if (!out) usage("cannot open " + opts.dump_topology);
+    io::write_topology(out, topo);
+    std::cout << "# topology written to " << opts.dump_topology << "\n";
+  }
+  if (!opts.dump_dot.empty()) {
+    std::ofstream out(opts.dump_dot);
+    if (!out) usage("cannot open " + opts.dump_dot);
+    out << io::to_dot(topo);
+    std::cout << "# dot written to " << opts.dump_dot << "\n";
+  }
+
+  sim::RequestGenOptions gen_opts;
+  if (opts.dest_ratio > 0) {
+    gen_opts.min_dest_ratio = opts.dest_ratio;
+    gen_opts.max_dest_ratio = opts.dest_ratio;
+  }
+
+  if (opts.mode == "offline") {
+    // Offline single-request comparison: Appro_Multi (K=1..3), the
+    // one-server baseline and the chain-split extension, averaged over the
+    // request batch on the uncapacitated network.
+    util::Rng costs_rng(opts.seed + 2);
+    const core::LinearCosts costs = core::random_costs(topo, costs_rng);
+    util::Rng workload(opts.seed + 1);
+    sim::RequestGenerator gen(topo, workload, gen_opts);
+    const std::size_t batch = std::min<std::size_t>(opts.requests, 100);
+    util::RunningStats k1, k2, k3, one, split;
+    for (std::size_t i = 0; i < batch; ++i) {
+      nfv::Request r = gen.next();
+      r.max_delay_ms = opts.max_delay_ms;
+      for (std::size_t k = 1; k <= 3; ++k) {
+        core::ApproMultiOptions ao;
+        ao.max_servers = k;
+        ao.engine = core::ApproMultiOptions::Engine::kSharedDijkstra;
+        const core::OfflineSolution sol = core::appro_multi(topo, costs, r, ao);
+        if (!sol.admitted) continue;
+        (k == 1 ? k1 : k == 2 ? k2 : k3).add(sol.tree.cost);
+      }
+      const core::OfflineSolution base = core::alg_one_server(topo, costs, r);
+      if (base.admitted) one.add(base.tree.cost);
+      const core::ChainSplitSolution cs = core::chain_split_multicast(topo, costs, r);
+      if (cs.admitted) split.add(cs.tree.cost);
+    }
+    util::Table offline_table({"algorithm", "admitted", "mean_cost"});
+    offline_table.begin_row().add("appro_multi_K1").add(k1.count()).add(k1.mean(), 3);
+    offline_table.begin_row().add("appro_multi_K2").add(k2.count()).add(k2.mean(), 3);
+    offline_table.begin_row().add("appro_multi_K3").add(k3.count()).add(k3.mean(), 3);
+    offline_table.begin_row().add("alg_one_server").add(one.count()).add(one.mean(), 3);
+    offline_table.begin_row().add("chain_split").add(split.count()).add(split.mean(), 3);
+    offline_table.print(std::cout);
+    return 0;
+  }
+  if (opts.mode != "online") usage("unknown mode " + opts.mode);
+
+  std::vector<std::string> algorithms;
+  if (opts.algorithm == "all") {
+    algorithms = {"online_cp", "online_sp", "online_sp_static"};
+  } else {
+    algorithms = {opts.algorithm};
+  }
+
+  util::Table table({"algorithm", "requests", "admitted", "acceptance",
+                     "mean_cost", "peak_active"});
+  for (const std::string& name : algorithms) {
+    // Fresh, identical workload per algorithm.
+    util::Rng workload(opts.seed + 1);
+    sim::RequestGenerator gen(topo, workload, gen_opts);
+    auto algo = build_algorithm(name, topo);
+    if (opts.dynamic) {
+      sim::DynamicWorkloadOptions dyn;
+      dyn.arrival_rate = opts.arrival_rate;
+      dyn.mean_duration = opts.mean_duration;
+      auto requests = sim::make_poisson_workload(gen, workload, opts.requests, dyn);
+      for (auto& tr : requests) tr.request.max_delay_ms = opts.max_delay_ms;
+      const sim::DynamicMetrics m = sim::run_online_dynamic(*algo, requests);
+      table.begin_row()
+          .add(std::string(algo->name()))
+          .add(m.num_requests)
+          .add(m.num_admitted)
+          .add(m.acceptance_ratio(), 3)
+          .add(m.admitted_costs.empty() ? 0.0 : m.admitted_costs.mean(), 3)
+          .add(m.peak_active);
+    } else {
+      auto requests = gen.sequence(opts.requests);
+      for (auto& r : requests) r.max_delay_ms = opts.max_delay_ms;
+      const sim::SimulationMetrics m = sim::run_online(*algo, requests);
+      table.begin_row()
+          .add(std::string(algo->name()))
+          .add(m.num_requests)
+          .add(m.num_admitted)
+          .add(m.acceptance_ratio(), 3)
+          .add(m.admitted_costs.empty() ? 0.0 : m.admitted_costs.mean(), 3)
+          .add(std::string("-"));
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}
