@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_thresholds"
+  "../bench/bench_ablation_thresholds.pdb"
+  "CMakeFiles/bench_ablation_thresholds.dir/bench_ablation_thresholds.cpp.o"
+  "CMakeFiles/bench_ablation_thresholds.dir/bench_ablation_thresholds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_backup"
+  "../bench/bench_ext_backup.pdb"
+  "CMakeFiles/bench_ext_backup.dir/bench_ext_backup.cpp.o"
+  "CMakeFiles/bench_ext_backup.dir/bench_ext_backup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_batch"
+  "../bench/bench_ext_batch.pdb"
+  "CMakeFiles/bench_ext_batch.dir/bench_ext_batch.cpp.o"
+  "CMakeFiles/bench_ext_batch.dir/bench_ext_batch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_chain_split"
+  "../bench/bench_ext_chain_split.pdb"
+  "CMakeFiles/bench_ext_chain_split.dir/bench_ext_chain_split.cpp.o"
+  "CMakeFiles/bench_ext_chain_split.dir/bench_ext_chain_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_chain_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_delay"
+  "../bench/bench_ext_delay.pdb"
+  "CMakeFiles/bench_ext_delay.dir/bench_ext_delay.cpp.o"
+  "CMakeFiles/bench_ext_delay.dir/bench_ext_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_table_capacity"
+  "../bench/bench_ext_table_capacity.pdb"
+  "CMakeFiles/bench_ext_table_capacity.dir/bench_ext_table_capacity.cpp.o"
+  "CMakeFiles/bench_ext_table_capacity.dir/bench_ext_table_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_table_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_real_topologies"
+  "../bench/bench_fig6_real_topologies.pdb"
+  "CMakeFiles/bench_fig6_real_topologies.dir/bench_fig6_real_topologies.cpp.o"
+  "CMakeFiles/bench_fig6_real_topologies.dir/bench_fig6_real_topologies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_real_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

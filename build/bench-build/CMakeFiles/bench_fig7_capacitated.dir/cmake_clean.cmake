@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_capacitated"
+  "../bench/bench_fig7_capacitated.pdb"
+  "CMakeFiles/bench_fig7_capacitated.dir/bench_fig7_capacitated.cpp.o"
+  "CMakeFiles/bench_fig7_capacitated.dir/bench_fig7_capacitated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_capacitated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_online_requests"
+  "../bench/bench_fig9_online_requests.pdb"
+  "CMakeFiles/bench_fig9_online_requests.dir/bench_fig9_online_requests.cpp.o"
+  "CMakeFiles/bench_fig9_online_requests.dir/bench_fig9_online_requests.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_online_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_graph"
+  "../bench/bench_micro_graph.pdb"
+  "CMakeFiles/bench_micro_graph.dir/bench_micro_graph.cpp.o"
+  "CMakeFiles/bench_micro_graph.dir/bench_micro_graph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ratio_measured"
+  "../bench/bench_ratio_measured.pdb"
+  "CMakeFiles/bench_ratio_measured.dir/bench_ratio_measured.cpp.o"
+  "CMakeFiles/bench_ratio_measured.dir/bench_ratio_measured.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ratio_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

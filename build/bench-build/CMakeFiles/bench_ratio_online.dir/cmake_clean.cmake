@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ratio_online"
+  "../bench/bench_ratio_online.pdb"
+  "CMakeFiles/bench_ratio_online.dir/bench_ratio_online.cpp.o"
+  "CMakeFiles/bench_ratio_online.dir/bench_ratio_online.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ratio_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_admission.dir/online_admission.cpp.o"
+  "CMakeFiles/online_admission.dir/online_admission.cpp.o.d"
+  "online_admission"
+  "online_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

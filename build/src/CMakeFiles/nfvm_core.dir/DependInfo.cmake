@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alg_one_server.cpp" "src/CMakeFiles/nfvm_core.dir/core/alg_one_server.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/alg_one_server.cpp.o.d"
+  "/root/repo/src/core/appro_multi.cpp" "src/CMakeFiles/nfvm_core.dir/core/appro_multi.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/appro_multi.cpp.o.d"
+  "/root/repo/src/core/aux_graph.cpp" "src/CMakeFiles/nfvm_core.dir/core/aux_graph.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/aux_graph.cpp.o.d"
+  "/root/repo/src/core/backup.cpp" "src/CMakeFiles/nfvm_core.dir/core/backup.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/backup.cpp.o.d"
+  "/root/repo/src/core/batch_planner.cpp" "src/CMakeFiles/nfvm_core.dir/core/batch_planner.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/batch_planner.cpp.o.d"
+  "/root/repo/src/core/chain_split.cpp" "src/CMakeFiles/nfvm_core.dir/core/chain_split.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/chain_split.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/nfvm_core.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/delay.cpp" "src/CMakeFiles/nfvm_core.dir/core/delay.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/delay.cpp.o.d"
+  "/root/repo/src/core/exact_offline.cpp" "src/CMakeFiles/nfvm_core.dir/core/exact_offline.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/exact_offline.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/CMakeFiles/nfvm_core.dir/core/online.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/online.cpp.o.d"
+  "/root/repo/src/core/online_cp.cpp" "src/CMakeFiles/nfvm_core.dir/core/online_cp.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/online_cp.cpp.o.d"
+  "/root/repo/src/core/online_sp.cpp" "src/CMakeFiles/nfvm_core.dir/core/online_sp.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/online_sp.cpp.o.d"
+  "/root/repo/src/core/online_sp_static.cpp" "src/CMakeFiles/nfvm_core.dir/core/online_sp_static.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/online_sp_static.cpp.o.d"
+  "/root/repo/src/core/pseudo_tree.cpp" "src/CMakeFiles/nfvm_core.dir/core/pseudo_tree.cpp.o" "gcc" "src/CMakeFiles/nfvm_core.dir/core/pseudo_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nfvm_nfv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_core.dir/core/alg_one_server.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/alg_one_server.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/appro_multi.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/appro_multi.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/aux_graph.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/aux_graph.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/backup.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/backup.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/batch_planner.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/batch_planner.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/chain_split.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/chain_split.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/cost_model.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/cost_model.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/delay.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/delay.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/exact_offline.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/exact_offline.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/online.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/online.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/online_cp.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/online_cp.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/online_sp.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/online_sp.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/online_sp_static.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/online_sp_static.cpp.o.d"
+  "CMakeFiles/nfvm_core.dir/core/pseudo_tree.cpp.o"
+  "CMakeFiles/nfvm_core.dir/core/pseudo_tree.cpp.o.d"
+  "libnfvm_core.a"
+  "libnfvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

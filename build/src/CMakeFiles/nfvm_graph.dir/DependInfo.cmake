@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/apsp.cpp" "src/CMakeFiles/nfvm_graph.dir/graph/apsp.cpp.o" "gcc" "src/CMakeFiles/nfvm_graph.dir/graph/apsp.cpp.o.d"
+  "/root/repo/src/graph/bridges.cpp" "src/CMakeFiles/nfvm_graph.dir/graph/bridges.cpp.o" "gcc" "src/CMakeFiles/nfvm_graph.dir/graph/bridges.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/nfvm_graph.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/nfvm_graph.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/CMakeFiles/nfvm_graph.dir/graph/dijkstra.cpp.o" "gcc" "src/CMakeFiles/nfvm_graph.dir/graph/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/nfvm_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/nfvm_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "src/CMakeFiles/nfvm_graph.dir/graph/mst.cpp.o" "gcc" "src/CMakeFiles/nfvm_graph.dir/graph/mst.cpp.o.d"
+  "/root/repo/src/graph/steiner.cpp" "src/CMakeFiles/nfvm_graph.dir/graph/steiner.cpp.o" "gcc" "src/CMakeFiles/nfvm_graph.dir/graph/steiner.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/CMakeFiles/nfvm_graph.dir/graph/subgraph.cpp.o" "gcc" "src/CMakeFiles/nfvm_graph.dir/graph/subgraph.cpp.o.d"
+  "/root/repo/src/graph/tree.cpp" "src/CMakeFiles/nfvm_graph.dir/graph/tree.cpp.o" "gcc" "src/CMakeFiles/nfvm_graph.dir/graph/tree.cpp.o.d"
+  "/root/repo/src/graph/union_find.cpp" "src/CMakeFiles/nfvm_graph.dir/graph/union_find.cpp.o" "gcc" "src/CMakeFiles/nfvm_graph.dir/graph/union_find.cpp.o.d"
+  "/root/repo/src/graph/yen_ksp.cpp" "src/CMakeFiles/nfvm_graph.dir/graph/yen_ksp.cpp.o" "gcc" "src/CMakeFiles/nfvm_graph.dir/graph/yen_ksp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nfvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_graph.dir/graph/apsp.cpp.o"
+  "CMakeFiles/nfvm_graph.dir/graph/apsp.cpp.o.d"
+  "CMakeFiles/nfvm_graph.dir/graph/bridges.cpp.o"
+  "CMakeFiles/nfvm_graph.dir/graph/bridges.cpp.o.d"
+  "CMakeFiles/nfvm_graph.dir/graph/components.cpp.o"
+  "CMakeFiles/nfvm_graph.dir/graph/components.cpp.o.d"
+  "CMakeFiles/nfvm_graph.dir/graph/dijkstra.cpp.o"
+  "CMakeFiles/nfvm_graph.dir/graph/dijkstra.cpp.o.d"
+  "CMakeFiles/nfvm_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/nfvm_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/nfvm_graph.dir/graph/mst.cpp.o"
+  "CMakeFiles/nfvm_graph.dir/graph/mst.cpp.o.d"
+  "CMakeFiles/nfvm_graph.dir/graph/steiner.cpp.o"
+  "CMakeFiles/nfvm_graph.dir/graph/steiner.cpp.o.d"
+  "CMakeFiles/nfvm_graph.dir/graph/subgraph.cpp.o"
+  "CMakeFiles/nfvm_graph.dir/graph/subgraph.cpp.o.d"
+  "CMakeFiles/nfvm_graph.dir/graph/tree.cpp.o"
+  "CMakeFiles/nfvm_graph.dir/graph/tree.cpp.o.d"
+  "CMakeFiles/nfvm_graph.dir/graph/union_find.cpp.o"
+  "CMakeFiles/nfvm_graph.dir/graph/union_find.cpp.o.d"
+  "CMakeFiles/nfvm_graph.dir/graph/yen_ksp.cpp.o"
+  "CMakeFiles/nfvm_graph.dir/graph/yen_ksp.cpp.o.d"
+  "libnfvm_graph.a"
+  "libnfvm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

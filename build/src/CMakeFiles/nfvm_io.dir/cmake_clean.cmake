@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_io.dir/io/dot.cpp.o"
+  "CMakeFiles/nfvm_io.dir/io/dot.cpp.o.d"
+  "CMakeFiles/nfvm_io.dir/io/serialize.cpp.o"
+  "CMakeFiles/nfvm_io.dir/io/serialize.cpp.o.d"
+  "libnfvm_io.a"
+  "libnfvm_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfv/network_function.cpp" "src/CMakeFiles/nfvm_nfv.dir/nfv/network_function.cpp.o" "gcc" "src/CMakeFiles/nfvm_nfv.dir/nfv/network_function.cpp.o.d"
+  "/root/repo/src/nfv/request.cpp" "src/CMakeFiles/nfvm_nfv.dir/nfv/request.cpp.o" "gcc" "src/CMakeFiles/nfvm_nfv.dir/nfv/request.cpp.o.d"
+  "/root/repo/src/nfv/resources.cpp" "src/CMakeFiles/nfvm_nfv.dir/nfv/resources.cpp.o" "gcc" "src/CMakeFiles/nfvm_nfv.dir/nfv/resources.cpp.o.d"
+  "/root/repo/src/nfv/service_chain.cpp" "src/CMakeFiles/nfvm_nfv.dir/nfv/service_chain.cpp.o" "gcc" "src/CMakeFiles/nfvm_nfv.dir/nfv/service_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nfvm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_nfv.dir/nfv/network_function.cpp.o"
+  "CMakeFiles/nfvm_nfv.dir/nfv/network_function.cpp.o.d"
+  "CMakeFiles/nfvm_nfv.dir/nfv/request.cpp.o"
+  "CMakeFiles/nfvm_nfv.dir/nfv/request.cpp.o.d"
+  "CMakeFiles/nfvm_nfv.dir/nfv/resources.cpp.o"
+  "CMakeFiles/nfvm_nfv.dir/nfv/resources.cpp.o.d"
+  "CMakeFiles/nfvm_nfv.dir/nfv/service_chain.cpp.o"
+  "CMakeFiles/nfvm_nfv.dir/nfv/service_chain.cpp.o.d"
+  "libnfvm_nfv.a"
+  "libnfvm_nfv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_nfv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

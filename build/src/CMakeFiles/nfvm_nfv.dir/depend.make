@@ -1,0 +1,2 @@
+# Empty dependencies file for nfvm_nfv.
+# This may be replaced when dependencies are built.

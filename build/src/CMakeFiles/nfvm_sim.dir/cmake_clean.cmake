@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/nfvm_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/nfvm_sim.dir/sim/request_gen.cpp.o"
+  "CMakeFiles/nfvm_sim.dir/sim/request_gen.cpp.o.d"
+  "CMakeFiles/nfvm_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/nfvm_sim.dir/sim/simulator.cpp.o.d"
+  "libnfvm_sim.a"
+  "libnfvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

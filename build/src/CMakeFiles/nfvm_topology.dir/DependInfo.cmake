@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/geant.cpp" "src/CMakeFiles/nfvm_topology.dir/topology/geant.cpp.o" "gcc" "src/CMakeFiles/nfvm_topology.dir/topology/geant.cpp.o.d"
+  "/root/repo/src/topology/rocketfuel.cpp" "src/CMakeFiles/nfvm_topology.dir/topology/rocketfuel.cpp.o" "gcc" "src/CMakeFiles/nfvm_topology.dir/topology/rocketfuel.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/CMakeFiles/nfvm_topology.dir/topology/topology.cpp.o" "gcc" "src/CMakeFiles/nfvm_topology.dir/topology/topology.cpp.o.d"
+  "/root/repo/src/topology/transit_stub.cpp" "src/CMakeFiles/nfvm_topology.dir/topology/transit_stub.cpp.o" "gcc" "src/CMakeFiles/nfvm_topology.dir/topology/transit_stub.cpp.o.d"
+  "/root/repo/src/topology/waxman.cpp" "src/CMakeFiles/nfvm_topology.dir/topology/waxman.cpp.o" "gcc" "src/CMakeFiles/nfvm_topology.dir/topology/waxman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nfvm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_topology.dir/topology/geant.cpp.o"
+  "CMakeFiles/nfvm_topology.dir/topology/geant.cpp.o.d"
+  "CMakeFiles/nfvm_topology.dir/topology/rocketfuel.cpp.o"
+  "CMakeFiles/nfvm_topology.dir/topology/rocketfuel.cpp.o.d"
+  "CMakeFiles/nfvm_topology.dir/topology/topology.cpp.o"
+  "CMakeFiles/nfvm_topology.dir/topology/topology.cpp.o.d"
+  "CMakeFiles/nfvm_topology.dir/topology/transit_stub.cpp.o"
+  "CMakeFiles/nfvm_topology.dir/topology/transit_stub.cpp.o.d"
+  "CMakeFiles/nfvm_topology.dir/topology/waxman.cpp.o"
+  "CMakeFiles/nfvm_topology.dir/topology/waxman.cpp.o.d"
+  "libnfvm_topology.a"
+  "libnfvm_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnfvm_topology.a"
+)

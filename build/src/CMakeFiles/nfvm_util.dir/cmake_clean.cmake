@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_util.dir/util/env.cpp.o"
+  "CMakeFiles/nfvm_util.dir/util/env.cpp.o.d"
+  "CMakeFiles/nfvm_util.dir/util/rng.cpp.o"
+  "CMakeFiles/nfvm_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/nfvm_util.dir/util/stats.cpp.o"
+  "CMakeFiles/nfvm_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/nfvm_util.dir/util/table.cpp.o"
+  "CMakeFiles/nfvm_util.dir/util/table.cpp.o.d"
+  "libnfvm_util.a"
+  "libnfvm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

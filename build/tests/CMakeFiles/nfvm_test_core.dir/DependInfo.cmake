@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aux_graph.cpp" "tests/CMakeFiles/nfvm_test_core.dir/test_aux_graph.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_core.dir/test_aux_graph.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/nfvm_test_core.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_core.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_delay.cpp" "tests/CMakeFiles/nfvm_test_core.dir/test_delay.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_core.dir/test_delay.cpp.o.d"
+  "/root/repo/tests/test_pseudo_tree.cpp" "tests/CMakeFiles/nfvm_test_core.dir/test_pseudo_tree.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_core.dir/test_pseudo_tree.cpp.o.d"
+  "/root/repo/tests/test_table_capacity.cpp" "tests/CMakeFiles/nfvm_test_core.dir/test_table_capacity.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_core.dir/test_table_capacity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nfvm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_nfv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_test_core.dir/test_aux_graph.cpp.o"
+  "CMakeFiles/nfvm_test_core.dir/test_aux_graph.cpp.o.d"
+  "CMakeFiles/nfvm_test_core.dir/test_cost_model.cpp.o"
+  "CMakeFiles/nfvm_test_core.dir/test_cost_model.cpp.o.d"
+  "CMakeFiles/nfvm_test_core.dir/test_delay.cpp.o"
+  "CMakeFiles/nfvm_test_core.dir/test_delay.cpp.o.d"
+  "CMakeFiles/nfvm_test_core.dir/test_pseudo_tree.cpp.o"
+  "CMakeFiles/nfvm_test_core.dir/test_pseudo_tree.cpp.o.d"
+  "CMakeFiles/nfvm_test_core.dir/test_table_capacity.cpp.o"
+  "CMakeFiles/nfvm_test_core.dir/test_table_capacity.cpp.o.d"
+  "nfvm_test_core"
+  "nfvm_test_core.pdb"
+  "nfvm_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apsp.cpp" "tests/CMakeFiles/nfvm_test_graph.dir/test_apsp.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_graph.dir/test_apsp.cpp.o.d"
+  "/root/repo/tests/test_bridges.cpp" "tests/CMakeFiles/nfvm_test_graph.dir/test_bridges.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_graph.dir/test_bridges.cpp.o.d"
+  "/root/repo/tests/test_components.cpp" "tests/CMakeFiles/nfvm_test_graph.dir/test_components.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_graph.dir/test_components.cpp.o.d"
+  "/root/repo/tests/test_dijkstra.cpp" "tests/CMakeFiles/nfvm_test_graph.dir/test_dijkstra.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_graph.dir/test_dijkstra.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/nfvm_test_graph.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_graph.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_model.cpp" "tests/CMakeFiles/nfvm_test_graph.dir/test_graph_model.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_graph.dir/test_graph_model.cpp.o.d"
+  "/root/repo/tests/test_mst.cpp" "tests/CMakeFiles/nfvm_test_graph.dir/test_mst.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_graph.dir/test_mst.cpp.o.d"
+  "/root/repo/tests/test_subgraph.cpp" "tests/CMakeFiles/nfvm_test_graph.dir/test_subgraph.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_graph.dir/test_subgraph.cpp.o.d"
+  "/root/repo/tests/test_union_find.cpp" "tests/CMakeFiles/nfvm_test_graph.dir/test_union_find.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_graph.dir/test_union_find.cpp.o.d"
+  "/root/repo/tests/test_yen_ksp.cpp" "tests/CMakeFiles/nfvm_test_graph.dir/test_yen_ksp.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_graph.dir/test_yen_ksp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nfvm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_nfv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_test_graph.dir/test_apsp.cpp.o"
+  "CMakeFiles/nfvm_test_graph.dir/test_apsp.cpp.o.d"
+  "CMakeFiles/nfvm_test_graph.dir/test_bridges.cpp.o"
+  "CMakeFiles/nfvm_test_graph.dir/test_bridges.cpp.o.d"
+  "CMakeFiles/nfvm_test_graph.dir/test_components.cpp.o"
+  "CMakeFiles/nfvm_test_graph.dir/test_components.cpp.o.d"
+  "CMakeFiles/nfvm_test_graph.dir/test_dijkstra.cpp.o"
+  "CMakeFiles/nfvm_test_graph.dir/test_dijkstra.cpp.o.d"
+  "CMakeFiles/nfvm_test_graph.dir/test_graph.cpp.o"
+  "CMakeFiles/nfvm_test_graph.dir/test_graph.cpp.o.d"
+  "CMakeFiles/nfvm_test_graph.dir/test_graph_model.cpp.o"
+  "CMakeFiles/nfvm_test_graph.dir/test_graph_model.cpp.o.d"
+  "CMakeFiles/nfvm_test_graph.dir/test_mst.cpp.o"
+  "CMakeFiles/nfvm_test_graph.dir/test_mst.cpp.o.d"
+  "CMakeFiles/nfvm_test_graph.dir/test_subgraph.cpp.o"
+  "CMakeFiles/nfvm_test_graph.dir/test_subgraph.cpp.o.d"
+  "CMakeFiles/nfvm_test_graph.dir/test_union_find.cpp.o"
+  "CMakeFiles/nfvm_test_graph.dir/test_union_find.cpp.o.d"
+  "CMakeFiles/nfvm_test_graph.dir/test_yen_ksp.cpp.o"
+  "CMakeFiles/nfvm_test_graph.dir/test_yen_ksp.cpp.o.d"
+  "nfvm_test_graph"
+  "nfvm_test_graph.pdb"
+  "nfvm_test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

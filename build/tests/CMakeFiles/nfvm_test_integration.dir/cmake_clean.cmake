@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_test_integration.dir/test_integration.cpp.o"
+  "CMakeFiles/nfvm_test_integration.dir/test_integration.cpp.o.d"
+  "nfvm_test_integration"
+  "nfvm_test_integration.pdb"
+  "nfvm_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

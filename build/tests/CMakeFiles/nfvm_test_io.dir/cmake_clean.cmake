@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_test_io.dir/test_dot.cpp.o"
+  "CMakeFiles/nfvm_test_io.dir/test_dot.cpp.o.d"
+  "CMakeFiles/nfvm_test_io.dir/test_serialize.cpp.o"
+  "CMakeFiles/nfvm_test_io.dir/test_serialize.cpp.o.d"
+  "nfvm_test_io"
+  "nfvm_test_io.pdb"
+  "nfvm_test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

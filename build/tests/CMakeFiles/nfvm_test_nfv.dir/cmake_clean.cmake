@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_test_nfv.dir/test_network_function.cpp.o"
+  "CMakeFiles/nfvm_test_nfv.dir/test_network_function.cpp.o.d"
+  "CMakeFiles/nfvm_test_nfv.dir/test_request.cpp.o"
+  "CMakeFiles/nfvm_test_nfv.dir/test_request.cpp.o.d"
+  "CMakeFiles/nfvm_test_nfv.dir/test_resources.cpp.o"
+  "CMakeFiles/nfvm_test_nfv.dir/test_resources.cpp.o.d"
+  "CMakeFiles/nfvm_test_nfv.dir/test_service_chain.cpp.o"
+  "CMakeFiles/nfvm_test_nfv.dir/test_service_chain.cpp.o.d"
+  "nfvm_test_nfv"
+  "nfvm_test_nfv.pdb"
+  "nfvm_test_nfv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_test_nfv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

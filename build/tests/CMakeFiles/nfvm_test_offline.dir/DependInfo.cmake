@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alg_one_server.cpp" "tests/CMakeFiles/nfvm_test_offline.dir/test_alg_one_server.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_offline.dir/test_alg_one_server.cpp.o.d"
+  "/root/repo/tests/test_appro_multi.cpp" "tests/CMakeFiles/nfvm_test_offline.dir/test_appro_multi.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_offline.dir/test_appro_multi.cpp.o.d"
+  "/root/repo/tests/test_appro_multi_shared.cpp" "tests/CMakeFiles/nfvm_test_offline.dir/test_appro_multi_shared.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_offline.dir/test_appro_multi_shared.cpp.o.d"
+  "/root/repo/tests/test_backup.cpp" "tests/CMakeFiles/nfvm_test_offline.dir/test_backup.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_offline.dir/test_backup.cpp.o.d"
+  "/root/repo/tests/test_batch_planner.cpp" "tests/CMakeFiles/nfvm_test_offline.dir/test_batch_planner.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_offline.dir/test_batch_planner.cpp.o.d"
+  "/root/repo/tests/test_chain_split.cpp" "tests/CMakeFiles/nfvm_test_offline.dir/test_chain_split.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_offline.dir/test_chain_split.cpp.o.d"
+  "/root/repo/tests/test_exact_offline.cpp" "tests/CMakeFiles/nfvm_test_offline.dir/test_exact_offline.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_offline.dir/test_exact_offline.cpp.o.d"
+  "/root/repo/tests/test_offline_properties.cpp" "tests/CMakeFiles/nfvm_test_offline.dir/test_offline_properties.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_offline.dir/test_offline_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nfvm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_nfv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

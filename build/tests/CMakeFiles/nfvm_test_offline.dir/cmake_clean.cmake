@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_test_offline.dir/test_alg_one_server.cpp.o"
+  "CMakeFiles/nfvm_test_offline.dir/test_alg_one_server.cpp.o.d"
+  "CMakeFiles/nfvm_test_offline.dir/test_appro_multi.cpp.o"
+  "CMakeFiles/nfvm_test_offline.dir/test_appro_multi.cpp.o.d"
+  "CMakeFiles/nfvm_test_offline.dir/test_appro_multi_shared.cpp.o"
+  "CMakeFiles/nfvm_test_offline.dir/test_appro_multi_shared.cpp.o.d"
+  "CMakeFiles/nfvm_test_offline.dir/test_backup.cpp.o"
+  "CMakeFiles/nfvm_test_offline.dir/test_backup.cpp.o.d"
+  "CMakeFiles/nfvm_test_offline.dir/test_batch_planner.cpp.o"
+  "CMakeFiles/nfvm_test_offline.dir/test_batch_planner.cpp.o.d"
+  "CMakeFiles/nfvm_test_offline.dir/test_chain_split.cpp.o"
+  "CMakeFiles/nfvm_test_offline.dir/test_chain_split.cpp.o.d"
+  "CMakeFiles/nfvm_test_offline.dir/test_exact_offline.cpp.o"
+  "CMakeFiles/nfvm_test_offline.dir/test_exact_offline.cpp.o.d"
+  "CMakeFiles/nfvm_test_offline.dir/test_offline_properties.cpp.o"
+  "CMakeFiles/nfvm_test_offline.dir/test_offline_properties.cpp.o.d"
+  "nfvm_test_offline"
+  "nfvm_test_offline.pdb"
+  "nfvm_test_offline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_test_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_test_online.dir/test_online_base.cpp.o"
+  "CMakeFiles/nfvm_test_online.dir/test_online_base.cpp.o.d"
+  "CMakeFiles/nfvm_test_online.dir/test_online_cp.cpp.o"
+  "CMakeFiles/nfvm_test_online.dir/test_online_cp.cpp.o.d"
+  "CMakeFiles/nfvm_test_online.dir/test_online_sp.cpp.o"
+  "CMakeFiles/nfvm_test_online.dir/test_online_sp.cpp.o.d"
+  "CMakeFiles/nfvm_test_online.dir/test_online_sp_static.cpp.o"
+  "CMakeFiles/nfvm_test_online.dir/test_online_sp_static.cpp.o.d"
+  "nfvm_test_online"
+  "nfvm_test_online.pdb"
+  "nfvm_test_online[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_test_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

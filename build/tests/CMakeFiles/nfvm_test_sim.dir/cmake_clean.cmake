@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_test_sim.dir/test_dynamic_simulator.cpp.o"
+  "CMakeFiles/nfvm_test_sim.dir/test_dynamic_simulator.cpp.o.d"
+  "CMakeFiles/nfvm_test_sim.dir/test_request_gen.cpp.o"
+  "CMakeFiles/nfvm_test_sim.dir/test_request_gen.cpp.o.d"
+  "CMakeFiles/nfvm_test_sim.dir/test_simulator.cpp.o"
+  "CMakeFiles/nfvm_test_sim.dir/test_simulator.cpp.o.d"
+  "nfvm_test_sim"
+  "nfvm_test_sim.pdb"
+  "nfvm_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

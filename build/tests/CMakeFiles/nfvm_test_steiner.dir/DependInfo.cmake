@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_steiner.cpp" "tests/CMakeFiles/nfvm_test_steiner.dir/test_steiner.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_steiner.dir/test_steiner.cpp.o.d"
+  "/root/repo/tests/test_steiner_improve.cpp" "tests/CMakeFiles/nfvm_test_steiner.dir/test_steiner_improve.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_steiner.dir/test_steiner_improve.cpp.o.d"
+  "/root/repo/tests/test_steiner_properties.cpp" "tests/CMakeFiles/nfvm_test_steiner.dir/test_steiner_properties.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_steiner.dir/test_steiner_properties.cpp.o.d"
+  "/root/repo/tests/test_takahashi_matsuyama.cpp" "tests/CMakeFiles/nfvm_test_steiner.dir/test_takahashi_matsuyama.cpp.o" "gcc" "tests/CMakeFiles/nfvm_test_steiner.dir/test_takahashi_matsuyama.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nfvm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_nfv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nfvm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_test_steiner.dir/test_steiner.cpp.o"
+  "CMakeFiles/nfvm_test_steiner.dir/test_steiner.cpp.o.d"
+  "CMakeFiles/nfvm_test_steiner.dir/test_steiner_improve.cpp.o"
+  "CMakeFiles/nfvm_test_steiner.dir/test_steiner_improve.cpp.o.d"
+  "CMakeFiles/nfvm_test_steiner.dir/test_steiner_properties.cpp.o"
+  "CMakeFiles/nfvm_test_steiner.dir/test_steiner_properties.cpp.o.d"
+  "CMakeFiles/nfvm_test_steiner.dir/test_takahashi_matsuyama.cpp.o"
+  "CMakeFiles/nfvm_test_steiner.dir/test_takahashi_matsuyama.cpp.o.d"
+  "nfvm_test_steiner"
+  "nfvm_test_steiner.pdb"
+  "nfvm_test_steiner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_test_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_test_topology.dir/test_real_topologies.cpp.o"
+  "CMakeFiles/nfvm_test_topology.dir/test_real_topologies.cpp.o.d"
+  "CMakeFiles/nfvm_test_topology.dir/test_topology.cpp.o"
+  "CMakeFiles/nfvm_test_topology.dir/test_topology.cpp.o.d"
+  "CMakeFiles/nfvm_test_topology.dir/test_transit_stub.cpp.o"
+  "CMakeFiles/nfvm_test_topology.dir/test_transit_stub.cpp.o.d"
+  "CMakeFiles/nfvm_test_topology.dir/test_waxman.cpp.o"
+  "CMakeFiles/nfvm_test_topology.dir/test_waxman.cpp.o.d"
+  "nfvm_test_topology"
+  "nfvm_test_topology.pdb"
+  "nfvm_test_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_test_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

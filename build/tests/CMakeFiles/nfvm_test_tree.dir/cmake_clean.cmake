@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_test_tree.dir/test_tree.cpp.o"
+  "CMakeFiles/nfvm_test_tree.dir/test_tree.cpp.o.d"
+  "nfvm_test_tree"
+  "nfvm_test_tree.pdb"
+  "nfvm_test_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_test_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

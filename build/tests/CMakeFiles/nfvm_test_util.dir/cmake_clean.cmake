@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_test_util.dir/test_env.cpp.o"
+  "CMakeFiles/nfvm_test_util.dir/test_env.cpp.o.d"
+  "CMakeFiles/nfvm_test_util.dir/test_rng.cpp.o"
+  "CMakeFiles/nfvm_test_util.dir/test_rng.cpp.o.d"
+  "CMakeFiles/nfvm_test_util.dir/test_stats.cpp.o"
+  "CMakeFiles/nfvm_test_util.dir/test_stats.cpp.o.d"
+  "CMakeFiles/nfvm_test_util.dir/test_table.cpp.o"
+  "CMakeFiles/nfvm_test_util.dir/test_table.cpp.o.d"
+  "nfvm_test_util"
+  "nfvm_test_util.pdb"
+  "nfvm_test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/nfvm_test_util[1]_include.cmake")
+include("/root/repo/build/tests/nfvm_test_graph[1]_include.cmake")
+include("/root/repo/build/tests/nfvm_test_steiner[1]_include.cmake")
+include("/root/repo/build/tests/nfvm_test_tree[1]_include.cmake")
+include("/root/repo/build/tests/nfvm_test_topology[1]_include.cmake")
+include("/root/repo/build/tests/nfvm_test_nfv[1]_include.cmake")
+include("/root/repo/build/tests/nfvm_test_core[1]_include.cmake")
+include("/root/repo/build/tests/nfvm_test_offline[1]_include.cmake")
+include("/root/repo/build/tests/nfvm_test_online[1]_include.cmake")
+include("/root/repo/build/tests/nfvm_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/nfvm_test_io[1]_include.cmake")
+include("/root/repo/build/tests/nfvm_test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvm_cli.dir/nfvm_sim.cpp.o"
+  "CMakeFiles/nfvm_cli.dir/nfvm_sim.cpp.o.d"
+  "nfvm-sim"
+  "nfvm-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(nfvm_cli_smoke_static "/root/repo/build/tools/nfvm-sim" "--topology" "geant" "--algorithm" "all" "--requests" "60" "--seed" "3")
+set_tests_properties(nfvm_cli_smoke_static PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(nfvm_cli_smoke_dynamic "/root/repo/build/tools/nfvm-sim" "--topology" "as1755" "--algorithm" "online_cp" "--requests" "80" "--dynamic" "--arrival-rate" "2" "--mean-duration" "10")
+set_tests_properties(nfvm_cli_smoke_dynamic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(nfvm_cli_smoke_waxman "/root/repo/build/tools/nfvm-sim" "--topology" "waxman" "--nodes" "60" "--requests" "50" "--dest-ratio" "0.1")
+set_tests_properties(nfvm_cli_smoke_waxman PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(nfvm_cli_smoke_delay "/root/repo/build/tools/nfvm-sim" "--topology" "geant" "--requests" "40" "--max-delay" "15")
+set_tests_properties(nfvm_cli_smoke_delay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(nfvm_cli_smoke_offline "/root/repo/build/tools/nfvm-sim" "--mode" "offline" "--topology" "geant" "--requests" "20")
+set_tests_properties(nfvm_cli_smoke_offline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
