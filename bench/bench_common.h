@@ -5,14 +5,19 @@
 // trivially parsable. Workload sizes scale with two environment knobs:
 //   NFVM_BENCH_REQUESTS - requests averaged per offline data point
 //   NFVM_BENCH_ONLINE_REQUESTS - arrival-sequence length for online benches
+//   NFVM_BENCH_METRICS_JSON - when set, dump the metrics registry to this
+//     file when the binary exits (see docs/observability.md)
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <vector>
 
 #include "core/alg_one_server.h"
 #include "core/appro_multi.h"
+#include "obs/metrics.h"
 #include "sim/request_gen.h"
 #include "topology/waxman.h"
 #include "util/env.h"
@@ -21,6 +26,28 @@
 #include "util/timer.h"
 
 namespace nfvm::bench {
+
+namespace detail {
+
+/// Writes the global metrics registry to $NFVM_BENCH_METRICS_JSON (if set)
+/// when the process exits, so every bench binary exports its instrumentation
+/// without per-binary wiring.
+struct MetricsAtExit {
+  ~MetricsAtExit() {
+    const char* path = std::getenv("NFVM_BENCH_METRICS_JSON");
+    if (path == nullptr || *path == '\0') return;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot open NFVM_BENCH_METRICS_JSON=" << path << "\n";
+      return;
+    }
+    obs::Registry::global().write_json(out);
+  }
+};
+
+inline const MetricsAtExit metrics_at_exit{};
+
+}  // namespace detail
 
 inline std::size_t offline_requests_per_point(std::size_t fallback = 10) {
   const auto v = util::env_int("NFVM_BENCH_REQUESTS", static_cast<long>(fallback));

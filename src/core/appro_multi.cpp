@@ -9,6 +9,8 @@
 #include "core/delay.h"
 #include "graph/steiner.h"
 #include "graph/tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nfvm::core {
 namespace {
@@ -57,6 +59,7 @@ struct SharedOracle {
 };
 
 SharedOracle build_shared_oracle(const WorkContext& ctx, const nfv::Request& request) {
+  NFVM_SPAN("appro_multi/build_shared_oracle");
   SharedOracle oracle;
   oracle.ctx = &ctx;
   oracle.request = &request;
@@ -273,6 +276,8 @@ OfflineSolution appro_multi(const topo::Topology& topo, const LinearCosts& costs
         "appro_multi: the shared-Dijkstra engine requires the KMB Steiner engine");
   }
 
+  NFVM_SPAN("appro_multi");
+  NFVM_COUNTER_INC("core.appro_multi.calls");
   OfflineSolution sol;
   const WorkContext ctx =
       build_work_context(topo, costs, request, options.resources);
@@ -305,26 +310,33 @@ OfflineSolution appro_multi(const topo::Topology& topo, const LinearCosts& costs
   const std::size_t max_k =
       std::min(options.max_servers, ctx.eligible_servers.size());
   bool budget_left = true;
-  for (std::size_t k = 1; k <= max_k && budget_left; ++k) {
-    std::vector<std::size_t> idx(k);
-    for (std::size_t i = 0; i < k; ++i) idx[i] = i;
-    do {
-      if (sol.combinations_explored >= options.max_combinations) {
-        budget_left = false;
-        break;
-      }
-      ++sol.combinations_explored;
-      std::vector<graph::VertexId> combo(k);
-      for (std::size_t i = 0; i < k; ++i) combo[i] = ctx.eligible_servers[idx[i]];
-      const AuxiliaryGraph aux = build_auxiliary_graph(ctx, request.source, combo);
-      graph::SteinerResult st =
-          shared ? SharedComboSolver(oracle, aux).solve()
-                 : graph::steiner_tree(aux.graph, terminals, options.steiner_engine);
-      if (!st.connected) continue;
-      candidates.push_back(
-          Candidate{st.weight, std::move(combo), std::move(st.edges)});
-    } while (next_combination(idx, ctx.eligible_servers.size()));
+  {
+    NFVM_SPAN("appro_multi/enumerate_servers");
+    for (std::size_t k = 1; k <= max_k && budget_left; ++k) {
+      std::vector<std::size_t> idx(k);
+      for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+      do {
+        if (sol.combinations_explored >= options.max_combinations) {
+          budget_left = false;
+          break;
+        }
+        ++sol.combinations_explored;
+        std::vector<graph::VertexId> combo(k);
+        for (std::size_t i = 0; i < k; ++i) combo[i] = ctx.eligible_servers[idx[i]];
+        const AuxiliaryGraph aux = build_auxiliary_graph(ctx, request.source, combo);
+        graph::SteinerResult st =
+            shared ? SharedComboSolver(oracle, aux).solve()
+                   : graph::steiner_tree(aux.graph, terminals, options.steiner_engine);
+        if (!st.connected) continue;
+        candidates.push_back(
+            Candidate{st.weight, std::move(combo), std::move(st.edges)});
+      } while (next_combination(idx, ctx.eligible_servers.size()));
+    }
   }
+  NFVM_COUNTER_ADD("core.appro_multi.combinations_explored",
+                   sol.combinations_explored);
+  NFVM_HISTOGRAM_OBSERVE("core.appro_multi.combinations_per_call",
+                         sol.combinations_explored);
 
   if (candidates.empty()) {
     sol.reject_reason = "no server combination connects the source to all destinations";
@@ -333,6 +345,7 @@ OfflineSolution appro_multi(const topo::Topology& topo, const LinearCosts& costs
   std::stable_sort(candidates.begin(), candidates.end(),
                    [](const Candidate& a, const Candidate& b) { return a.cost < b.cost; });
 
+  NFVM_SPAN("appro_multi/realize_cheapest");
   for (const Candidate& cand : candidates) {
     const AuxiliaryGraph aux = build_auxiliary_graph(ctx, request.source, cand.combo);
     PseudoMulticastTree tree = realize_pseudo_tree(ctx, aux, cand.tree_edges, request);

@@ -6,12 +6,15 @@
 
 #include "graph/subgraph.h"
 #include "graph/tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nfvm::core {
 
 WorkContext build_work_context(const topo::Topology& topo, const LinearCosts& costs,
                                const nfv::Request& request,
                                const nfv::ResourceState* resources) {
+  NFVM_SPAN("appro_multi/build_work_context");
   nfv::validate_request(request, topo.graph);
   if (costs.link_unit_cost.size() != topo.num_links() ||
       costs.server_unit_cost.size() != topo.num_switches()) {
@@ -70,6 +73,7 @@ AuxiliaryGraph build_auxiliary_graph(const WorkContext& ctx,
   if (combo.empty()) {
     throw std::invalid_argument("build_auxiliary_graph: empty server combination");
   }
+  NFVM_COUNTER_INC("core.appro_multi.aux_graphs_built");
   AuxiliaryGraph aux;
   aux.num_real_edges = ctx.cost_graph.num_edges();
   aux.combo.assign(combo.begin(), combo.end());

@@ -2,12 +2,40 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nfvm::core {
 
+std::string_view to_string(RejectCause cause) {
+  switch (cause) {
+    case RejectCause::kNone: return "none";
+    case RejectCause::kBandwidth: return "bandwidth";
+    case RejectCause::kCompute: return "compute";
+    case RejectCause::kThreshold: return "threshold";
+    case RejectCause::kDelay: return "delay";
+    case RejectCause::kOther: return "other";
+  }
+  return "other";
+}
+
 OnlineAlgorithm::OnlineAlgorithm(const topo::Topology& topo)
-    : topo_(&topo), state_(topo) {}
+    : topo_(&topo), state_(topo) {
+#if NFVM_OBS
+  // Pre-register the full rejection breakdown so a metrics export always
+  // carries every online.reject.* key, including the zero ones - consumers
+  // can sum the family without special-casing absent counters.
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("online.reject.bandwidth");
+  registry.counter("online.reject.compute");
+  registry.counter("online.reject.threshold");
+  registry.counter("online.reject.delay");
+  registry.counter("online.reject.other");
+#endif
+}
 
 AdmissionDecision OnlineAlgorithm::process(const nfv::Request& request) {
+  NFVM_SPAN("online/admit");
   nfv::validate_request(request, topo_->graph);
   AdmissionDecision decision = try_admit(request);
   if (decision.admitted) {
@@ -15,9 +43,33 @@ AdmissionDecision OnlineAlgorithm::process(const nfv::Request& request) {
     // and throws on a contract violation rather than over-committing.
     state_.allocate(decision.footprint);
     ++num_admitted_;
+    decision.reject_cause = RejectCause::kNone;
+    NFVM_COUNTER_INC("online.admitted");
   } else {
     ++num_rejected_;
+    if (decision.reject_cause == RejectCause::kNone) {
+      decision.reject_cause = RejectCause::kOther;
+    }
+    NFVM_COUNTER_INC("online.rejected");
+    switch (decision.reject_cause) {
+      case RejectCause::kBandwidth:
+        NFVM_COUNTER_INC("online.reject.bandwidth");
+        break;
+      case RejectCause::kCompute:
+        NFVM_COUNTER_INC("online.reject.compute");
+        break;
+      case RejectCause::kThreshold:
+        NFVM_COUNTER_INC("online.reject.threshold");
+        break;
+      case RejectCause::kDelay:
+        NFVM_COUNTER_INC("online.reject.delay");
+        break;
+      default:
+        NFVM_COUNTER_INC("online.reject.other");
+        break;
+    }
   }
+  NFVM_COUNTER_INC("online.requests");
   return decision;
 }
 

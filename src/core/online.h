@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -20,9 +21,29 @@
 
 namespace nfvm::core {
 
+/// Machine-readable rejection classification. `reject_reason` keeps the
+/// human-oriented sentence; this enum is what metrics breakdowns
+/// (`online.reject.*` counters, SimulationMetrics::rejects_by_cause) key on.
+enum class RejectCause : std::uint8_t {
+  kNone = 0,   ///< admitted (or cause not recorded)
+  kBandwidth,  ///< residual link bandwidth / connectivity at b_k
+  kCompute,    ///< residual server computing capacity
+  kThreshold,  ///< Online_CP's sigma_v / sigma_e admission thresholds
+  kDelay,      ///< end-to-end delay bound
+  kOther,      ///< anything else
+};
+inline constexpr std::size_t kNumRejectCauses = 6;
+
+/// Stable lowercase token ("none", "bandwidth", "compute", "threshold",
+/// "delay", "other") - used as the `online.reject.<token>` metric suffix and
+/// in event logs.
+std::string_view to_string(RejectCause cause);
+
 struct AdmissionDecision {
   bool admitted = false;
   std::string reject_reason;
+  /// Classification of reject_reason; kNone iff admitted.
+  RejectCause reject_cause = RejectCause::kNone;
   /// Valid iff admitted.
   PseudoMulticastTree tree;
   /// Resources charged for the request; valid iff admitted.

@@ -8,6 +8,8 @@
 #include "graph/steiner.h"
 #include "graph/subgraph.h"
 #include "graph/tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nfvm::core {
 
@@ -37,21 +39,27 @@ double OnlineCp::server_weight(graph::VertexId v) const {
 }
 
 AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
+  NFVM_SPAN("online_cp/try_admit");
   AdmissionDecision decision;
   const double b = request.bandwidth_mbps;
   const double demand = request.compute_demand_mhz();
 
   // Step 5 of Algorithm 2: the weighted graph G_k, restricted to links that
   // can still carry b_k.
-  graph::Subgraph sub = graph::filter_edges(topo_->graph, [&](graph::EdgeId e) {
-    if (state_.residual_bandwidth(e) < b) return false;
-    const graph::Edge& ed = topo_->graph.edge(e);
-    return state_.residual_table_entries(ed.u) >= 1.0 &&
-           state_.residual_table_entries(ed.v) >= 1.0;
-  });
-  for (graph::EdgeId e = 0; e < sub.graph.num_edges(); ++e) {
-    sub.graph.set_weight(e, edge_weight(sub.original_edge[e]));
-  }
+  graph::Subgraph sub = [&] {
+    NFVM_SPAN("online_cp/build_weighted_graph");
+    graph::Subgraph filtered =
+        graph::filter_edges(topo_->graph, [&](graph::EdgeId e) {
+          if (state_.residual_bandwidth(e) < b) return false;
+          const graph::Edge& ed = topo_->graph.edge(e);
+          return state_.residual_table_entries(ed.u) >= 1.0 &&
+                 state_.residual_table_entries(ed.v) >= 1.0;
+        });
+    for (graph::EdgeId e = 0; e < filtered.graph.num_edges(); ++e) {
+      filtered.graph.set_weight(e, edge_weight(filtered.original_edge[e]));
+    }
+    return filtered;
+  }();
 
   struct Candidate {
     double cost = 0.0;
@@ -61,16 +69,21 @@ AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
   };
   std::optional<Candidate> best;
   std::string_view reason = "no server has sufficient residual computing";
+  RejectCause cause = RejectCause::kCompute;
+  NFVM_OBS_ONLY(std::uint64_t candidates_evaluated = 0;)
 
+  NFVM_SPAN("online_cp/server_scan");
   for (graph::VertexId v : topo_->servers) {
     if (state_.residual_compute(v) < demand) continue;
     const double wv = server_weight(v);
     if (wv >= sigma_v_) {
       if (reason == "no server has sufficient residual computing") {
         reason = "all candidate servers exceed the computing threshold";
+        cause = RejectCause::kThreshold;
       }
       continue;
     }
+    NFVM_OBS_ONLY(++candidates_evaluated;)
 
     // Steiner tree over {s_k, v} ∪ D_k (Algorithm 2, step 8).
     std::vector<graph::VertexId> terminals;
@@ -83,10 +96,12 @@ AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
         graph::steiner_tree(sub.graph, terminals, steiner_engine_);
     if (!st.connected) {
       reason = "source, server and destinations are disconnected at b_k";
+      cause = RejectCause::kBandwidth;
       continue;
     }
     if (st.weight >= sigma_e_) {
       reason = "every candidate tree exceeds the bandwidth threshold";
+      cause = RejectCause::kThreshold;
       continue;
     }
 
@@ -129,6 +144,7 @@ AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
 
     if (!meets_delay_bound(*topo_, request, cand.tree)) {
       reason = "no candidate tree meets the delay bound";
+      cause = RejectCause::kDelay;
       continue;
     }
     cand.footprint = cand.tree.footprint(request, topo_->graph);
@@ -136,13 +152,16 @@ AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
       // Double-traversed backhaul links can need 2 b_k; charge honestly and
       // skip candidates that no longer fit.
       reason = "backhaul multiplicities exceed residual bandwidth";
+      cause = RejectCause::kBandwidth;
       continue;
     }
     best = std::move(cand);
   }
+  NFVM_COUNTER_ADD("core.online_cp.candidates_evaluated", candidates_evaluated);
 
   if (!best.has_value()) {
     decision.reject_reason = std::string(reason);
+    decision.reject_cause = cause;
     return decision;
   }
   decision.admitted = true;

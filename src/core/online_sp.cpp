@@ -33,11 +33,13 @@ AdmissionDecision OnlineSp::try_admit(const nfv::Request& request) {
   };
   std::optional<Candidate> best;
   std::string_view reason = "no server has sufficient residual computing";
+  RejectCause cause = RejectCause::kCompute;
 
   for (graph::VertexId v : topo_->servers) {
     if (state_.residual_compute(v) < demand) continue;
     if (!from_source.reachable(v)) {
       reason = "server unreachable at the demanded bandwidth";
+      cause = RejectCause::kBandwidth;
       continue;
     }
     const graph::ShortestPaths from_server = graph::dijkstra(sub.graph, v);
@@ -50,6 +52,7 @@ AdmissionDecision OnlineSp::try_admit(const nfv::Request& request) {
     }
     if (!all_reachable) {
       reason = "a destination is unreachable at the demanded bandwidth";
+      cause = RejectCause::kBandwidth;
       continue;
     }
 
@@ -60,12 +63,14 @@ AdmissionDecision OnlineSp::try_admit(const nfv::Request& request) {
     if (best.has_value() && tree.cost >= best->cost) continue;
     if (!meets_delay_bound(*topo_, request, tree)) {
       reason = "no candidate tree meets the delay bound";
+      cause = RejectCause::kDelay;
       continue;
     }
 
     nfv::Footprint footprint = tree.footprint(request, topo_->graph);
     if (!state_.can_allocate(footprint)) {
       reason = "path overlaps exceed residual bandwidth";
+      cause = RejectCause::kBandwidth;
       continue;
     }
     best = Candidate{tree.cost, std::move(tree), std::move(footprint)};
@@ -73,6 +78,7 @@ AdmissionDecision OnlineSp::try_admit(const nfv::Request& request) {
 
   if (!best.has_value()) {
     decision.reject_reason = std::string(reason);
+    decision.reject_cause = cause;
     return decision;
   }
   decision.admitted = true;

@@ -24,11 +24,13 @@ AdmissionDecision OnlineSpStatic::try_admit(const nfv::Request& request) {
   };
   std::optional<Candidate> best;
   std::string_view reason = "no server has sufficient residual computing";
+  RejectCause cause = RejectCause::kCompute;
 
   for (graph::VertexId v : topo_->servers) {
     if (state_.residual_compute(v) < demand) continue;
     if (!from_source.reachable(v)) {
       reason = "server disconnected from the source";
+      cause = RejectCause::kBandwidth;
       continue;
     }
     const graph::ShortestPaths& from_server = paths_from(v);
@@ -41,6 +43,7 @@ AdmissionDecision OnlineSpStatic::try_admit(const nfv::Request& request) {
     }
     if (!all_reachable) {
       reason = "a destination is disconnected";
+      cause = RejectCause::kBandwidth;
       continue;
     }
 
@@ -51,6 +54,7 @@ AdmissionDecision OnlineSpStatic::try_admit(const nfv::Request& request) {
     if (best.has_value() && tree.cost >= best->cost) continue;
     if (!meets_delay_bound(*topo_, request, tree)) {
       reason = "no candidate tree meets the delay bound";
+      cause = RejectCause::kDelay;
       continue;
     }
 
@@ -58,6 +62,7 @@ AdmissionDecision OnlineSpStatic::try_admit(const nfv::Request& request) {
     if (!state_.can_allocate(footprint)) {
       // The fixed route no longer fits; a static policy does not reroute.
       reason = "fixed route exceeds residual bandwidth";
+      cause = RejectCause::kBandwidth;
       continue;
     }
     best = Candidate{tree.cost, std::move(tree), std::move(footprint)};
@@ -65,6 +70,7 @@ AdmissionDecision OnlineSpStatic::try_admit(const nfv::Request& request) {
 
   if (!best.has_value()) {
     decision.reject_reason = std::string(reason);
+    decision.reject_cause = cause;
     return decision;
   }
   decision.admitted = true;

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nfvm::graph {
 
 AllPairsShortestPaths::AllPairsShortestPaths(const Graph& g, bool keep_parents)
     : n_(g.num_vertices()) {
+  NFVM_SPAN("graph/apsp_build");
+  NFVM_COUNTER_INC("graph.apsp.builds");
   dist_.resize(n_ * n_, kInfiniteDistance);
   if (keep_parents) per_source_.reserve(n_);
   for (VertexId s = 0; s < n_; ++s) {

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nfvm::graph {
 namespace {
 
@@ -13,6 +16,8 @@ ShortestPaths run_dijkstra(const Graph& g, VertexId source,
   if (!g.has_vertex(source)) {
     throw std::out_of_range("dijkstra: invalid source vertex");
   }
+  NFVM_SPAN("graph/dijkstra");
+  NFVM_OBS_ONLY(std::uint64_t edges_scanned = 0; std::uint64_t edges_relaxed = 0;)
   const std::size_t n = g.num_vertices();
   ShortestPaths sp;
   sp.source = source;
@@ -31,8 +36,10 @@ ShortestPaths run_dijkstra(const Graph& g, VertexId source,
     if (d > sp.dist[u]) continue;  // stale entry
     for (const Adjacency& adj : g.neighbors(u)) {
       if (edge_allowed != nullptr && !(*edge_allowed)(adj.edge)) continue;
+      NFVM_OBS_ONLY(++edges_scanned;)
       const double nd = d + g.edge(adj.edge).weight;
       if (nd < sp.dist[adj.neighbor]) {
+        NFVM_OBS_ONLY(++edges_relaxed;)
         sp.dist[adj.neighbor] = nd;
         sp.parent[adj.neighbor] = u;
         sp.parent_edge[adj.neighbor] = adj.edge;
@@ -40,6 +47,9 @@ ShortestPaths run_dijkstra(const Graph& g, VertexId source,
       }
     }
   }
+  NFVM_COUNTER_INC("graph.dijkstra.runs");
+  NFVM_COUNTER_ADD("graph.dijkstra.edges_scanned", edges_scanned);
+  NFVM_COUNTER_ADD("graph.dijkstra.edges_relaxed", edges_relaxed);
   return sp;
 }
 

@@ -9,6 +9,8 @@
 #include "graph/dijkstra.h"
 #include "graph/mst.h"
 #include "graph/union_find.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nfvm::graph {
 namespace {
@@ -82,6 +84,8 @@ double edges_weight(const Graph& g, std::span<const EdgeId> edges) {
 }  // namespace
 
 SteinerResult kmb_steiner(const Graph& g, std::span<const VertexId> terminals) {
+  NFVM_SPAN("steiner/kmb");
+  NFVM_COUNTER_INC("graph.steiner.kmb.runs");
   const std::vector<VertexId> terms = distinct_terminals(g, terminals);
   SteinerResult result;
   if (terms.size() == 1) {
@@ -91,36 +95,43 @@ SteinerResult kmb_steiner(const Graph& g, std::span<const VertexId> terminals) {
 
   // Step 1: shortest paths from every terminal.
   std::vector<ShortestPaths> sp;
-  sp.reserve(terms.size());
-  for (VertexId t : terms) sp.push_back(dijkstra(g, t));
+  {
+    NFVM_SPAN("steiner/kmb/terminal_sssp");
+    sp.reserve(terms.size());
+    for (VertexId t : terms) sp.push_back(dijkstra(g, t));
+  }
   for (std::size_t i = 1; i < terms.size(); ++i) {
     if (!sp[0].reachable(terms[i])) return result;  // connected == false
   }
 
   // Step 2: MST of the metric closure (Prim on the t x t distance matrix).
   const std::size_t t = terms.size();
-  std::vector<bool> in_tree(t, false);
-  std::vector<double> best(t, kInfiniteDistance);
-  std::vector<std::size_t> best_from(t, 0);
-  best[0] = 0.0;
   std::vector<std::pair<std::size_t, std::size_t>> closure_edges;  // (i, j)
-  for (std::size_t step = 0; step < t; ++step) {
-    std::size_t pick = t;
-    for (std::size_t i = 0; i < t; ++i) {
-      if (!in_tree[i] && (pick == t || best[i] < best[pick])) pick = i;
-    }
-    in_tree[pick] = true;
-    if (pick != 0) closure_edges.emplace_back(best_from[pick], pick);
-    for (std::size_t j = 0; j < t; ++j) {
-      if (in_tree[j]) continue;
-      const double d = sp[pick].dist[terms[j]];
-      if (d < best[j]) {
-        best[j] = d;
-        best_from[j] = pick;
+  {
+    NFVM_SPAN("steiner/kmb/closure_mst");
+    std::vector<bool> in_tree(t, false);
+    std::vector<double> best(t, kInfiniteDistance);
+    std::vector<std::size_t> best_from(t, 0);
+    best[0] = 0.0;
+    for (std::size_t step = 0; step < t; ++step) {
+      std::size_t pick = t;
+      for (std::size_t i = 0; i < t; ++i) {
+        if (!in_tree[i] && (pick == t || best[i] < best[pick])) pick = i;
+      }
+      in_tree[pick] = true;
+      if (pick != 0) closure_edges.emplace_back(best_from[pick], pick);
+      for (std::size_t j = 0; j < t; ++j) {
+        if (in_tree[j]) continue;
+        const double d = sp[pick].dist[terms[j]];
+        if (d < best[j]) {
+          best[j] = d;
+          best_from[j] = pick;
+        }
       }
     }
   }
 
+  NFVM_SPAN("steiner/kmb/expand_prune");
   // Step 3: expand closure edges into shortest paths; union of their edges.
   std::unordered_set<EdgeId> edge_set;
   for (const auto& [i, j] : closure_edges) {
@@ -185,6 +196,8 @@ SteinerResult improve_steiner(const Graph& g, SteinerResult current,
 
 SteinerResult kmb_finish(const Graph& g, std::span<const EdgeId> union_edges,
                          std::span<const VertexId> terminals) {
+  NFVM_SPAN("steiner/kmb_finish");
+  NFVM_COUNTER_INC("graph.steiner.kmb_finish.runs");
   const std::vector<VertexId> terms = distinct_terminals(g, terminals);
   SteinerResult result;
   if (terms.size() == 1) {
@@ -206,6 +219,8 @@ SteinerResult kmb_finish(const Graph& g, std::span<const EdgeId> union_edges,
 
 SteinerResult takahashi_matsuyama_steiner(const Graph& g,
                                           std::span<const VertexId> terminals) {
+  NFVM_SPAN("steiner/takahashi_matsuyama");
+  NFVM_COUNTER_INC("graph.steiner.tm.runs");
   const std::vector<VertexId> terms = distinct_terminals(g, terminals);
   SteinerResult result;
   if (terms.size() == 1) {
@@ -284,6 +299,8 @@ SteinerResult steiner_tree(const Graph& g, std::span<const VertexId> terminals,
 }
 
 SteinerResult exact_steiner(const Graph& g, std::span<const VertexId> terminals) {
+  NFVM_SPAN("steiner/exact_dreyfus_wagner");
+  NFVM_COUNTER_INC("graph.steiner.exact.runs");
   const std::vector<VertexId> terms = distinct_terminals(g, terminals);
   SteinerResult result;
   if (terms.size() == 1) {

@@ -1,0 +1,154 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace nfvm::obs {
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[40];
+  // %.17g round-trips every double; trim to something shorter when exact.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == value) return shorter;
+  }
+  return buf;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  raw("{");
+  stack_.push_back(Context::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Context::kObject || pending_key_) {
+    throw std::logic_error("JsonWriter: end_object outside an object");
+  }
+  stack_.pop_back();
+  first_.pop_back();
+  raw("}");
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  raw("[");
+  stack_.push_back(Context::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Context::kArray) {
+    throw std::logic_error("JsonWriter: end_array outside an array");
+  }
+  stack_.pop_back();
+  first_.pop_back();
+  raw("]");
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != Context::kObject || pending_key_) {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  if (!first_.back()) raw(",");
+  first_.back() = false;
+  raw("\"");
+  raw(json_escape(name));
+  raw("\":");
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  raw("\"");
+  raw(json_escape(text));
+  raw("\"");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  raw(json_number(number));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  raw(std::to_string(number));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  raw(std::to_string(number));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  raw(flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  raw("null");
+  return *this;
+}
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == Context::kObject) {
+    if (!pending_key_) {
+      throw std::logic_error("JsonWriter: object member needs a key first");
+    }
+    pending_key_ = false;
+    return;
+  }
+  if (!stack_.empty() && stack_.back() == Context::kArray) {
+    if (!first_.back()) raw(",");
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::raw(std::string_view text) { out_ << text; }
+
+}  // namespace nfvm::obs

@@ -1,0 +1,70 @@
+// Minimal streaming JSON writer for the observability exports (metrics
+// registry dumps, Chrome trace files, JSONL event logs). Not a general JSON
+// library: write-only, no DOM, but guaranteed to emit valid RFC 8259 output
+// (escaped strings, finite numbers, correct comma placement).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nfvm::obs {
+
+/// Escapes a string for use inside a JSON string literal (no surrounding
+/// quotes). Control characters become \uXXXX; UTF-8 bytes pass through.
+std::string json_escape(std::string_view raw);
+
+/// Formats a double as a valid JSON number. NaN and infinities, which JSON
+/// cannot represent, are emitted as 0 (observability data; never worth
+/// failing a run over).
+std::string json_number(double value);
+
+/// Streaming writer with an explicit nesting stack. Usage:
+///   JsonWriter w(out);
+///   w.begin_object();
+///   w.key("counters");
+///   w.begin_object();
+///   w.key("graph.dijkstra.runs").value(42);
+///   w.end_object();
+///   w.end_object();
+/// Commas and quoting are handled by the writer; the caller only provides
+/// structure. Throws std::logic_error on misuse (e.g. value without key
+/// inside an object) to fail loudly in tests rather than emit bad JSON.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next member; must be inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Depth of the open containers (0 once the document is complete).
+  std::size_t depth() const noexcept { return stack_.size(); }
+
+ private:
+  enum class Context : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void raw(std::string_view text);
+
+  std::ostream& out_;
+  std::vector<Context> stack_;
+  std::vector<bool> first_;   // parallel to stack_: no member emitted yet
+  bool pending_key_ = false;  // a key was emitted, value expected next
+};
+
+}  // namespace nfvm::obs

@@ -1,0 +1,186 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace nfvm::obs {
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram() noexcept
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+std::size_t Histogram::bucket_index(double sample) noexcept {
+  if (!(sample > 1.0)) return 0;  // <= 1, non-positive and NaN
+  const int exponent = std::ilogb(sample);
+  // sample in [2^exponent, 2^(exponent+1)); bucket upper bound is 2^i, so
+  // exact powers of two belong to bucket `exponent`, the rest one above.
+  const bool exact_power = std::ldexp(1.0, exponent) == sample;
+  const int bucket = exact_power ? exponent : exponent + 1;
+  if (bucket < 0) return 0;
+  return std::min<std::size_t>(static_cast<std::size_t>(bucket), kNumBuckets - 1);
+}
+
+double Histogram::bucket_upper_bound(std::size_t bucket) {
+  if (bucket >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(bucket));
+}
+
+void Histogram::observe(double sample) noexcept {
+  buckets_[bucket_index(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add(double) is C++20; min/max need CAS loops.
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + sample,
+                                     std::memory_order_relaxed)) {
+  }
+  expected = min_.load(std::memory_order_relaxed);
+  while (sample < expected &&
+         !min_.compare_exchange_weak(expected, sample, std::memory_order_relaxed)) {
+  }
+  expected = max_.load(std::memory_order_relaxed);
+  while (sample > expected &&
+         !max_.compare_exchange_weak(expected, sample, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t bucket) const {
+  return buckets_.at(bucket).load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry& Registry::global() {
+  // Intentionally leaked: instrumented code and at-exit exporters may touch
+  // the registry during static destruction, so it must never be destroyed.
+  static Registry* const instance = new Registry();
+  return *instance;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second.get();
+  return counters_.emplace(std::string(name), std::make_unique<Counter>())
+      .first->second.get();
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second.get();
+  return gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+      .first->second.get();
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second.get();
+  return histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+      .first->second.get();
+}
+
+void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauge_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.push_back(name);
+  return out;
+}
+
+void Registry::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(out);
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.key(name).value(c->value());
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name).value(g->value());
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h->count());
+    w.key("sum").value(h->sum());
+    if (h->count() > 0) {
+      w.key("min").value(h->min());
+      w.key("max").value(h->max());
+    }
+    w.key("buckets").begin_array();
+    std::size_t highest = 0;
+    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (h->bucket_count(b) > 0) highest = b;
+    }
+    if (h->count() > 0) {
+      for (std::size_t b = 0; b <= highest; ++b) {
+        const double le = Histogram::bucket_upper_bound(b);
+        w.begin_object();
+        if (std::isfinite(le)) {
+          w.key("le").value(le);
+        } else {
+          w.key("le").value("+Inf");
+        }
+        w.key("count").value(h->bucket_count(b));
+        w.end_object();
+      }
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  out << "\n";
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace nfvm::obs

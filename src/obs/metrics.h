@@ -1,0 +1,185 @@
+// Process-wide metrics: named counters, gauges and log-scale histograms.
+//
+// Design constraints (this sits inside Dijkstra relaxation loops and the
+// per-request admission path):
+//   * Increments are lock-free - every instrument is a fixed set of relaxed
+//     atomics. The registry mutex is only taken on first lookup of a name.
+//   * Call sites use the NFVM_COUNTER_* / NFVM_HISTOGRAM_* macros, which
+//     cache the instrument pointer in a function-local static: after the
+//     first execution an increment is one relaxed fetch_add.
+//   * Instrument pointers are stable for the life of the process.
+//     Registry::reset_values() zeroes every instrument but never removes
+//     one, so cached pointers stay valid across simulation runs.
+//   * Compiling with -DNFVM_OBS=0 (CMake: cmake -DNFVM_OBS=0) turns every
+//     macro into a no-op; the classes remain available so code that uses
+//     them directly still builds.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef NFVM_OBS
+#define NFVM_OBS 1
+#endif
+
+namespace nfvm::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written double (utilizations, configuration echoes).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Base-2 log-scale histogram for positive samples (timings in microseconds,
+/// combination counts, ...). Bucket i counts samples in (2^(i-1), 2^i];
+/// bucket 0 takes everything <= 1, the last bucket everything larger than
+/// 2^(kNumBuckets-2). Also tracks count/sum/min/max exactly.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 64;
+
+  void observe(double sample) noexcept;
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// +inf / -inf respectively when no sample was observed.
+  double min() const noexcept { return min_.load(std::memory_order_relaxed); }
+  double max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t bucket) const;
+  /// Inclusive upper bound of `bucket` (+inf for the last).
+  static double bucket_upper_bound(std::size_t bucket);
+  /// Bucket a sample falls into (exposed for tests).
+  static std::size_t bucket_index(double sample) noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+
+ public:
+  Histogram() noexcept;
+};
+
+/// Name -> instrument map. Lookups are mutex-guarded; use the macros (or
+/// cache the returned pointer) on hot paths.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry the NFVM_* macros write to.
+  static Registry& global();
+
+  /// Get-or-create. The returned pointer is valid for the registry's
+  /// lifetime; repeated calls with the same name return the same pointer.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Zeroes every instrument's value. Never removes instruments, so
+  /// pointers cached by call sites stay valid. Use between runs.
+  void reset_values();
+
+  /// Snapshots for tests and ad-hoc consumers (sorted by name).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot() const;
+  std::vector<std::pair<std::string, double>> gauge_snapshot() const;
+  /// Names of all registered instruments of each kind (sorted).
+  std::vector<std::string> counter_names() const;
+
+  /// Writes the whole registry as one JSON object:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges":   {name: value, ...},
+  ///    "histograms": {name: {"count": n, "sum": s, "min": m, "max": M,
+  ///                          "buckets": [{"le": bound, "count": n}, ...]}}}
+  /// Histogram buckets are emitted up to the highest non-empty one.
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace nfvm::obs
+
+// --- Hot-path macros --------------------------------------------------------
+//
+// The instrument name must be a string literal (or at least stable for the
+// lifetime of the call site): it is resolved once into a function-local
+// static pointer.
+
+#if NFVM_OBS
+
+/// Wraps statements that only exist to feed instruments (local tally
+/// variables and their updates); compiled out with the rest of the layer.
+#define NFVM_OBS_ONLY(...) __VA_ARGS__
+
+#define NFVM_COUNTER_ADD(name, delta)                                \
+  do {                                                               \
+    static ::nfvm::obs::Counter* const nfvm_obs_counter_ =           \
+        ::nfvm::obs::Registry::global().counter(name);               \
+    nfvm_obs_counter_->add(static_cast<std::uint64_t>(delta));       \
+  } while (0)
+
+#define NFVM_COUNTER_INC(name) NFVM_COUNTER_ADD(name, 1)
+
+#define NFVM_GAUGE_SET(name, sample)                                 \
+  do {                                                               \
+    static ::nfvm::obs::Gauge* const nfvm_obs_gauge_ =               \
+        ::nfvm::obs::Registry::global().gauge(name);                 \
+    nfvm_obs_gauge_->set(static_cast<double>(sample));               \
+  } while (0)
+
+#define NFVM_HISTOGRAM_OBSERVE(name, sample)                         \
+  do {                                                               \
+    static ::nfvm::obs::Histogram* const nfvm_obs_histogram_ =       \
+        ::nfvm::obs::Registry::global().histogram(name);             \
+    nfvm_obs_histogram_->observe(static_cast<double>(sample));       \
+  } while (0)
+
+#else  // !NFVM_OBS
+
+#define NFVM_OBS_ONLY(...)
+#define NFVM_COUNTER_ADD(name, delta) ((void)0)
+#define NFVM_COUNTER_INC(name) ((void)0)
+#define NFVM_GAUGE_SET(name, sample) ((void)0)
+#define NFVM_HISTOGRAM_OBSERVE(name, sample) ((void)0)
+
+#endif  // NFVM_OBS

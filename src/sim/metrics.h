@@ -1,9 +1,11 @@
 // Aggregated metrics of a simulation run.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
+#include "core/online.h"
 #include "util/stats.h"
 
 namespace nfvm::sim {
@@ -12,6 +14,9 @@ struct SimulationMetrics {
   std::size_t num_requests = 0;
   std::size_t num_admitted = 0;
   std::size_t num_rejected = 0;
+  /// Rejections bucketed by core::RejectCause (indexed by the enum value);
+  /// entries sum to num_rejected.
+  std::array<std::size_t, core::kNumRejectCauses> rejects_by_cause{};
   /// Admission decisions in arrival order (true = admitted).
   std::vector<bool> decisions;
   /// Cumulative admitted count after each arrival (throughput-over-time,
@@ -29,6 +34,10 @@ struct SimulationMetrics {
     return num_requests == 0
                ? 0.0
                : static_cast<double>(num_admitted) / static_cast<double>(num_requests);
+  }
+
+  std::size_t rejected_because(core::RejectCause cause) const {
+    return rejects_by_cause[static_cast<std::size_t>(cause)];
   }
 };
 

@@ -4,22 +4,59 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace nfvm::sim {
+namespace {
+
+/// One JSONL record per processed request (schema: docs/observability.md).
+void emit_request_event(obs::EventLog* log, const core::OnlineAlgorithm& algorithm,
+                        std::size_t index, const nfv::Request& request,
+                        const core::AdmissionDecision& decision,
+                        double decision_seconds, double arrival_time = -1.0) {
+  if (log == nullptr || !log->is_open()) return;
+  obs::JsonLine line;
+  line.field("event", "request")
+      .field("algorithm", algorithm.name())
+      .field("index", index)
+      .field("request_id", static_cast<std::uint64_t>(request.id))
+      .field("source", static_cast<std::uint64_t>(request.source))
+      .field("num_destinations", request.destinations.size())
+      .field("bandwidth_mbps", request.bandwidth_mbps)
+      .field("admitted", decision.admitted);
+  if (decision.admitted) {
+    line.field("cost", decision.tree.cost)
+        .field("servers", decision.tree.servers.size());
+  } else {
+    line.field("reject_cause", core::to_string(decision.reject_cause))
+        .field("reject_reason", decision.reject_reason);
+  }
+  line.field("decision_us", decision_seconds * 1e6);
+  if (arrival_time >= 0.0) line.field("arrival_time", arrival_time);
+  log->write(line);
+}
+
+}  // namespace
 
 SimulationMetrics run_online(core::OnlineAlgorithm& algorithm,
                              std::span<const nfv::Request> requests,
                              const SimulatorOptions& options) {
+  NFVM_SPAN("sim/run_online");
   SimulationMetrics metrics;
   metrics.num_requests = requests.size();
   metrics.decisions.reserve(requests.size());
   metrics.cumulative_admitted.reserve(requests.size());
 
-  for (const nfv::Request& request : requests) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const nfv::Request& request = requests[i];
     util::Stopwatch watch;
     const core::AdmissionDecision decision = algorithm.process(request);
-    metrics.decision_seconds.add(watch.elapsed_seconds());
+    const double seconds = watch.elapsed_seconds();
+    metrics.decision_seconds.add(seconds);
+    NFVM_HISTOGRAM_OBSERVE("online.decision_us", seconds * 1e6);
 
     if (decision.admitted) {
       if (options.validate_trees) {
@@ -34,9 +71,15 @@ SimulationMetrics run_online(core::OnlineAlgorithm& algorithm,
       metrics.admitted_costs.add(decision.tree.cost);
     } else {
       ++metrics.num_rejected;
+      ++metrics.rejects_by_cause[static_cast<std::size_t>(decision.reject_cause)];
+      if (obs::log_enabled(obs::LogLevel::kDebug)) {
+        obs::log_debug("reject " + request.to_string() + ": " +
+                       decision.reject_reason);
+      }
     }
     metrics.decisions.push_back(decision.admitted);
     metrics.cumulative_admitted.push_back(metrics.num_admitted);
+    emit_request_event(options.event_log, algorithm, i, request, decision, seconds);
   }
 
   // Mean utilizations across links / servers at the end of the run.
@@ -57,6 +100,10 @@ SimulationMetrics run_online(core::OnlineAlgorithm& algorithm,
   }
   metrics.final_compute_utilization =
       servers == 0 ? 0.0 : cp / static_cast<double>(servers);
+  NFVM_GAUGE_SET("sim.final_bandwidth_utilization",
+                 metrics.final_bandwidth_utilization);
+  NFVM_GAUGE_SET("sim.final_compute_utilization",
+                 metrics.final_compute_utilization);
   return metrics;
 }
 
@@ -87,6 +134,7 @@ std::vector<TimedRequest> make_poisson_workload(RequestGenerator& generator,
 DynamicMetrics run_online_dynamic(core::OnlineAlgorithm& algorithm,
                                   std::span<const TimedRequest> requests,
                                   const SimulatorOptions& options) {
+  NFVM_SPAN("sim/run_online_dynamic");
   for (std::size_t i = 1; i < requests.size(); ++i) {
     if (requests[i].arrival_time < requests[i - 1].arrival_time) {
       throw std::invalid_argument("run_online_dynamic: arrivals not sorted");
@@ -107,12 +155,16 @@ DynamicMetrics run_online_dynamic(core::OnlineAlgorithm& algorithm,
   std::priority_queue<Departure, std::vector<Departure>, decltype(later)> active(later);
 
   double active_sum = 0.0;
-  for (const TimedRequest& tr : requests) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const TimedRequest& tr = requests[i];
     while (!active.empty() && active.top().time <= tr.arrival_time) {
       algorithm.release(active.top().footprint);
       active.pop();
     }
+    util::Stopwatch watch;
     const core::AdmissionDecision decision = algorithm.process(tr.request);
+    const double seconds = watch.elapsed_seconds();
+    NFVM_HISTOGRAM_OBSERVE("online.decision_us", seconds * 1e6);
     if (decision.admitted) {
       if (options.validate_trees) {
         std::string error;
@@ -127,9 +179,12 @@ DynamicMetrics run_online_dynamic(core::OnlineAlgorithm& algorithm,
       active.push(Departure{tr.arrival_time + tr.duration, decision.footprint});
     } else {
       ++metrics.num_rejected;
+      ++metrics.rejects_by_cause[static_cast<std::size_t>(decision.reject_cause)];
     }
     metrics.peak_active = std::max(metrics.peak_active, active.size());
     active_sum += static_cast<double>(active.size());
+    emit_request_event(options.event_log, algorithm, i, tr.request, decision,
+                       seconds, tr.arrival_time);
   }
   metrics.mean_active = requests.empty()
                             ? 0.0

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/online.h"
+#include "obs/event_log.h"
 #include "sim/metrics.h"
 #include "sim/request_gen.h"
 
@@ -16,6 +17,9 @@ struct SimulatorOptions {
   /// Validate every admitted tree with core::validate_pseudo_tree and throw
   /// std::logic_error on a violation. Cheap; on by default.
   bool validate_trees = true;
+  /// When non-null and open, one JSONL event is written per processed
+  /// request (see docs/observability.md for the schema). Not owned.
+  obs::EventLog* event_log = nullptr;
 };
 
 /// Runs the full sequence through `algorithm` (which carries resource state
@@ -53,6 +57,8 @@ struct DynamicMetrics {
   std::size_t num_requests = 0;
   std::size_t num_admitted = 0;
   std::size_t num_rejected = 0;
+  /// Rejections bucketed by core::RejectCause; entries sum to num_rejected.
+  std::array<std::size_t, core::kNumRejectCauses> rejects_by_cause{};
   /// Largest number of simultaneously active admitted requests.
   std::size_t peak_active = 0;
   /// Active count averaged over arrival instants.
@@ -63,6 +69,10 @@ struct DynamicMetrics {
     return num_requests == 0
                ? 0.0
                : static_cast<double>(num_admitted) / static_cast<double>(num_requests);
+  }
+
+  std::size_t rejected_because(core::RejectCause cause) const {
+    return rejects_by_cause[static_cast<std::size_t>(cause)];
   }
 };
 

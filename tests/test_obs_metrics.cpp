@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs_test_util.h"
+
+namespace nfvm::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreNotLost) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, HoldsLastWrite) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(0.75);
+  g.set(0.25);
+  EXPECT_EQ(g.value(), 0.25);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketIndexIsLogTwo) {
+  // Bucket 0 takes everything <= 1 (including non-positives), bucket i
+  // covers (2^(i-1), 2^i].
+  EXPECT_EQ(Histogram::bucket_index(-3.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1.5), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2.0001), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4.0), 2u);
+  EXPECT_EQ(Histogram::bucket_index(1024.0), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1025.0), 11u);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, BucketBoundsMatchIndex) {
+  for (std::size_t b = 0; b + 1 < Histogram::kNumBuckets; ++b) {
+    const double ub = Histogram::bucket_upper_bound(b);
+    EXPECT_EQ(Histogram::bucket_index(ub), b) << "bucket " << b;
+  }
+  EXPECT_TRUE(std::isinf(Histogram::bucket_upper_bound(Histogram::kNumBuckets - 1)));
+}
+
+TEST(Histogram, TracksCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(std::isinf(h.min()));
+  EXPECT_TRUE(std::isinf(h.max()));
+
+  h.observe(3.0);
+  h.observe(7.0);
+  h.observe(0.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // 0.5
+  EXPECT_EQ(h.bucket_count(2), 1u);  // 3.0 in (2, 4]
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 7.0 in (4, 8]
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+}
+
+TEST(Registry, GetOrCreateReturnsStablePointers) {
+  Registry reg;
+  Counter* a = reg.counter("x");
+  Counter* b = reg.counter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.counter("y"), a);
+  // Counters, gauges and histograms live in separate namespaces.
+  EXPECT_NE(static_cast<void*>(reg.gauge("x")), static_cast<void*>(a));
+}
+
+TEST(Registry, ResetValuesZeroesButKeepsInstruments) {
+  Registry reg;
+  Counter* c = reg.counter("events");
+  Gauge* g = reg.gauge("level");
+  Histogram* h = reg.histogram("latency");
+  c->add(5);
+  g->set(1.5);
+  h->observe(10.0);
+
+  reg.reset_values();
+
+  // Cached pointers stay valid and read zero.
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(reg.counter("events"), c);
+  ASSERT_EQ(reg.counter_names().size(), 1u);
+  EXPECT_EQ(reg.counter_names()[0], "events");
+}
+
+TEST(Registry, SnapshotsAreSortedByName) {
+  Registry reg;
+  reg.counter("zeta")->add(1);
+  reg.counter("alpha")->add(2);
+  const auto snap = reg.counter_snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "alpha");
+  EXPECT_EQ(snap[0].second, 2u);
+  EXPECT_EQ(snap[1].first, "zeta");
+  EXPECT_EQ(snap[1].second, 1u);
+}
+
+TEST(Registry, JsonRoundTrip) {
+  Registry reg;
+  reg.counter("graph.dijkstra.runs")->add(17);
+  reg.counter("needs \"escaping\"\n")->add(1);
+  reg.gauge("sim.final_bandwidth_utilization")->set(0.375);
+  Histogram* h = reg.histogram("online.decision_us");
+  h->observe(3.0);
+  h->observe(100.0);
+
+  const test::JsonValue doc = test::parse_json(reg.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("counters").at("graph.dijkstra.runs").number, 17.0);
+  EXPECT_EQ(doc.at("counters").at("needs \"escaping\"\n").number, 1.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("sim.final_bandwidth_utilization").number,
+                   0.375);
+
+  const test::JsonValue& hist = doc.at("histograms").at("online.decision_us");
+  EXPECT_EQ(hist.at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number, 103.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").number, 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").number, 100.0);
+  const auto& buckets = hist.at("buckets").array;
+  ASSERT_FALSE(buckets.empty());
+  double total = 0.0;
+  for (const auto& bucket : buckets) {
+    ASSERT_TRUE(bucket.has("le"));
+    total += bucket.at("count").number;
+  }
+  EXPECT_EQ(total, 2.0);
+}
+
+TEST(Registry, EmptyRegistryIsValidJson) {
+  Registry reg;
+  const test::JsonValue doc = test::parse_json(reg.to_json());
+  EXPECT_TRUE(doc.at("counters").object.empty());
+  EXPECT_TRUE(doc.at("gauges").object.empty());
+  EXPECT_TRUE(doc.at("histograms").object.empty());
+}
+
+TEST(Registry, HistogramMinMaxOmittedWhenEmpty) {
+  Registry reg;
+  reg.histogram("unused");
+  const test::JsonValue doc = test::parse_json(reg.to_json());
+  const test::JsonValue& hist = doc.at("histograms").at("unused");
+  EXPECT_EQ(hist.at("count").number, 0.0);
+  EXPECT_FALSE(hist.has("min"));
+  EXPECT_FALSE(hist.has("max"));
+}
+
+TEST(Macros, WriteToGlobalRegistry) {
+  Counter* c = Registry::global().counter("test.macro.counter");
+  const std::uint64_t before = c->value();
+  NFVM_COUNTER_INC("test.macro.counter");
+  NFVM_COUNTER_ADD("test.macro.counter", 4);
+#if NFVM_OBS
+  EXPECT_EQ(c->value(), before + 5);
+#else
+  EXPECT_EQ(c->value(), before);
+#endif
+  NFVM_GAUGE_SET("test.macro.gauge", 2.5);
+#if NFVM_OBS
+  EXPECT_EQ(Registry::global().gauge("test.macro.gauge")->value(), 2.5);
+#endif
+  NFVM_HISTOGRAM_OBSERVE("test.macro.histogram", 9.0);
+#if NFVM_OBS
+  EXPECT_GE(Registry::global().histogram("test.macro.histogram")->count(), 1u);
+#endif
+}
+
+TEST(Json, EscapeHandlesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, NumberNeverEmitsNonFinite) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(-2.0), "-2");
+  // Round-trips through the parser exactly.
+  const double pi = 3.141592653589793;
+  EXPECT_EQ(test::parse_json(json_number(pi)).number, pi);
+}
+
+TEST(Json, WriterEmitsWellFormedNestedDocument) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("list").begin_array().value(std::uint64_t{1}).value("two").end_array();
+  w.key("flag").value(true);
+  w.key("nothing").null();
+  w.end_object();
+  EXPECT_EQ(w.depth(), 0u);
+
+  const test::JsonValue doc = test::parse_json(out.str());
+  ASSERT_EQ(doc.at("list").array.size(), 2u);
+  EXPECT_EQ(doc.at("list").array[1].string, "two");
+  EXPECT_TRUE(doc.at("flag").boolean);
+  EXPECT_EQ(doc.at("nothing").type, test::JsonValue::Type::kNull);
+}
+
+TEST(Json, WriterThrowsOnMisuse) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  EXPECT_THROW(w.value(1.0), std::logic_error);   // value without key
+  EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+}
+
+}  // namespace
+}  // namespace nfvm::obs

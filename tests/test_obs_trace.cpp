@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "obs_test_util.h"
+
+namespace nfvm::obs {
+namespace {
+
+/// Restores the global tracer to the stopped state even if a test fails.
+struct TracerGuard {
+  TracerGuard() { Tracer::global().start(); }
+  ~TracerGuard() {
+    Tracer::global().stop();
+    Tracer::global().set_max_events(1'000'000);
+  }
+};
+
+TEST(Tracer, DisabledByDefaultRecordsNothing) {
+  // Do not start the tracer: spans must be no-ops.
+  const std::size_t before = Tracer::global().num_events();
+  {
+    NFVM_SPAN("test/should_not_record");
+  }
+  EXPECT_EQ(Tracer::global().num_events(), before);
+}
+
+TEST(Tracer, StartClearsBufferAndRecordsSpans) {
+  TracerGuard guard;
+  {
+    NFVM_SPAN("test/outer");
+  }
+#if NFVM_OBS
+  ASSERT_EQ(Tracer::global().num_events(), 1u);
+  const auto events = Tracer::global().snapshot();
+  EXPECT_STREQ(events[0].name, "test/outer");
+  EXPECT_GE(events[0].ts_us, 0.0);
+  EXPECT_GE(events[0].dur_us, 0.0);
+  EXPECT_EQ(events[0].depth, 1u);
+#else
+  EXPECT_EQ(Tracer::global().num_events(), 0u);
+#endif
+  Tracer::global().start();  // restarting clears
+  EXPECT_EQ(Tracer::global().num_events(), 0u);
+}
+
+#if NFVM_OBS
+TEST(Tracer, NestedSpansCarryDepthAndContainment) {
+  TracerGuard guard;
+  {
+    NFVM_SPAN("test/outer");
+    {
+      NFVM_SPAN("test/inner");
+    }
+  }
+  Tracer::global().stop();
+  const auto events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans land in completion order: the inner one closes first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "test/inner");
+  EXPECT_STREQ(outer.name, "test/outer");
+  EXPECT_EQ(outer.depth, 1u);
+  EXPECT_EQ(inner.depth, 2u);
+  EXPECT_EQ(inner.tid, outer.tid);
+  // The inner interval nests inside the outer one.
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+}
+
+TEST(Tracer, ChromeTraceExportIsWellFormed) {
+  TracerGuard guard;
+  {
+    NFVM_SPAN("test/export \"quoted\"");
+    {
+      NFVM_SPAN("test/child");
+    }
+  }
+  Tracer::global().stop();
+  std::ostringstream out;
+  Tracer::global().write_chrome_trace(out);
+
+  const test::JsonValue doc = test::parse_json(out.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  const auto& events = doc.at("traceEvents").array;
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.at("ph").string, "X");
+    EXPECT_EQ(e.at("cat").string, "nfvm");
+    EXPECT_EQ(e.at("pid").number, 1.0);
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+  }
+  EXPECT_EQ(events[0].at("name").string, "test/child");
+  EXPECT_EQ(events[1].at("name").string, "test/export \"quoted\"");
+}
+
+TEST(Tracer, EventCapCountsDropsInsteadOfGrowing) {
+  TracerGuard guard;
+  Tracer::global().set_max_events(2);
+  for (int i = 0; i < 5; ++i) {
+    NFVM_SPAN("test/capped");
+  }
+  EXPECT_EQ(Tracer::global().num_events(), 2u);
+  EXPECT_EQ(Tracer::global().dropped(), 3u);
+
+  std::ostringstream out;
+  Tracer::global().write_chrome_trace(out);
+  const test::JsonValue doc = test::parse_json(out.str());
+  EXPECT_EQ(doc.at("nfvmDroppedEvents").number, 3.0);
+}
+
+TEST(Tracer, SpanOpenAcrossStopIsDropped) {
+  TracerGuard guard;
+  {
+    SpanScope span("test/interrupted");
+    Tracer::global().stop();
+  }  // closes after stop: must not record a negative-duration event
+  EXPECT_EQ(Tracer::global().num_events(), 0u);
+}
+#endif  // NFVM_OBS
+
+TEST(JsonLine, BuildsFlatObjectInInsertionOrder) {
+  JsonLine line;
+  line.field("event", "request")
+      .field("index", std::size_t{3})
+      .field("cost", 2.5)
+      .field("admitted", true);
+  EXPECT_EQ(line.str(),
+            "{\"event\":\"request\",\"index\":3,\"cost\":2.5,\"admitted\":true}");
+  const test::JsonValue doc = test::parse_json(line.str());
+  EXPECT_EQ(doc.at("event").string, "request");
+  EXPECT_TRUE(doc.at("admitted").boolean);
+}
+
+TEST(EventLog, WritesOneLinePerEvent) {
+  const std::string path = ::testing::TempDir() + "/nfvm_event_log_test.jsonl";
+  {
+    EventLog log;
+    ASSERT_TRUE(log.open(path));
+    ASSERT_TRUE(log.is_open());
+    JsonLine a;
+    a.field("event", "request").field("index", std::size_t{0});
+    JsonLine b;
+    b.field("event", "request").field("index", std::size_t{1});
+    log.write(a);
+    log.write(b);
+    EXPECT_EQ(log.lines_written(), 2u);
+    log.close();
+    EXPECT_FALSE(log.is_open());
+  }
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(test::parse_json(lines[0]).at("index").number, 0.0);
+  EXPECT_EQ(test::parse_json(lines[1]).at("index").number, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(EventLog, ClosedLogSwallowsWrites) {
+  EventLog log;
+  EXPECT_FALSE(log.is_open());
+  JsonLine line;
+  line.field("event", "ignored");
+  log.write(line);  // must not crash
+  EXPECT_EQ(log.lines_written(), 0u);
+}
+
+TEST(Log, LevelParsingAndThresholds) {
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kInfo);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace nfvm::obs

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "core/online_cp.h"
 #include "core/online_sp.h"
 #include "sim/request_gen.h"
@@ -111,6 +115,42 @@ TEST(Simulator, ValidatesTreesByDefault) {
   RequestGenerator gen(t, rng);
   core::OnlineCp algo(t);
   EXPECT_NO_THROW(run_online(algo, gen.sequence(20)));
+}
+
+TEST(Simulator, RejectionBreakdownSumsToRejected) {
+  // A tiny overloaded topology guarantees rejections; every one must land
+  // in exactly one RejectCause bucket.
+  const topo::Topology t = make_topo(18, 20);
+  util::Rng rng(19);
+  RequestGenerator gen(t, rng);
+  core::OnlineCp algo(t);
+  const SimulationMetrics m = run_online(algo, gen.sequence(200));
+  std::size_t total = 0;
+  for (const std::size_t n : m.rejects_by_cause) total += n;
+  EXPECT_EQ(total, m.num_rejected);
+  EXPECT_GT(m.num_rejected, 0u);
+  // Admission-path rejections always carry a concrete cause.
+  EXPECT_EQ(m.rejected_because(core::RejectCause::kNone), 0u);
+}
+
+TEST(Simulator, EventLogRecordsEveryRequest) {
+  const topo::Topology t = make_topo(20);
+  util::Rng rng(21);
+  RequestGenerator gen(t, rng);
+  core::OnlineCp algo(t);
+  const std::string path = ::testing::TempDir() + "/nfvm_sim_events.jsonl";
+  obs::EventLog events;
+  ASSERT_TRUE(events.open(path));
+  SimulatorOptions opts;
+  opts.event_log = &events;
+  const SimulationMetrics m = run_online(algo, gen.sequence(25), opts);
+  events.close();
+  EXPECT_EQ(m.num_requests, 25u);
+  std::ifstream in(path);
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line);) ++lines;
+  EXPECT_EQ(lines, 25u);
+  std::remove(path.c_str());
 }
 
 TEST(Simulator, SameSeedSameOutcome) {

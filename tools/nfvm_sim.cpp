@@ -14,8 +14,16 @@
 //     --mean-duration <x>    (dynamic only, default 20.0)
 //     --dump-topology <file> write the topology in nfvm-topology format
 //     --dump-dot <file>      write a Graphviz rendering of the topology
+//   Observability (see docs/observability.md):
+//     --metrics-json <file>  dump the metrics registry (counters/gauges/
+//                            histograms) as JSON at exit
+//     --trace <file>         record tracing spans; Chrome trace_event JSON,
+//                            loadable in chrome://tracing or Perfetto
+//     --events <file>        JSONL event log, one line per processed request
+//     --log-level <level>    error|warn|info|debug (default warn)
 //
-// Prints one metrics row per algorithm.
+// Prints one metrics row per algorithm; online rows include the
+// rejection-cause breakdown (rej_bw/rej_cpu/rej_thr/rej_dly/rej_other).
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -30,6 +38,10 @@
 #include "core/online_sp_static.h"
 #include "io/dot.h"
 #include "io/serialize.h"
+#include "obs/event_log.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "topology/geant.h"
 #include "topology/rocketfuel.h"
@@ -41,6 +53,11 @@
 namespace {
 
 using namespace nfvm;
+
+constexpr const char* kModes = "online|offline";
+constexpr const char* kTopologies = "waxman|transit-stub|geant|as1755|as4755";
+constexpr const char* kAlgorithms = "online_cp|online_sp|online_sp_static|all";
+constexpr const char* kLogLevels = "error|warn|info|debug";
 
 struct Options {
   std::string mode = "online";
@@ -56,15 +73,46 @@ struct Options {
   double mean_duration = 20.0;
   std::string dump_topology;
   std::string dump_dot;
+  std::string metrics_json;
+  std::string trace_file;
+  std::string events_file;
 };
 
 [[noreturn]] void usage(const std::string& error) {
   if (!error.empty()) std::cerr << "error: " << error << "\n";
-  std::cerr << "usage: nfvm_sim [--mode online|offline] [--topology T] [--nodes N] [--seed S]\n"
+  std::cerr << "usage: nfvm_sim [--mode " << kModes << "] [--topology T] [--nodes N] [--seed S]\n"
                "                [--algorithm A] [--requests R] [--dest-ratio X]\n"
                "                [--max-delay MS] [--dynamic] [--arrival-rate X] [--mean-duration X]\n"
-               "                [--dump-topology FILE] [--dump-dot FILE]\n";
+               "                [--dump-topology FILE] [--dump-dot FILE]\n"
+               "                [--metrics-json FILE] [--trace FILE] [--events FILE]\n"
+               "                [--log-level " << kLogLevels << "]\n"
+               "  topologies: " << kTopologies << "\n"
+               "  algorithms: " << kAlgorithms << "\n";
   std::exit(error.empty() ? 0 : 2);
+}
+
+bool one_of(const std::string& value, std::initializer_list<const char*> accepted) {
+  for (const char* a : accepted) {
+    if (value == a) return true;
+  }
+  return false;
+}
+
+/// Rejects bad enumeration values at parse time - a typo in --algorithm must
+/// not surface as a mid-run failure after topology generation.
+void validate_options(const Options& opts) {
+  if (!one_of(opts.mode, {"online", "offline"})) {
+    usage("--mode must be one of " + std::string(kModes) + " (got \"" +
+          opts.mode + "\")");
+  }
+  if (!one_of(opts.topology, {"waxman", "transit-stub", "geant", "as1755", "as4755"})) {
+    usage("--topology must be one of " + std::string(kTopologies) + " (got \"" +
+          opts.topology + "\")");
+  }
+  if (!one_of(opts.algorithm, {"online_cp", "online_sp", "online_sp_static", "all"})) {
+    usage("--algorithm must be one of " + std::string(kAlgorithms) + " (got \"" +
+          opts.algorithm + "\")");
+  }
 }
 
 Options parse_args(int argc, char** argv) {
@@ -89,8 +137,21 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--mean-duration") opts.mean_duration = std::stod(need_value(i));
     else if (arg == "--dump-topology") opts.dump_topology = need_value(i);
     else if (arg == "--dump-dot") opts.dump_dot = need_value(i);
+    else if (arg == "--metrics-json") opts.metrics_json = need_value(i);
+    else if (arg == "--trace") opts.trace_file = need_value(i);
+    else if (arg == "--events") opts.events_file = need_value(i);
+    else if (arg == "--log-level") {
+      const std::string value = need_value(i);
+      const auto level = obs::parse_log_level(value);
+      if (!level.has_value()) {
+        usage("--log-level must be one of " + std::string(kLogLevels) +
+              " (got \"" + value + "\")");
+      }
+      obs::set_log_level(*level);
+    }
     else usage("unknown option " + arg);
   }
+  validate_options(opts);
   return opts;
 }
 
@@ -103,22 +164,48 @@ topo::Topology build_topology(const Options& opts, util::Rng& rng) {
   if (opts.topology == "transit-stub") return topo::make_transit_stub(opts.nodes, rng);
   if (opts.topology == "geant") return topo::make_geant(rng);
   if (opts.topology == "as1755") return topo::make_as1755(rng);
-  if (opts.topology == "as4755") return topo::make_as4755(rng);
-  usage("unknown topology " + opts.topology);
+  return topo::make_as4755(rng);  // validated at parse time
 }
 
 std::unique_ptr<core::OnlineAlgorithm> build_algorithm(const std::string& name,
                                                        const topo::Topology& topo) {
   if (name == "online_cp") return std::make_unique<core::OnlineCp>(topo);
   if (name == "online_sp") return std::make_unique<core::OnlineSp>(topo);
-  if (name == "online_sp_static") return std::make_unique<core::OnlineSpStatic>(topo);
-  usage("unknown algorithm " + name);
+  return std::make_unique<core::OnlineSpStatic>(topo);  // validated at parse time
+}
+
+/// Flushes the requested artifacts at the end of the run (and on the offline
+/// early-return path).
+void write_artifacts(const Options& opts, const obs::EventLog& events) {
+  if (!opts.trace_file.empty()) {
+    obs::Tracer::global().stop();
+    std::ofstream out(opts.trace_file);
+    if (!out) usage("cannot open " + opts.trace_file);
+    obs::Tracer::global().write_chrome_trace(out);
+    obs::log_info("trace written to " + opts.trace_file);
+  }
+  if (!opts.metrics_json.empty()) {
+    std::ofstream out(opts.metrics_json);
+    if (!out) usage("cannot open " + opts.metrics_json);
+    obs::Registry::global().write_json(out);
+    obs::log_info("metrics written to " + opts.metrics_json);
+  }
+  if (!opts.events_file.empty()) {
+    obs::log_info(std::to_string(events.lines_written()) +
+                  " events written to " + opts.events_file);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opts = parse_args(argc, argv);
+
+  if (!opts.trace_file.empty()) obs::Tracer::global().start();
+  obs::EventLog events;
+  if (!opts.events_file.empty() && !events.open(opts.events_file)) {
+    usage("cannot open " + opts.events_file);
+  }
 
   util::Rng rng(opts.seed);
   topo::Topology topo = build_topology(opts, rng);
@@ -150,27 +237,34 @@ int main(int argc, char** argv) {
     // Offline single-request comparison: Appro_Multi (K=1..3), the
     // one-server baseline and the chain-split extension, averaged over the
     // request batch on the uncapacitated network.
-    util::Rng costs_rng(opts.seed + 2);
-    const core::LinearCosts costs = core::random_costs(topo, costs_rng);
-    util::Rng workload(opts.seed + 1);
-    sim::RequestGenerator gen(topo, workload, gen_opts);
-    const std::size_t batch = std::min<std::size_t>(opts.requests, 100);
     util::RunningStats k1, k2, k3, one, split;
-    for (std::size_t i = 0; i < batch; ++i) {
-      nfv::Request r = gen.next();
-      r.max_delay_ms = opts.max_delay_ms;
-      for (std::size_t k = 1; k <= 3; ++k) {
-        core::ApproMultiOptions ao;
-        ao.max_servers = k;
-        ao.engine = core::ApproMultiOptions::Engine::kSharedDijkstra;
-        const core::OfflineSolution sol = core::appro_multi(topo, costs, r, ao);
-        if (!sol.admitted) continue;
-        (k == 1 ? k1 : k == 2 ? k2 : k3).add(sol.tree.cost);
+    {
+      // The span must close before write_artifacts stops the tracer, or it
+      // would be dropped from the exported trace.
+      NFVM_SPAN("cli/offline_batch");
+      util::Rng costs_rng(opts.seed + 2);
+      const core::LinearCosts costs = core::random_costs(topo, costs_rng);
+      util::Rng workload(opts.seed + 1);
+      sim::RequestGenerator gen(topo, workload, gen_opts);
+      const std::size_t batch = std::min<std::size_t>(opts.requests, 100);
+      obs::log_info("offline batch: " + std::to_string(batch) + " requests on " +
+                    topo.name);
+      for (std::size_t i = 0; i < batch; ++i) {
+        nfv::Request r = gen.next();
+        r.max_delay_ms = opts.max_delay_ms;
+        for (std::size_t k = 1; k <= 3; ++k) {
+          core::ApproMultiOptions ao;
+          ao.max_servers = k;
+          ao.engine = core::ApproMultiOptions::Engine::kSharedDijkstra;
+          const core::OfflineSolution sol = core::appro_multi(topo, costs, r, ao);
+          if (!sol.admitted) continue;
+          (k == 1 ? k1 : k == 2 ? k2 : k3).add(sol.tree.cost);
+        }
+        const core::OfflineSolution base = core::alg_one_server(topo, costs, r);
+        if (base.admitted) one.add(base.tree.cost);
+        const core::ChainSplitSolution cs = core::chain_split_multicast(topo, costs, r);
+        if (cs.admitted) split.add(cs.tree.cost);
       }
-      const core::OfflineSolution base = core::alg_one_server(topo, costs, r);
-      if (base.admitted) one.add(base.tree.cost);
-      const core::ChainSplitSolution cs = core::chain_split_multicast(topo, costs, r);
-      if (cs.admitted) split.add(cs.tree.cost);
     }
     util::Table offline_table({"algorithm", "admitted", "mean_cost"});
     offline_table.begin_row().add("appro_multi_K1").add(k1.count()).add(k1.mean(), 3);
@@ -179,9 +273,9 @@ int main(int argc, char** argv) {
     offline_table.begin_row().add("alg_one_server").add(one.count()).add(one.mean(), 3);
     offline_table.begin_row().add("chain_split").add(split.count()).add(split.mean(), 3);
     offline_table.print(std::cout);
+    write_artifacts(opts, events);
     return 0;
   }
-  if (opts.mode != "online") usage("unknown mode " + opts.mode);
 
   std::vector<std::string> algorithms;
   if (opts.algorithm == "all") {
@@ -190,40 +284,57 @@ int main(int argc, char** argv) {
     algorithms = {opts.algorithm};
   }
 
+  sim::SimulatorOptions sim_opts;
+  sim_opts.event_log = events.is_open() ? &events : nullptr;
+
   util::Table table({"algorithm", "requests", "admitted", "acceptance",
-                     "mean_cost", "peak_active"});
+                     "mean_cost", "rej_bw", "rej_cpu", "rej_thr", "rej_dly",
+                     "rej_other", "peak_active"});
   for (const std::string& name : algorithms) {
     // Fresh, identical workload per algorithm.
     util::Rng workload(opts.seed + 1);
     sim::RequestGenerator gen(topo, workload, gen_opts);
     auto algo = build_algorithm(name, topo);
+    obs::log_info("admission run: " + std::string(algo->name()) + ", " +
+                  std::to_string(opts.requests) + " requests");
+    const auto reject_cells = [&table](const auto& m) {
+      table.add(m.rejected_because(core::RejectCause::kBandwidth))
+          .add(m.rejected_because(core::RejectCause::kCompute))
+          .add(m.rejected_because(core::RejectCause::kThreshold))
+          .add(m.rejected_because(core::RejectCause::kDelay))
+          .add(m.rejected_because(core::RejectCause::kOther) +
+               m.rejected_because(core::RejectCause::kNone));
+    };
     if (opts.dynamic) {
       sim::DynamicWorkloadOptions dyn;
       dyn.arrival_rate = opts.arrival_rate;
       dyn.mean_duration = opts.mean_duration;
       auto requests = sim::make_poisson_workload(gen, workload, opts.requests, dyn);
       for (auto& tr : requests) tr.request.max_delay_ms = opts.max_delay_ms;
-      const sim::DynamicMetrics m = sim::run_online_dynamic(*algo, requests);
+      const sim::DynamicMetrics m = sim::run_online_dynamic(*algo, requests, sim_opts);
       table.begin_row()
           .add(std::string(algo->name()))
           .add(m.num_requests)
           .add(m.num_admitted)
           .add(m.acceptance_ratio(), 3)
-          .add(m.admitted_costs.empty() ? 0.0 : m.admitted_costs.mean(), 3)
-          .add(m.peak_active);
+          .add(m.admitted_costs.empty() ? 0.0 : m.admitted_costs.mean(), 3);
+      reject_cells(m);
+      table.add(m.peak_active);
     } else {
       auto requests = gen.sequence(opts.requests);
       for (auto& r : requests) r.max_delay_ms = opts.max_delay_ms;
-      const sim::SimulationMetrics m = sim::run_online(*algo, requests);
+      const sim::SimulationMetrics m = sim::run_online(*algo, requests, sim_opts);
       table.begin_row()
           .add(std::string(algo->name()))
           .add(m.num_requests)
           .add(m.num_admitted)
           .add(m.acceptance_ratio(), 3)
-          .add(m.admitted_costs.empty() ? 0.0 : m.admitted_costs.mean(), 3)
-          .add(std::string("-"));
+          .add(m.admitted_costs.empty() ? 0.0 : m.admitted_costs.mean(), 3);
+      reject_cells(m);
+      table.add(std::string("-"));
     }
   }
   table.print(std::cout);
+  write_artifacts(opts, events);
   return 0;
 }
