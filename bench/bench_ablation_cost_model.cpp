@@ -62,6 +62,6 @@ int main() {
         .add(me.final_bandwidth_utilization, 3)
         .add(ml.final_bandwidth_utilization, 3);
   }
-  table.print(std::cout);
+  bench::finish("ablation_cost_model", table);
   return 0;
 }

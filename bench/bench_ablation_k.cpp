@@ -77,6 +77,6 @@ int main() {
     sim::RequestGenerator gen(topo, workload, gen_opts);
     sweep(topo, costs, gen.sequence(per_point * 2), table);
   }
-  table.print(std::cout);
+  bench::finish("ablation_k", table);
   return 0;
 }

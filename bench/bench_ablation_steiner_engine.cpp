@@ -49,6 +49,6 @@ int main() {
         .add(kmb.time_ms.mean(), 2)
         .add(tm.time_ms.mean(), 2);
   }
-  table.print(std::cout);
+  bench::finish("ablation_steiner_engine", table);
   return 0;
 }

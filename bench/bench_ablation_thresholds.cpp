@@ -59,6 +59,6 @@ int main() {
       .add(mst.num_admitted)
       .add(mst.final_bandwidth_utilization, 3)
       .add(mst.final_compute_utilization, 3);
-  table.print(std::cout);
+  bench::finish("ablation_thresholds", table);
   return 0;
 }

@@ -2,21 +2,32 @@
 //
 // Every binary prints `#`-prefixed metadata lines followed by an aligned
 // whitespace-separated table (util::Table), so the whole harness output is
-// trivially parsable. Workload sizes scale with two environment knobs:
+// trivially parsable. Each binary additionally emits a machine-readable
+// BENCH_<name>.json artifact (schema "nfvm-bench-v1": metadata, the table as
+// per-data-point rows, wall time, and a final metrics-registry snapshot)
+// when NFVM_BENCH_JSON_DIR names a directory - compare artifacts across runs
+// with `nfvm-report` (see docs/observability.md). Workload sizes scale with
+// environment knobs:
 //   NFVM_BENCH_REQUESTS - requests averaged per offline data point
 //   NFVM_BENCH_ONLINE_REQUESTS - arrival-sequence length for online benches
+//   NFVM_BENCH_JSON_DIR - when set, write BENCH_<name>.json here at finish
 //   NFVM_BENCH_METRICS_JSON - when set, dump the metrics registry to this
 //     file when the binary exits (see docs/observability.md)
 #pragma once
 
+#include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/alg_one_server.h"
 #include "core/appro_multi.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "sim/request_gen.h"
 #include "topology/waxman.h"
@@ -94,6 +105,98 @@ inline OfflineStats run_offline_batch(
     }
   }
   return stats;
+}
+
+namespace detail {
+
+/// True when the whole cell parses as one JSON-compatible number (the table
+/// stores strings; numeric cells become JSON numbers in the artifact).
+inline bool parse_cell_number(const std::string& cell, double* out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size()) return false;
+  if (!std::isfinite(value)) return false;  // "inf"/"nan" cells stay strings
+  *out = value;
+  return true;
+}
+
+/// Process wall clock for the artifact: one static stopwatch started at
+/// first use of this header (static init), read at finish().
+inline util::Stopwatch& process_stopwatch() {
+  static util::Stopwatch watch;
+  return watch;
+}
+
+[[maybe_unused]] inline const bool process_stopwatch_started =
+    (process_stopwatch(), true);
+
+}  // namespace detail
+
+/// Writes <dir>/BENCH_<name>.json when $NFVM_BENCH_JSON_DIR is set: an
+/// "nfvm-bench-v1" artifact carrying `meta`, the table rows (numeric cells
+/// as numbers), the process wall time and a final snapshot of the metrics
+/// registry. No-op otherwise.
+inline void write_artifact(const std::string& name, const util::Table& table,
+                           std::vector<std::pair<std::string, std::string>> meta = {}) {
+  const char* dir = std::getenv("NFVM_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot open " << path << " (NFVM_BENCH_JSON_DIR)\n";
+    return;
+  }
+
+  // Workload knobs every bench honors are recorded uniformly.
+  meta.emplace_back("requests_per_point",
+                    std::to_string(offline_requests_per_point()));
+  meta.emplace_back("online_sequence_length",
+                    std::to_string(online_sequence_length()));
+
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("schema").value("nfvm-bench-v1");
+  w.key("name").value(name);
+  w.key("meta").begin_object();
+  for (const auto& [key, value] : meta) w.key(key).value(value);
+  w.end_object();
+  w.key("wall_time_s").value(detail::process_stopwatch().elapsed_seconds());
+  w.key("columns").begin_array();
+  for (std::size_t c = 0; c < table.num_columns(); ++c) w.value(table.column(c));
+  w.end_array();
+  w.key("rows").begin_array();
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    w.begin_object();
+    for (std::size_t c = 0; c < table.num_columns(); ++c) {
+      const std::string& cell = table.cell(r, c);
+      w.key(table.column(c));
+      double number = 0.0;
+      if (detail::parse_cell_number(cell, &number)) {
+        w.value(number);
+      } else {
+        w.value(cell);
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  std::string metrics = obs::Registry::global().to_json();
+  while (!metrics.empty() && std::isspace(static_cast<unsigned char>(metrics.back()))) {
+    metrics.pop_back();
+  }
+  w.key("metrics").raw_value(metrics);
+  w.end_object();
+  out << "\n";
+  std::cerr << "# bench artifact written to " << path << "\n";
+}
+
+/// Prints `table` to stdout and emits the BENCH_<name>.json artifact.
+/// Call once, at the end of main.
+inline void finish(const std::string& name, const util::Table& table,
+                   std::vector<std::pair<std::string, std::string>> meta = {}) {
+  table.print(std::cout);
+  write_artifact(name, table, std::move(meta));
 }
 
 }  // namespace nfvm::bench

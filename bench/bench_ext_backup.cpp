@@ -58,6 +58,6 @@ int main() {
              3)
         .add(overhead.mean(), 3);
   }
-  table.print(std::cout);
+  bench::finish("ext_backup", table);
   return 0;
 }

@@ -43,6 +43,6 @@ int main() {
         .add(r.total_cost, 1)
         .add(r.final_bandwidth_utilization, 3);
   }
-  table.print(std::cout);
+  bench::finish("ext_batch", table);
   return 0;
 }

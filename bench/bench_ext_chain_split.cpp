@@ -73,6 +73,6 @@ int main() {
         .add(c_admit ? c_cost / static_cast<double>(c_admit) : 0.0, 2)
         .add(s_admit ? s_cost / static_cast<double>(s_admit) : 0.0, 2);
   }
-  table.print(std::cout);
+  bench::finish("ext_chain_split", table);
   return 0;
 }

@@ -63,6 +63,6 @@ int main() {
         .add(worst_delay.mean(), 2)
         .add(cost.mean(), 2);
   }
-  table.print(std::cout);
+  bench::finish("ext_delay", table);
   return 0;
 }

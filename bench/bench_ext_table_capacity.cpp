@@ -50,6 +50,6 @@ int main() {
         .add(msp.num_admitted)
         .add(mst.num_admitted);
   }
-  table.print(std::cout);
+  bench::finish("ext_table_capacity", table);
   return 0;
 }

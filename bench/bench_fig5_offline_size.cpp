@@ -53,6 +53,6 @@ int main() {
           .add(appro.servers_used.mean(), 2);
     }
   }
-  table.print(std::cout);
+  bench::finish("fig5_offline_size", table);
   return 0;
 }

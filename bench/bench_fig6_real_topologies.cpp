@@ -54,6 +54,6 @@ int main() {
           .add(one.time_ms.mean(), 2);
     }
   }
-  table.print(std::cout);
+  bench::finish("fig6_real_topologies", table);
   return 0;
 }

@@ -69,6 +69,6 @@ int main() {
         .add(cap.time_ms.mean(), 2)
         .add(uncap.time_ms.mean(), 2);
   }
-  table.print(std::cout);
+  bench::finish("fig7_capacitated", table);
   return 0;
 }

@@ -55,6 +55,6 @@ int main() {
         .add(mcp.final_bandwidth_utilization, 3)
         .add(mst.final_bandwidth_utilization, 3);
   }
-  table.print(std::cout);
+  bench::finish("fig8_online_size", table);
   return 0;
 }

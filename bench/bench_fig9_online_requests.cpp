@@ -49,6 +49,6 @@ int main() {
           .add(msp.cumulative_admitted[i]);
     }
   }
-  table.print(std::cout);
+  bench::finish("fig9_online_requests", table);
   return 0;
 }

@@ -72,6 +72,6 @@ int main() {
       .add(approk2_vs_aux2.mean(), 4)
       .add(approk2_vs_aux2.max(), 4)
       .add("2.0");
-  table.print(std::cout);
+  bench::finish("ratio_measured", table);
   return 0;
 }

@@ -56,6 +56,6 @@ int main() {
         .add(ratio, 3)
         .add(1.0 / std::log2(static_cast<double>(n)), 3);
   }
-  table.print(std::cout);
+  bench::finish("ratio_online", table);
   return 0;
 }

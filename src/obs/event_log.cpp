@@ -1,5 +1,7 @@
 #include "obs/event_log.h"
 
+#include <iostream>
+
 #include "obs/json.h"
 
 namespace nfvm::obs {
@@ -45,20 +47,28 @@ JsonLine& JsonLine::field(std::string_view k, bool value) {
 
 bool EventLog::open(const std::string& path) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (path == "-") {
+    sink_ = &std::cout;
+    return true;
+  }
   out_.open(path, std::ios::out | std::ios::trunc);
-  return out_.is_open();
+  if (!out_.is_open()) return false;
+  sink_ = &out_;
+  return true;
 }
 
 void EventLog::write(const JsonLine& line) {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (!out_.is_open()) return;
-  out_ << line.str() << "\n";
+  if (sink_ == nullptr) return;
+  *sink_ << line.str() << "\n";
   ++lines_;
 }
 
 void EventLog::close() {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (out_.is_open()) out_.close();
+  if (sink_ == &out_ && out_.is_open()) out_.close();
+  if (sink_ != nullptr && sink_ != &out_) sink_->flush();
+  sink_ = nullptr;
 }
 
 }  // namespace nfvm::obs

@@ -46,16 +46,17 @@ class JsonLine {
   std::string body_;
 };
 
-/// Append-oriented JSONL file sink. Thread-safe writes; a default-constructed
+/// Append-oriented JSONL sink. Thread-safe writes; a default-constructed
 /// (or failed-to-open) log swallows writes, so call sites need no null checks
 /// beyond the pointer itself.
 class EventLog {
  public:
   EventLog() = default;
 
-  /// Opens (truncates) `path`. Returns false and stays closed on failure.
+  /// Opens (truncates) `path`; the path "-" streams to stdout instead.
+  /// Returns false and stays closed on failure.
   bool open(const std::string& path);
-  bool is_open() const { return out_.is_open(); }
+  bool is_open() const { return sink_ != nullptr; }
 
   /// Writes `line` plus a newline. No-op when the log is not open.
   void write(const JsonLine& line);
@@ -67,6 +68,7 @@ class EventLog {
  private:
   std::mutex mu_;
   std::ofstream out_;
+  std::ostream* sink_ = nullptr;  // &out_, or std::cout for "-"
   std::size_t lines_ = 0;
 };
 

@@ -1,11 +1,15 @@
-// Minimal streaming JSON writer for the observability exports (metrics
-// registry dumps, Chrome trace files, JSONL event logs). Not a general JSON
-// library: write-only, no DOM, but guaranteed to emit valid RFC 8259 output
-// (escaped strings, finite numbers, correct comma placement).
+// Minimal JSON support for the observability artifacts: a streaming writer
+// (metrics registry dumps, Chrome trace files, JSONL event logs, bench and
+// manifest artifacts) and a small recursive-descent parser (the nfvm-report
+// tool and the test suite read those artifacts back). Not a general JSON
+// library: the writer is guaranteed to emit valid RFC 8259 output (escaped
+// strings, finite numbers, correct comma placement); the parser accepts any
+// RFC 8259 document and fails with a byte offset on malformed input.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -52,6 +56,11 @@ class JsonWriter {
   JsonWriter& value(bool flag);
   JsonWriter& null();
 
+  /// Splices pre-serialized JSON in value position (comma placement still
+  /// handled). The caller guarantees `json` is one complete valid value -
+  /// used to embed a Registry::to_json() snapshot into a larger document.
+  JsonWriter& raw_value(std::string_view json);
+
   /// Depth of the open containers (0 once the document is complete).
   std::size_t depth() const noexcept { return stack_.size(); }
 
@@ -66,5 +75,40 @@ class JsonWriter {
   std::vector<bool> first_;   // parallel to stack_: no member emitted yet
   bool pending_key_ = false;  // a key was emitted, value expected next
 };
+
+/// Parsed JSON document node. A plain tagged struct rather than a variant:
+/// artifacts are small (metrics dumps, bench tables, manifests), so the
+/// fixed per-node overhead is irrelevant and accessors stay trivial.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  bool has(const std::string& key) const {
+    return is_object() && object.count(key) > 0;
+  }
+  /// Member access; throws std::runtime_error when absent (artifact
+  /// consumers treat a missing key as a malformed artifact).
+  const JsonValue& at(const std::string& key) const;
+};
+
+/// Parses one complete JSON document. Throws std::runtime_error with the
+/// byte offset on malformed input (trailing bytes, bad escapes, duplicate
+/// object keys - our writers never emit those, so a duplicate signals a
+/// corrupt artifact). \uXXXX escapes decode to UTF-8, including surrogate
+/// pairs.
+JsonValue parse_json(std::string_view text);
 
 }  // namespace nfvm::obs

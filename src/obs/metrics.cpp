@@ -60,6 +60,53 @@ void Histogram::reset() noexcept {
   max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
 }
 
+// --- Quantile estimation ----------------------------------------------------
+
+double estimate_quantile(const std::vector<HistogramBucket>& buckets, double q,
+                         double min_value, double max_value) {
+  std::uint64_t total = 0;
+  for (const HistogramBucket& b : buckets) total += b.count;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].count == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[i].count);
+    if (next < target && i + 1 < buckets.size()) {
+      cumulative = next;
+      continue;
+    }
+    double lower = i == 0 ? 0.0 : buckets[i - 1].le;
+    double upper = buckets[i].le;
+    if (!std::isfinite(upper)) {
+      // Overflow bucket: the observed max is the only finite upper bound
+      // available; without it fall back to doubling (the log2 growth rate).
+      upper = std::isfinite(max_value) ? max_value : lower * 2.0;
+    }
+    // A finite min/max tightens the end buckets (all samples in the first
+    // occupied bucket are >= min, in the last <= max).
+    if (std::isfinite(min_value)) lower = std::max(lower, std::min(min_value, upper));
+    if (std::isfinite(max_value)) upper = std::min(upper, max_value);
+    const double fraction =
+        std::max(0.0, target - cumulative) / static_cast<double>(buckets[i].count);
+    const double estimate = lower + fraction * (upper - lower);
+    return std::min(std::max(estimate, lower), upper);
+  }
+  return std::numeric_limits<double>::quiet_NaN();  // unreachable: total > 0
+}
+
+double estimate_quantile(const Histogram& histogram, double q) {
+  std::vector<HistogramBucket> buckets;
+  buckets.reserve(Histogram::kNumBuckets);
+  for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    buckets.push_back({Histogram::bucket_upper_bound(b), histogram.bucket_count(b)});
+  }
+  return estimate_quantile(buckets, q, histogram.min(), histogram.max());
+}
+
 // --- Registry ---------------------------------------------------------------
 
 Registry& Registry::global() {
@@ -149,6 +196,11 @@ void Registry::write_json(std::ostream& out) const {
     if (h->count() > 0) {
       w.key("min").value(h->min());
       w.key("max").value(h->max());
+      // Estimated within the containing log2 bucket; see estimate_quantile
+      // for the error bound.
+      w.key("p50").value(estimate_quantile(*h, 0.50));
+      w.key("p90").value(estimate_quantile(*h, 0.90));
+      w.key("p99").value(estimate_quantile(*h, 0.99));
     }
     w.key("buckets").begin_array();
     std::size_t highest = 0;

@@ -94,6 +94,32 @@ class Histogram {
   Histogram() noexcept;
 };
 
+/// One exported histogram bucket: inclusive upper bound (may be +inf for the
+/// overflow bucket) and the number of samples that landed in it. This is the
+/// shape written by Registry::write_json and read back by nfvm-report.
+struct HistogramBucket {
+  double le = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Estimates the q-quantile (q in [0, 1]) of a log2-bucketed histogram by
+/// linear interpolation inside the bucket containing the target rank.
+/// `buckets` must be ordered by ascending `le`; the lower bound of bucket i
+/// is buckets[i-1].le (0 for the first). When known, `min_value`/`max_value`
+/// tighten the first/last occupied bucket and clamp the result; pass
+/// +inf/-inf (the empty-histogram defaults) to skip. Returns NaN when every
+/// bucket is empty.
+///
+/// Error bound: the true quantile lies in the same bucket as the estimate,
+/// and base-2 buckets span (2^(i-1), 2^i], so for samples > 1 the estimate
+/// is within a factor of 2 of the true value (relative error < 100%, and in
+/// practice far less for smooth distributions; see docs/observability.md).
+double estimate_quantile(const std::vector<HistogramBucket>& buckets, double q,
+                         double min_value, double max_value);
+
+/// Convenience overload sampling a live histogram (uses its min/max).
+double estimate_quantile(const Histogram& histogram, double q);
+
 /// Name -> instrument map. Lookups are mutex-guarded; use the macros (or
 /// cache the returned pointer) on hot paths.
 class Registry {

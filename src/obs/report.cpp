@@ -1,0 +1,468 @@
+#include "obs/report.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace nfvm::obs::report {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool is_kind(const JsonValue& doc, std::string_view schema) {
+  return doc.is_object() && doc.has("schema") && doc.at("schema").is_string() &&
+         doc.at("schema").string == schema;
+}
+
+bool looks_like_metrics(const JsonValue& doc) {
+  return doc.is_object() && doc.has("counters") && doc.has("gauges") &&
+         doc.has("histograms");
+}
+
+// --- Validation -------------------------------------------------------------
+
+std::string validate_metrics(const JsonValue& doc) {
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    if (!doc.has(section) || !doc.at(section).is_object()) {
+      return std::string("metrics: missing object \"") + section + "\"";
+    }
+  }
+  for (const auto& [name, value] : doc.at("counters").object) {
+    if (!value.is_number()) return "metrics: counter \"" + name + "\" is not a number";
+  }
+  for (const auto& [name, value] : doc.at("gauges").object) {
+    if (!value.is_number()) return "metrics: gauge \"" + name + "\" is not a number";
+  }
+  for (const auto& [name, hist] : doc.at("histograms").object) {
+    if (!hist.is_object()) return "metrics: histogram \"" + name + "\" is not an object";
+    for (const char* key : {"count", "sum"}) {
+      if (!hist.has(key) || !hist.at(key).is_number()) {
+        return "metrics: histogram \"" + name + "\" lacks numeric \"" + key + "\"";
+      }
+    }
+    if (!hist.has("buckets") || !hist.at("buckets").is_array()) {
+      return "metrics: histogram \"" + name + "\" lacks \"buckets\" array";
+    }
+    for (const JsonValue& bucket : hist.at("buckets").array) {
+      if (!bucket.is_object() || !bucket.has("le") || !bucket.has("count") ||
+          !bucket.at("count").is_number()) {
+        return "metrics: histogram \"" + name + "\" has a malformed bucket";
+      }
+      const JsonValue& le = bucket.at("le");
+      const bool inf_bound = le.is_string() && le.string == "+Inf";
+      if (!le.is_number() && !inf_bound) {
+        return "metrics: histogram \"" + name + "\" bucket bound is neither a number nor \"+Inf\"";
+      }
+    }
+  }
+  return "";
+}
+
+std::string validate_bench(const JsonValue& doc) {
+  if (!doc.has("name") || !doc.at("name").is_string()) return "bench: missing \"name\"";
+  if (!doc.has("meta") || !doc.at("meta").is_object()) return "bench: missing \"meta\" object";
+  if (!doc.has("wall_time_s") || !doc.at("wall_time_s").is_number()) {
+    return "bench: missing numeric \"wall_time_s\"";
+  }
+  if (!doc.has("columns") || !doc.at("columns").is_array()) {
+    return "bench: missing \"columns\" array";
+  }
+  for (const JsonValue& column : doc.at("columns").array) {
+    if (!column.is_string()) return "bench: non-string column name";
+  }
+  if (!doc.has("rows") || !doc.at("rows").is_array()) return "bench: missing \"rows\" array";
+  for (const JsonValue& row : doc.at("rows").array) {
+    if (!row.is_object()) return "bench: non-object row";
+    for (const auto& [column, cell] : row.object) {
+      if (!cell.is_number() && !cell.is_string()) {
+        return "bench: row cell \"" + column + "\" is neither number nor string";
+      }
+    }
+  }
+  if (!doc.has("metrics")) return "bench: missing \"metrics\" snapshot";
+  if (std::string err = validate_metrics(doc.at("metrics")); !err.empty()) return err;
+  return "";
+}
+
+std::string validate_manifest(const JsonValue& doc) {
+  if (!doc.has("argv") || !doc.at("argv").is_array()) return "manifest: missing \"argv\" array";
+  for (const char* key : {"start_time", "end_time"}) {
+    if (!doc.has(key) || !doc.at(key).is_string()) {
+      return std::string("manifest: missing string \"") + key + "\"";
+    }
+  }
+  for (const char* key : {"wall_time_s", "peak_rss_kb"}) {
+    if (!doc.has(key) || !doc.at(key).is_number()) {
+      return std::string("manifest: missing numeric \"") + key + "\"";
+    }
+  }
+  if (!doc.has("config") || !doc.at("config").is_object()) {
+    return "manifest: missing \"config\" object";
+  }
+  if (!doc.has("build") || !doc.at("build").is_object()) {
+    return "manifest: missing \"build\" object";
+  }
+  const JsonValue& build = doc.at("build");
+  for (const char* key : {"git_sha", "build_type", "compiler", "cxx_flags"}) {
+    if (!build.has(key) || !build.at(key).is_string()) {
+      return std::string("manifest: build lacks string \"") + key + "\"";
+    }
+  }
+  if (!build.has("obs_enabled") || !build.at("obs_enabled").is_bool()) {
+    return "manifest: build lacks bool \"obs_enabled\"";
+  }
+  if (!doc.has("artifacts") || !doc.at("artifacts").is_array()) {
+    return "manifest: missing \"artifacts\" array";
+  }
+  return "";
+}
+
+// --- Flattening -------------------------------------------------------------
+
+/// Histogram buckets as exported ("le" numeric or the string "+Inf").
+std::vector<HistogramBucket> parse_buckets(const JsonValue& hist) {
+  std::vector<HistogramBucket> buckets;
+  for (const JsonValue& b : hist.at("buckets").array) {
+    const JsonValue& le = b.at("le");
+    buckets.push_back(
+        {le.is_number() ? le.number : std::numeric_limits<double>::infinity(),
+         static_cast<std::uint64_t>(b.at("count").number)});
+  }
+  return buckets;
+}
+
+void flatten_metrics(const JsonValue& doc, const std::string& prefix,
+                     std::map<std::string, double>& scalars) {
+  for (const auto& [name, value] : doc.at("counters").object) {
+    scalars[prefix + "counters." + name] = value.number;
+  }
+  for (const auto& [name, value] : doc.at("gauges").object) {
+    scalars[prefix + "gauges." + name] = value.number;
+  }
+  for (const auto& [name, hist] : doc.at("histograms").object) {
+    const std::string base = prefix + "histograms." + name;
+    scalars[base + ".count"] = hist.at("count").number;
+    if (hist.at("count").number <= 0) continue;
+    scalars[base + ".sum"] = hist.at("sum").number;
+    // Percentiles: take the exported ones, or derive them from the buckets
+    // for artifacts written before p50/p90/p99 were added.
+    const double min = hist.has("min") ? hist.at("min").number
+                                       : std::numeric_limits<double>::infinity();
+    const double max = hist.has("max") ? hist.at("max").number
+                                       : -std::numeric_limits<double>::infinity();
+    const std::vector<HistogramBucket> buckets = parse_buckets(hist);
+    for (const auto& [key, q] :
+         {std::pair<const char*, double>{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}}) {
+      const double value = hist.has(key) ? hist.at(key).number
+                                         : estimate_quantile(buckets, q, min, max);
+      if (std::isfinite(value)) scalars[base + "." + key] = value;
+    }
+  }
+}
+
+void flatten_bench(const JsonValue& doc, std::map<std::string, double>& scalars) {
+  scalars["wall_time_s"] = doc.at("wall_time_s").number;
+  const auto& rows = doc.at("rows").array;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (const auto& [column, cell] : rows[i].object) {
+      if (cell.is_number()) {
+        scalars["rows[" + std::to_string(i) + "]." + column] = cell.number;
+      }
+    }
+  }
+  flatten_metrics(doc.at("metrics"), "metrics.", scalars);
+}
+
+bool key_ignored(const std::string& key, const CompareOptions& options) {
+  for (const std::string& pattern : options.ignore) {
+    if (!pattern.empty() && key.find(pattern) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string format_value(double value) {
+  std::ostringstream out;
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    out << static_cast<long long>(value);
+  } else {
+    out.precision(6);
+    out << value;
+  }
+  return out.str();
+}
+
+std::string format_rel(double rel) {
+  if (!std::isfinite(rel)) return rel > 0 ? "+inf%" : "-inf%";
+  std::ostringstream out;
+  out.precision(2);
+  out << std::fixed << (rel >= 0 ? "+" : "") << rel * 100.0 << "%";
+  return out.str();
+}
+
+}  // namespace
+
+std::string_view kind_name(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kMetrics: return "metrics";
+    case ArtifactKind::kBench: return "bench";
+    case ArtifactKind::kManifest: return "manifest";
+    case ArtifactKind::kTimeseries: return "timeseries";
+    case ArtifactKind::kRunDir: return "run-dir";
+  }
+  return "unknown";
+}
+
+std::string validate_document(const JsonValue& doc) {
+  if (!doc.is_object()) return "artifact is not a JSON object";
+  if (is_kind(doc, "nfvm-bench-v1")) return validate_bench(doc);
+  if (is_kind(doc, "nfvm-run-manifest-v1")) return validate_manifest(doc);
+  if (looks_like_metrics(doc)) return validate_metrics(doc);
+  return "unrecognized artifact (expected metrics, nfvm-bench-v1 or "
+         "nfvm-run-manifest-v1)";
+}
+
+std::string validate_file(const std::string& path) {
+  std::string text;
+  try {
+    text = read_file(path);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(lines, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      try {
+        if (!parse_json(line).is_object()) {
+          return path + ":" + std::to_string(lineno) + ": not a JSON object";
+        }
+      } catch (const std::exception& e) {
+        return path + ":" + std::to_string(lineno) + ": " + e.what();
+      }
+    }
+    return "";
+  }
+  try {
+    const JsonValue doc = parse_json(text);
+    std::string err = validate_document(doc);
+    if (!err.empty()) return path + ": " + err;
+  } catch (const std::exception& e) {
+    return path + ": " + e.what();
+  }
+  return "";
+}
+
+Artifact load_artifact(const std::string& path) {
+  Artifact artifact;
+  artifact.path = path;
+
+  if (fs::is_directory(fs::path(path))) {
+    artifact.kind = ArtifactKind::kRunDir;
+    const std::string manifest_path = (fs::path(path) / "manifest.json").string();
+    artifact.doc = parse_json(read_file(manifest_path));
+    if (std::string err = validate_document(artifact.doc); !err.empty()) {
+      throw std::runtime_error(manifest_path + ": " + err);
+    }
+    artifact.name = fs::path(path).filename().string();
+    artifact.scalars["run.wall_time_s"] = artifact.doc.at("wall_time_s").number;
+    artifact.scalars["run.peak_rss_kb"] = artifact.doc.at("peak_rss_kb").number;
+    const std::string metrics_path = (fs::path(path) / "metrics.json").string();
+    if (fs::exists(fs::path(metrics_path))) {
+      const JsonValue metrics = parse_json(read_file(metrics_path));
+      if (std::string err = validate_document(metrics); !err.empty()) {
+        throw std::runtime_error(metrics_path + ": " + err);
+      }
+      flatten_metrics(metrics, "", artifact.scalars);
+    }
+    return artifact;
+  }
+
+  artifact.doc = parse_json(read_file(path));
+  if (std::string err = validate_document(artifact.doc); !err.empty()) {
+    throw std::runtime_error(path + ": " + err);
+  }
+  if (is_kind(artifact.doc, "nfvm-bench-v1")) {
+    artifact.kind = ArtifactKind::kBench;
+    artifact.name = artifact.doc.at("name").string;
+    flatten_bench(artifact.doc, artifact.scalars);
+  } else if (is_kind(artifact.doc, "nfvm-run-manifest-v1")) {
+    artifact.kind = ArtifactKind::kManifest;
+    artifact.name = "manifest";
+    artifact.scalars["run.wall_time_s"] = artifact.doc.at("wall_time_s").number;
+    artifact.scalars["run.peak_rss_kb"] = artifact.doc.at("peak_rss_kb").number;
+  } else {
+    artifact.kind = ArtifactKind::kMetrics;
+    artifact.name = fs::path(path).stem().string();
+    flatten_metrics(artifact.doc, "", artifact.scalars);
+  }
+  return artifact;
+}
+
+CompareReport compare_artifacts(const Artifact& baseline,
+                                const Artifact& candidate,
+                                const CompareOptions& options) {
+  CompareReport report;
+  auto base_it = baseline.scalars.begin();
+  auto cand_it = candidate.scalars.begin();
+  while (base_it != baseline.scalars.end() || cand_it != candidate.scalars.end()) {
+    if (cand_it == candidate.scalars.end() ||
+        (base_it != baseline.scalars.end() && base_it->first < cand_it->first)) {
+      report.only_baseline.push_back(base_it->first);
+      ++base_it;
+      continue;
+    }
+    if (base_it == baseline.scalars.end() || cand_it->first < base_it->first) {
+      report.only_candidate.push_back(cand_it->first);
+      ++cand_it;
+      continue;
+    }
+    Delta delta;
+    delta.key = base_it->first;
+    delta.baseline = base_it->second;
+    delta.candidate = cand_it->second;
+    if (delta.baseline == delta.candidate) {
+      delta.rel = 0.0;
+    } else if (delta.baseline == 0.0) {
+      delta.rel = delta.candidate > 0 ? std::numeric_limits<double>::infinity()
+                                      : -std::numeric_limits<double>::infinity();
+    } else {
+      delta.rel = (delta.candidate - delta.baseline) / std::abs(delta.baseline);
+    }
+    delta.regression =
+        std::abs(delta.rel) > options.threshold && !key_ignored(delta.key, options);
+    if (delta.regression) ++report.num_regressions;
+    report.deltas.push_back(std::move(delta));
+    ++base_it;
+    ++cand_it;
+  }
+  return report;
+}
+
+void write_summary(std::ostream& out, const Artifact& artifact) {
+  out << "# artifact: " << artifact.path << " (" << kind_name(artifact.kind)
+      << (artifact.name.empty() ? "" : ", " + artifact.name) << ")\n";
+  if (artifact.kind == ArtifactKind::kRunDir || artifact.kind == ArtifactKind::kManifest) {
+    const JsonValue& doc = artifact.doc;
+    out << "# start " << doc.at("start_time").string << ", wall "
+        << format_value(doc.at("wall_time_s").number) << " s, peak RSS "
+        << format_value(doc.at("peak_rss_kb").number) << " kB\n";
+    const JsonValue& build = doc.at("build");
+    out << "# build " << build.at("git_sha").string << " ("
+        << build.at("build_type").string << ", " << build.at("compiler").string
+        << ", obs " << (build.at("obs_enabled").boolean ? "on" : "off") << ")\n";
+  }
+  if (artifact.kind == ArtifactKind::kBench) {
+    for (const auto& [key, value] : artifact.doc.at("meta").object) {
+      out << "# meta " << key << ": "
+          << (value.is_string() ? value.string : format_value(value.number)) << "\n";
+    }
+  }
+  out << artifact.scalars.size() << " comparable values\n";
+  for (const auto& [key, value] : artifact.scalars) {
+    out << "  " << key << " = " << format_value(value) << "\n";
+  }
+}
+
+void write_report_markdown(std::ostream& out, const Artifact& baseline,
+                           const Artifact& candidate,
+                           const CompareReport& report,
+                           const CompareOptions& options) {
+  out << "# nfvm-report: " << baseline.path << " vs " << candidate.path << "\n\n";
+  out << "- baseline: `" << baseline.path << "` (" << kind_name(baseline.kind) << ")\n";
+  out << "- candidate: `" << candidate.path << "` (" << kind_name(candidate.kind) << ")\n";
+  out << "- threshold: ±" << format_value(options.threshold * 100.0) << "%";
+  if (!options.ignore.empty()) {
+    out << "; ignoring keys containing:";
+    for (const std::string& pattern : options.ignore) out << " `" << pattern << "`";
+  }
+  out << "\n- regressions: **" << report.num_regressions << "**\n\n";
+
+  std::size_t changed = 0;
+  for (const Delta& delta : report.deltas) {
+    if (delta.rel != 0.0) ++changed;
+  }
+  out << "| key | baseline | candidate | delta | status |\n";
+  out << "|---|---:|---:|---:|---|\n";
+  for (const Delta& delta : report.deltas) {
+    if (delta.rel == 0.0) continue;
+    out << "| `" << delta.key << "` | " << format_value(delta.baseline) << " | "
+        << format_value(delta.candidate) << " | " << format_rel(delta.rel) << " | "
+        << (delta.regression
+                ? "REGRESSION"
+                : (key_ignored(delta.key, options) && std::abs(delta.rel) > options.threshold
+                       ? "ignored"
+                       : "ok"))
+        << " |\n";
+  }
+  out << "\n" << report.deltas.size() - changed << " keys unchanged, " << changed
+      << " changed, " << report.only_baseline.size() << " only in baseline, "
+      << report.only_candidate.size() << " only in candidate.\n";
+  if (!report.only_candidate.empty()) {
+    out << "\nNew keys in candidate:";
+    for (const std::string& key : report.only_candidate) out << " `" << key << "`";
+    out << "\n";
+  }
+  if (!report.only_baseline.empty()) {
+    out << "\nKeys missing from candidate:";
+    for (const std::string& key : report.only_baseline) out << " `" << key << "`";
+    out << "\n";
+  }
+}
+
+void write_report_json(std::ostream& out, const Artifact& baseline,
+                       const Artifact& candidate, const CompareReport& report,
+                       const CompareOptions& options) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("schema").value("nfvm-report-v1");
+  w.key("baseline").value(baseline.path);
+  w.key("candidate").value(candidate.path);
+  w.key("threshold").value(options.threshold);
+  w.key("ignore").begin_array();
+  for (const std::string& pattern : options.ignore) w.value(pattern);
+  w.end_array();
+  w.key("num_regressions").value(static_cast<std::uint64_t>(report.num_regressions));
+  w.key("deltas").begin_array();
+  for (const Delta& delta : report.deltas) {
+    w.begin_object();
+    w.key("key").value(delta.key);
+    w.key("baseline").value(delta.baseline);
+    w.key("candidate").value(delta.candidate);
+    if (std::isfinite(delta.rel)) {
+      w.key("rel").value(delta.rel);
+    } else {
+      w.key("rel").value(delta.rel > 0 ? "+inf" : "-inf");
+    }
+    w.key("regression").value(delta.regression);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("only_baseline").begin_array();
+  for (const std::string& key : report.only_baseline) w.value(key);
+  w.end_array();
+  w.key("only_candidate").begin_array();
+  for (const std::string& key : report.only_candidate) w.value(key);
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace nfvm::obs::report

@@ -1,0 +1,102 @@
+// Artifact loading, schema validation and baseline/candidate comparison -
+// the library behind the `nfvm-report` CLI (tools/nfvm_report.cpp) and the
+// CI perf-smoke gate. Understands the three artifact shapes the repo emits:
+//   * metrics JSON        - Registry::write_json output
+//   * bench JSON          - bench_common.h "nfvm-bench-v1" artifacts
+//   * run directories     - nfvm-sim --run-dir bundles (manifest.json + the
+//                           artifacts it lists)
+// Artifacts are flattened into scalar key -> value maps so comparison is one
+// generic pass: counters.<name>, gauges.<name>, histograms.<name>.{count,
+// sum,p50,p90,p99}, rows[i].<column>, wall_time_s, run.peak_rss_kb, ...
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace nfvm::obs::report {
+
+enum class ArtifactKind { kMetrics, kBench, kManifest, kTimeseries, kRunDir };
+
+/// Human-readable kind tag ("metrics", "bench", ...).
+std::string_view kind_name(ArtifactKind kind);
+
+struct Artifact {
+  ArtifactKind kind = ArtifactKind::kMetrics;
+  /// The path the artifact was loaded from (file or run directory).
+  std::string path;
+  /// Bench name, manifest schema or file stem - display only.
+  std::string name;
+  /// Flattened numeric view used for comparison.
+  std::map<std::string, double> scalars;
+  /// The parsed document (for run dirs: the manifest).
+  JsonValue doc;
+};
+
+/// Schema-checks one parsed document (auto-detects metrics / bench /
+/// manifest by shape). Returns the empty string when valid, otherwise a
+/// description of the first violation.
+std::string validate_document(const JsonValue& doc);
+
+/// Validates a file on disk. `.jsonl` files (event logs, timeseries) are
+/// checked line-by-line for well-formed JSON objects; anything else must
+/// parse as one document and pass validate_document. Returns "" or an error.
+std::string validate_file(const std::string& path);
+
+/// Loads a metrics JSON, a bench JSON, or a run directory (reads its
+/// manifest.json and metrics.json). Throws std::runtime_error on I/O,
+/// parse or schema failure.
+Artifact load_artifact(const std::string& path);
+
+struct Delta {
+  std::string key;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  /// (candidate - baseline) / |baseline|; +-inf when baseline is 0 and the
+  /// candidate moved.
+  double rel = 0.0;
+  /// Exceeded the threshold (in either direction) and was not ignored.
+  bool regression = false;
+};
+
+struct CompareOptions {
+  /// Relative threshold: |rel| > threshold flags a regression.
+  double threshold = 0.10;
+  /// Keys containing any of these substrings are reported but never gate
+  /// (timing columns on shared CI runners, for example).
+  std::vector<std::string> ignore;
+};
+
+struct CompareReport {
+  /// Every key present in both artifacts, sorted, with its delta.
+  std::vector<Delta> deltas;
+  std::vector<std::string> only_baseline;
+  std::vector<std::string> only_candidate;
+  std::size_t num_regressions = 0;
+};
+
+CompareReport compare_artifacts(const Artifact& baseline,
+                                const Artifact& candidate,
+                                const CompareOptions& options);
+
+/// One-artifact overview: counts, counters, histogram percentiles.
+void write_summary(std::ostream& out, const Artifact& artifact);
+
+/// Markdown diff: header, regression table, changed-key table, totals.
+void write_report_markdown(std::ostream& out, const Artifact& baseline,
+                           const Artifact& candidate,
+                           const CompareReport& report,
+                           const CompareOptions& options);
+
+/// Machine-readable diff ("nfvm-report-v1"): options echo, full delta list,
+/// regression count.
+void write_report_json(std::ostream& out, const Artifact& baseline,
+                       const Artifact& candidate, const CompareReport& report,
+                       const CompareOptions& options);
+
+}  // namespace nfvm::obs::report

@@ -1,0 +1,119 @@
+#include "obs/run_info.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <ostream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"  // NFVM_OBS default
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+// CMake passes these as escaped string defines on the nfvm_obs target; keep
+// buildable without them (plain compiler invocations, non-git checkouts).
+#ifndef NFVM_GIT_SHA
+#define NFVM_GIT_SHA "unknown"
+#endif
+#ifndef NFVM_BUILD_TYPE_STR
+#define NFVM_BUILD_TYPE_STR "unknown"
+#endif
+#ifndef NFVM_CXX_FLAGS_STR
+#define NFVM_CXX_FLAGS_STR "unknown"
+#endif
+
+namespace nfvm::obs {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+BuildInfo build_info() {
+  BuildInfo info;
+  info.git_sha = NFVM_GIT_SHA;
+  info.build_type = NFVM_BUILD_TYPE_STR;
+  info.compiler = compiler_id();
+  info.cxx_flags = NFVM_CXX_FLAGS_STR;
+  info.obs_enabled = NFVM_OBS != 0;
+  return info;
+}
+
+std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::string iso8601_utc_now() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm utc {};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec);
+  return buf;
+}
+
+void write_manifest(std::ostream& out, const RunManifest& manifest) {
+  const BuildInfo build = build_info();
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("schema").value("nfvm-run-manifest-v1");
+
+  w.key("argv").begin_array();
+  for (const std::string& arg : manifest.argv) w.value(arg);
+  w.end_array();
+
+  w.key("start_time").value(manifest.start_time);
+  w.key("end_time").value(manifest.end_time);
+  w.key("wall_time_s").value(manifest.wall_time_s);
+  w.key("peak_rss_kb").value(peak_rss_kb());
+
+  w.key("config").begin_object();
+  for (const auto& [key, value] : manifest.config) w.key(key).value(value);
+  w.end_object();
+
+  w.key("build").begin_object();
+  w.key("git_sha").value(build.git_sha);
+  w.key("build_type").value(build.build_type);
+  w.key("compiler").value(build.compiler);
+  w.key("cxx_flags").value(build.cxx_flags);
+  w.key("obs_enabled").value(build.obs_enabled);
+  w.end_object();
+
+  w.key("artifacts").begin_array();
+  for (const std::string& name : manifest.artifacts) w.value(name);
+  w.end_array();
+
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace nfvm::obs

@@ -1,0 +1,53 @@
+// Run provenance for self-describing artifact bundles: build identification
+// (git SHA, build type, compiler, flags - baked in at compile time via CMake
+// defines), process peak RSS, wall-clock timestamps, and the manifest.json
+// writer used by `nfvm-sim --run-dir`.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nfvm::obs {
+
+/// Compile-time build identification. Values come from CMake-provided
+/// defines (NFVM_GIT_SHA, NFVM_BUILD_TYPE_STR, NFVM_CXX_FLAGS_STR); fields
+/// read "unknown" when a define was not supplied (e.g. a non-git checkout).
+struct BuildInfo {
+  std::string git_sha;
+  std::string build_type;
+  std::string compiler;
+  std::string cxx_flags;
+  /// Whether the NFVM_OBS instrumentation layer is compiled in.
+  bool obs_enabled = false;
+};
+
+BuildInfo build_info();
+
+/// Peak resident set size of this process in kilobytes (getrusage);
+/// 0 on platforms without rusage support.
+std::uint64_t peak_rss_kb();
+
+/// Current wall-clock time as ISO 8601 UTC, e.g. "2026-08-06T12:34:56Z".
+std::string iso8601_utc_now();
+
+/// Everything a run bundle records about how it was produced. The caller
+/// fills argv/config/timing; write_manifest adds build info and peak RSS.
+struct RunManifest {
+  /// Full command line, argv[0] included.
+  std::vector<std::string> argv;
+  std::string start_time;  // ISO 8601 UTC
+  std::string end_time;
+  double wall_time_s = 0.0;
+  /// Flat tool-specific configuration echo (seed, topology, algorithm, ...).
+  std::map<std::string, std::string> config;
+  /// Artifact file names present in the bundle, relative to the run dir.
+  std::vector<std::string> artifacts;
+};
+
+/// Writes the manifest as one JSON object tagged "nfvm-run-manifest-v1".
+void write_manifest(std::ostream& out, const RunManifest& manifest);
+
+}  // namespace nfvm::obs

@@ -1,0 +1,69 @@
+#include "obs/sampler.h"
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_info.h"
+
+namespace nfvm::obs {
+
+bool TimeseriesSampler::start(Registry& registry, const std::string& path,
+                              std::chrono::milliseconds interval) {
+  if (running()) return false;
+  out_.open(path, std::ios::trunc);
+  if (!out_) return false;
+  registry_ = &registry;
+  interval_ = interval.count() > 0 ? interval : std::chrono::milliseconds(1);
+  epoch_ = std::chrono::steady_clock::now();
+  stop_requested_ = false;
+  samples_ = 0;
+  thread_ = std::thread([this] { run_loop(); });
+  return true;
+}
+
+void TimeseriesSampler::stop() {
+  if (!running()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  write_sample();  // final snapshot: short runs still get >= 1 line
+  out_.close();
+}
+
+void TimeseriesSampler::run_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_requested_; })) break;
+    lock.unlock();
+    write_sample();
+    lock.lock();
+  }
+}
+
+void TimeseriesSampler::write_sample() {
+  const double t_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - epoch_)
+                          .count();
+  JsonWriter w(out_);
+  w.begin_object();
+  w.key("t_ms").value(t_ms);
+  w.key("rss_kb").value(peak_rss_kb());
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : registry_->counter_snapshot()) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : registry_->gauge_snapshot()) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.end_object();
+  out_ << "\n";
+  out_.flush();
+  ++samples_;
+}
+
+}  // namespace nfvm::obs

@@ -1,0 +1,61 @@
+// Opt-in periodic metrics sampler for long online runs: a background thread
+// snapshots the registry's counters and gauges plus the process RSS into a
+// JSONL timeseries (one object per sample). Wired to `nfvm-sim --timeseries
+// FILE --sample-interval-ms N`; idle (no thread, no file) unless started.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace nfvm::obs {
+
+class Registry;
+
+/// Samples `registry` every `interval` until stop() (or destruction). Each
+/// line is {"t_ms": <ms since start>, "rss_kb": N, "counters": {...},
+/// "gauges": {...}}. A final sample is always written on stop so short runs
+/// still produce at least one line. Sampling takes the registry mutex for
+/// the duration of one snapshot - microseconds - so the hot paths it
+/// observes are effectively undisturbed.
+class TimeseriesSampler {
+ public:
+  TimeseriesSampler() = default;
+  ~TimeseriesSampler() { stop(); }
+  TimeseriesSampler(const TimeseriesSampler&) = delete;
+  TimeseriesSampler& operator=(const TimeseriesSampler&) = delete;
+
+  /// Opens (truncates) `path` and starts the sampling thread. Returns false
+  /// (and stays idle) when the file cannot be opened or sampling is already
+  /// running. A non-positive interval is clamped to 1ms.
+  bool start(Registry& registry, const std::string& path,
+             std::chrono::milliseconds interval);
+
+  /// Writes one final sample, joins the thread and closes the file. Safe to
+  /// call when not running.
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+  std::size_t samples_written() const { return samples_; }
+
+ private:
+  void run_loop();
+  void write_sample();
+
+  Registry* registry_ = nullptr;
+  std::ofstream out_;
+  std::chrono::milliseconds interval_{1000};
+  std::chrono::steady_clock::time_point epoch_{};
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::atomic<std::size_t> samples_{0};
+};
+
+}  // namespace nfvm::obs

@@ -29,6 +29,8 @@ class Table {
   std::size_t num_columns() const noexcept { return columns_.size(); }
   /// Cell accessor (row-major). Throws std::out_of_range on bad indices.
   const std::string& cell(std::size_t row, std::size_t col) const;
+  /// Header name of column `col`. Throws std::out_of_range on bad indices.
+  const std::string& column(std::size_t col) const { return columns_.at(col); }
 
   /// Renders the aligned table. Throws std::logic_error if any row has a
   /// different number of cells than the header.

@@ -1,0 +1,118 @@
+// Run-bundle building blocks: manifest writing, build provenance, and the
+// background timeseries sampler.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/run_info.h"
+#include "obs/sampler.h"
+
+namespace nfvm::obs {
+namespace {
+
+TEST(BuildInfo, FieldsArePopulated) {
+  const BuildInfo info = build_info();
+  EXPECT_FALSE(info.git_sha.empty());
+  EXPECT_FALSE(info.compiler.empty());
+#if NFVM_OBS
+  EXPECT_TRUE(info.obs_enabled);
+#else
+  EXPECT_FALSE(info.obs_enabled);
+#endif
+}
+
+TEST(RunInfo, PeakRssIsPositiveOnLinux) {
+#ifdef __linux__
+  EXPECT_GT(peak_rss_kb(), 0u);
+#endif
+}
+
+TEST(RunInfo, TimestampLooksLikeIso8601Utc) {
+  const std::string t = iso8601_utc_now();
+  // "2026-08-06T12:34:56Z"
+  ASSERT_EQ(t.size(), 20u);
+  EXPECT_EQ(t[4], '-');
+  EXPECT_EQ(t[7], '-');
+  EXPECT_EQ(t[10], 'T');
+  EXPECT_EQ(t[13], ':');
+  EXPECT_EQ(t[16], ':');
+  EXPECT_EQ(t.back(), 'Z');
+}
+
+TEST(RunManifest, WriteManifestPassesSchemaValidation) {
+  RunManifest manifest;
+  manifest.argv = {"nfvm-sim", "--topology", "geant", "--run-dir", "out"};
+  manifest.start_time = iso8601_utc_now();
+  manifest.end_time = iso8601_utc_now();
+  manifest.wall_time_s = 1.25;
+  manifest.config = {{"seed", "7"}, {"topology", "geant"}};
+  manifest.artifacts = {"metrics.json", "events.jsonl"};
+
+  std::ostringstream os;
+  write_manifest(os, manifest);
+  const JsonValue doc = parse_json(os.str());
+  EXPECT_EQ(report::validate_document(doc), "");
+  EXPECT_EQ(doc.at("schema").string, "nfvm-run-manifest-v1");
+  ASSERT_EQ(doc.at("argv").array.size(), 5u);
+  EXPECT_EQ(doc.at("argv").array[2].string, "geant");
+  EXPECT_EQ(doc.at("config").at("seed").string, "7");
+  EXPECT_EQ(doc.at("build").at("git_sha").string, build_info().git_sha);
+  EXPECT_EQ(doc.at("build").at("obs_enabled").boolean, build_info().obs_enabled);
+  ASSERT_EQ(doc.at("artifacts").array.size(), 2u);
+}
+
+TEST(TimeseriesSampler, WritesAtLeastOneValidSample) {
+  Registry registry;
+  registry.counter("ticks")->add(5);
+  registry.gauge("level")->set(0.5);
+
+  const std::string path = ::testing::TempDir() + "/nfvm_timeseries.jsonl";
+  TimeseriesSampler sampler;
+  ASSERT_TRUE(sampler.start(registry, path, std::chrono::milliseconds(10)));
+  EXPECT_TRUE(sampler.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.samples_written(), 1u);
+
+  std::ifstream in(path);
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    const JsonValue sample = parse_json(line);
+    EXPECT_TRUE(sample.at("t_ms").is_number());
+    EXPECT_GE(sample.at("t_ms").number, 0.0);
+    EXPECT_TRUE(sample.at("rss_kb").is_number());
+    EXPECT_EQ(sample.at("counters").at("ticks").number, 5.0);
+    EXPECT_EQ(sample.at("gauges").at("level").number, 0.5);
+    ++lines;
+  }
+  EXPECT_EQ(lines, sampler.samples_written());
+  EXPECT_EQ(report::validate_file(path), "");  // well-formed .jsonl
+  std::remove(path.c_str());
+}
+
+TEST(TimeseriesSampler, StopWithoutStartIsSafe) {
+  TimeseriesSampler sampler;
+  sampler.stop();  // no-op
+  EXPECT_FALSE(sampler.running());
+  EXPECT_EQ(sampler.samples_written(), 0u);
+}
+
+TEST(TimeseriesSampler, RefusesUnwritablePath) {
+  Registry registry;
+  TimeseriesSampler sampler;
+  EXPECT_FALSE(sampler.start(registry, "/nonexistent/dir/ts.jsonl",
+                             std::chrono::milliseconds(10)));
+  EXPECT_FALSE(sampler.running());
+}
+
+}  // namespace
+}  // namespace nfvm::obs

@@ -1,0 +1,178 @@
+// nfvm-report - inspect, validate and diff observability artifacts.
+//
+//   nfvm-report summary ARTIFACT
+//       Print a human-readable overview of one artifact (metrics JSON,
+//       BENCH_*.json, manifest.json or a --run-dir bundle directory).
+//   nfvm-report diff BASELINE CANDIDATE [options]
+//       Compare two artifacts key-by-key and print the delta table.
+//   nfvm-report --check BASELINE CANDIDATE [options]
+//       Like diff, but exit 1 when any delta exceeds the threshold - the
+//       CI perf-regression gate.
+//   nfvm-report --validate FILE...
+//       Schema-validate artifacts (JSON documents or .jsonl logs); exit 1
+//       on the first invalid file.
+//
+// Options (diff / --check):
+//   --threshold X     relative-change gate, default 0.10 (= 10%)
+//   --ignore SUBSTR   keys containing SUBSTR never gate (repeatable);
+//                     use for timing columns on noisy runners
+//   --md FILE         also write a markdown report ("-" for stdout)
+//   --json FILE       also write an "nfvm-report-v1" JSON report ("-")
+//
+// Exit codes: 0 ok, 1 regression / invalid artifact, 2 usage or load error.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace {
+
+using nfvm::obs::report::Artifact;
+using nfvm::obs::report::CompareOptions;
+using nfvm::obs::report::CompareReport;
+
+[[noreturn]] void usage(const std::string& error) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n";
+  std::cerr
+      << "usage: nfvm-report summary ARTIFACT\n"
+         "       nfvm-report diff BASELINE CANDIDATE [--threshold X]\n"
+         "                   [--ignore SUBSTR]... [--md FILE|-] [--json FILE|-]\n"
+         "       nfvm-report --check BASELINE CANDIDATE [diff options]\n"
+         "       nfvm-report --validate FILE...\n"
+         "an ARTIFACT is a metrics JSON, a BENCH_*.json, a manifest.json or\n"
+         "an nfvm-sim --run-dir directory (see docs/observability.md)\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+Artifact load_or_die(const std::string& path) {
+  try {
+    return nfvm::obs::report::load_artifact(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << path << ": " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+/// Writes one of the optional report formats to `path` ("-" = stdout).
+template <typename WriteFn>
+void emit(const std::string& path, const WriteFn& write) {
+  if (path.empty()) return;
+  if (path == "-") {
+    write(std::cout);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open " << path << " for writing\n";
+    std::exit(2);
+  }
+  write(out);
+}
+
+int run_validate(const std::vector<std::string>& files) {
+  if (files.empty()) usage("--validate needs at least one file");
+  int bad = 0;
+  for (const std::string& file : files) {
+    const std::string error = nfvm::obs::report::validate_file(file);
+    if (error.empty()) {
+      std::cout << "ok      " << file << "\n";
+    } else {
+      std::cout << "INVALID " << file << ": " << error << "\n";
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+int run_diff(const std::string& baseline_path, const std::string& candidate_path,
+             const CompareOptions& options, const std::string& md_path,
+             const std::string& json_path, bool check) {
+  const Artifact baseline = load_or_die(baseline_path);
+  const Artifact candidate = load_or_die(candidate_path);
+  const CompareReport report =
+      nfvm::obs::report::compare_artifacts(baseline, candidate, options);
+
+  nfvm::obs::report::write_report_markdown(std::cout, baseline, candidate,
+                                           report, options);
+  emit(md_path, [&](std::ostream& out) {
+    nfvm::obs::report::write_report_markdown(out, baseline, candidate, report,
+                                             options);
+  });
+  emit(json_path, [&](std::ostream& out) {
+    nfvm::obs::report::write_report_json(out, baseline, candidate, report,
+                                         options);
+  });
+
+  if (report.num_regressions > 0) {
+    std::cerr << "nfvm-report: " << report.num_regressions
+              << " regression(s) above threshold " << options.threshold << "\n";
+    if (check) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) usage("no command");
+  if (args[0] == "--help" || args[0] == "-h") usage("");
+
+  std::string command = args[0];
+  bool check = false;
+  if (command == "--check") {
+    command = "diff";
+    check = true;
+  }
+
+  if (command == "--validate") {
+    return run_validate({args.begin() + 1, args.end()});
+  }
+
+  if (command == "summary") {
+    if (args.size() != 2) usage("summary takes exactly one artifact");
+    const Artifact artifact = load_or_die(args[1]);
+    nfvm::obs::report::write_summary(std::cout, artifact);
+    return 0;
+  }
+
+  if (command != "diff") usage("unknown command \"" + command + "\"");
+
+  CompareOptions options;
+  std::string md_path;
+  std::string json_path;
+  std::vector<std::string> positional;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage(arg + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--threshold") {
+      try {
+        options.threshold = std::stod(next());
+      } catch (const std::exception&) {
+        usage("--threshold needs a number");
+      }
+      if (options.threshold < 0.0) usage("--threshold must be >= 0");
+    } else if (arg == "--ignore") {
+      options.ignore.push_back(next());
+    } else if (arg == "--md") {
+      md_path = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      usage("unknown option \"" + arg + "\"");
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    usage("diff needs exactly BASELINE and CANDIDATE");
+  }
+  return run_diff(positional[0], positional[1], options, md_path, json_path,
+                  check);
+}

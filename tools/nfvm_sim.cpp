@@ -16,16 +16,26 @@
 //     --dump-dot <file>      write a Graphviz rendering of the topology
 //   Observability (see docs/observability.md):
 //     --metrics-json <file>  dump the metrics registry (counters/gauges/
-//                            histograms) as JSON at exit
+//                            histograms) as JSON at exit; "-" writes to stdout
 //     --trace <file>         record tracing spans; Chrome trace_event JSON,
 //                            loadable in chrome://tracing or Perfetto
-//     --events <file>        JSONL event log, one line per processed request
+//     --events <file>        JSONL event log, one line per processed request;
+//                            "-" writes to stdout
 //     --log-level <level>    error|warn|info|debug (default warn)
+//     --run-dir <dir>        write a self-describing artifact bundle:
+//                            manifest.json (argv, config, build provenance,
+//                            timings, peak RSS) plus metrics.json /
+//                            events.jsonl / trace.json defaults
+//     --timeseries <file>    periodic JSONL snapshots of the registry + RSS
+//                            from a background sampler thread
+//     --sample-interval-ms <n>  sampler period (default 1000)
 //
 // Prints one metrics row per algorithm; online rows include the
 // rejection-cause breakdown (rej_bw/rej_cpu/rej_thr/rej_dly/rej_other).
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,8 +51,11 @@
 #include "obs/event_log.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/run_info.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
+#include "util/timer.h"
 #include "topology/geant.h"
 #include "topology/rocketfuel.h"
 #include "topology/transit_stub.h"
@@ -76,6 +89,9 @@ struct Options {
   std::string metrics_json;
   std::string trace_file;
   std::string events_file;
+  std::string run_dir;
+  std::string timeseries_file;
+  long sample_interval_ms = 1000;
 };
 
 [[noreturn]] void usage(const std::string& error) {
@@ -84,7 +100,8 @@ struct Options {
                "                [--algorithm A] [--requests R] [--dest-ratio X]\n"
                "                [--max-delay MS] [--dynamic] [--arrival-rate X] [--mean-duration X]\n"
                "                [--dump-topology FILE] [--dump-dot FILE]\n"
-               "                [--metrics-json FILE] [--trace FILE] [--events FILE]\n"
+               "                [--metrics-json FILE|-] [--trace FILE] [--events FILE|-]\n"
+               "                [--run-dir DIR] [--timeseries FILE] [--sample-interval-ms N]\n"
                "                [--log-level " << kLogLevels << "]\n"
                "  topologies: " << kTopologies << "\n"
                "  algorithms: " << kAlgorithms << "\n";
@@ -98,9 +115,21 @@ bool one_of(const std::string& value, std::initializer_list<const char*> accepte
   return false;
 }
 
-/// Rejects bad enumeration values at parse time - a typo in --algorithm must
-/// not surface as a mid-run failure after topology generation.
-void validate_options(const Options& opts) {
+/// Eagerly proves an output path is writable (open-for-append creates the
+/// file without truncating existing content). A typo'd --trace path must
+/// fail here, not after the whole run has finished.
+void validate_writable(const char* flag, const std::string& path) {
+  if (path.empty() || path == "-") return;
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    usage(std::string(flag) + ": cannot open \"" + path + "\" for writing");
+  }
+}
+
+/// Rejects bad enumeration values and unwritable artifact paths at parse
+/// time - a typo in --algorithm or --trace must not surface as a mid-run (or
+/// end-of-run) failure after topology generation.
+void validate_options(Options& opts) {
   if (!one_of(opts.mode, {"online", "offline"})) {
     usage("--mode must be one of " + std::string(kModes) + " (got \"" +
           opts.mode + "\")");
@@ -113,6 +142,37 @@ void validate_options(const Options& opts) {
     usage("--algorithm must be one of " + std::string(kAlgorithms) + " (got \"" +
           opts.algorithm + "\")");
   }
+  if (opts.sample_interval_ms <= 0) {
+    usage("--sample-interval-ms must be positive");
+  }
+  if (!opts.run_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.run_dir, ec);
+    if (ec) usage("--run-dir: cannot create \"" + opts.run_dir + "\": " + ec.message());
+    // The bundle always carries the standard artifacts; explicit flags
+    // override the destination of an individual one.
+    const auto in_dir = [&](const char* name) {
+      return (std::filesystem::path(opts.run_dir) / name).string();
+    };
+    if (opts.metrics_json.empty()) opts.metrics_json = in_dir("metrics.json");
+    if (opts.events_file.empty()) opts.events_file = in_dir("events.jsonl");
+    if (opts.trace_file.empty()) opts.trace_file = in_dir("trace.json");
+  }
+  // "-" (stdout) is supported for the line- and object-oriented artifacts
+  // only; a Chrome trace or dot dump interleaved with the table is useless.
+  for (const auto& [flag, path] :
+       {std::pair<const char*, const std::string&>{"--trace", opts.trace_file},
+        {"--dump-topology", opts.dump_topology},
+        {"--dump-dot", opts.dump_dot},
+        {"--timeseries", opts.timeseries_file}}) {
+    if (path == "-") usage(std::string(flag) + " does not support \"-\" (stdout)");
+  }
+  validate_writable("--dump-topology", opts.dump_topology);
+  validate_writable("--dump-dot", opts.dump_dot);
+  validate_writable("--metrics-json", opts.metrics_json);
+  validate_writable("--trace", opts.trace_file);
+  validate_writable("--events", opts.events_file);
+  validate_writable("--timeseries", opts.timeseries_file);
 }
 
 Options parse_args(int argc, char** argv) {
@@ -140,6 +200,9 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--metrics-json") opts.metrics_json = need_value(i);
     else if (arg == "--trace") opts.trace_file = need_value(i);
     else if (arg == "--events") opts.events_file = need_value(i);
+    else if (arg == "--run-dir") opts.run_dir = need_value(i);
+    else if (arg == "--timeseries") opts.timeseries_file = need_value(i);
+    else if (arg == "--sample-interval-ms") opts.sample_interval_ms = std::stol(need_value(i));
     else if (arg == "--log-level") {
       const std::string value = need_value(i);
       const auto level = obs::parse_log_level(value);
@@ -174,9 +237,45 @@ std::unique_ptr<core::OnlineAlgorithm> build_algorithm(const std::string& name,
   return std::make_unique<core::OnlineSpStatic>(topo);  // validated at parse time
 }
 
+/// Context for the end-of-run artifact flush: everything write_artifacts
+/// needs beyond the options (sampler thread, manifest bookkeeping).
+struct RunContext {
+  obs::TimeseriesSampler sampler;
+  std::vector<std::string> argv;
+  std::string start_time;
+  util::Stopwatch wall;
+};
+
+/// Config echo recorded in manifest.json so a bundle is reproducible from
+/// its manifest alone (the full argv is also stored verbatim).
+std::map<std::string, std::string> manifest_config(const Options& opts) {
+  std::map<std::string, std::string> config;
+  config["mode"] = opts.mode;
+  config["topology"] = opts.topology;
+  config["nodes"] = std::to_string(opts.nodes);
+  config["seed"] = std::to_string(opts.seed);
+  config["algorithm"] = opts.algorithm;
+  config["requests"] = std::to_string(opts.requests);
+  config["dest_ratio"] = util::format_double(opts.dest_ratio, 4);
+  config["max_delay_ms"] = util::format_double(opts.max_delay_ms, 3);
+  config["dynamic"] = opts.dynamic ? "true" : "false";
+  if (opts.dynamic) {
+    config["arrival_rate"] = util::format_double(opts.arrival_rate, 4);
+    config["mean_duration"] = util::format_double(opts.mean_duration, 4);
+  }
+  return config;
+}
+
 /// Flushes the requested artifacts at the end of the run (and on the offline
-/// early-return path).
-void write_artifacts(const Options& opts, const obs::EventLog& events) {
+/// early-return path): sampler shutdown, trace/metrics dumps, and the
+/// run-dir manifest.
+void write_artifacts(const Options& opts, const obs::EventLog& events,
+                     RunContext& ctx) {
+  ctx.sampler.stop();
+  if (!opts.timeseries_file.empty()) {
+    obs::log_info(std::to_string(ctx.sampler.samples_written()) +
+                  " timeseries samples written to " + opts.timeseries_file);
+  }
   if (!opts.trace_file.empty()) {
     obs::Tracer::global().stop();
     std::ofstream out(opts.trace_file);
@@ -185,14 +284,41 @@ void write_artifacts(const Options& opts, const obs::EventLog& events) {
     obs::log_info("trace written to " + opts.trace_file);
   }
   if (!opts.metrics_json.empty()) {
-    std::ofstream out(opts.metrics_json);
-    if (!out) usage("cannot open " + opts.metrics_json);
-    obs::Registry::global().write_json(out);
-    obs::log_info("metrics written to " + opts.metrics_json);
+    if (opts.metrics_json == "-") {
+      obs::Registry::global().write_json(std::cout);
+    } else {
+      std::ofstream out(opts.metrics_json);
+      if (!out) usage("cannot open " + opts.metrics_json);
+      obs::Registry::global().write_json(out);
+      obs::log_info("metrics written to " + opts.metrics_json);
+    }
   }
   if (!opts.events_file.empty()) {
     obs::log_info(std::to_string(events.lines_written()) +
                   " events written to " + opts.events_file);
+  }
+  if (!opts.run_dir.empty()) {
+    obs::RunManifest manifest;
+    manifest.argv = ctx.argv;
+    manifest.start_time = ctx.start_time;
+    manifest.end_time = obs::iso8601_utc_now();
+    manifest.wall_time_s = ctx.wall.elapsed_seconds();
+    manifest.config = manifest_config(opts);
+    for (const auto& [flag, path] :
+         {std::pair<const char*, const std::string&>{"metrics", opts.metrics_json},
+          {"events", opts.events_file},
+          {"trace", opts.trace_file},
+          {"timeseries", opts.timeseries_file}}) {
+      (void)flag;
+      if (path.empty() || path == "-") continue;
+      manifest.artifacts.push_back(std::filesystem::path(path).filename().string());
+    }
+    const std::string manifest_path =
+        (std::filesystem::path(opts.run_dir) / "manifest.json").string();
+    std::ofstream out(manifest_path);
+    if (!out) usage("cannot open " + manifest_path);
+    obs::write_manifest(out, manifest);
+    obs::log_info("manifest written to " + manifest_path);
   }
 }
 
@@ -201,10 +327,19 @@ void write_artifacts(const Options& opts, const obs::EventLog& events) {
 int main(int argc, char** argv) {
   const Options opts = parse_args(argc, argv);
 
+  RunContext ctx;
+  ctx.argv.assign(argv, argv + argc);
+  ctx.start_time = obs::iso8601_utc_now();
+
   if (!opts.trace_file.empty()) obs::Tracer::global().start();
   obs::EventLog events;
   if (!opts.events_file.empty() && !events.open(opts.events_file)) {
     usage("cannot open " + opts.events_file);
+  }
+  if (!opts.timeseries_file.empty() &&
+      !ctx.sampler.start(obs::Registry::global(), opts.timeseries_file,
+                         std::chrono::milliseconds(opts.sample_interval_ms))) {
+    usage("cannot open " + opts.timeseries_file);
   }
 
   util::Rng rng(opts.seed);
@@ -273,7 +408,7 @@ int main(int argc, char** argv) {
     offline_table.begin_row().add("alg_one_server").add(one.count()).add(one.mean(), 3);
     offline_table.begin_row().add("chain_split").add(split.count()).add(split.mean(), 3);
     offline_table.print(std::cout);
-    write_artifacts(opts, events);
+    write_artifacts(opts, events, ctx);
     return 0;
   }
 
@@ -335,6 +470,6 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
-  write_artifacts(opts, events);
+  write_artifacts(opts, events, ctx);
   return 0;
 }
