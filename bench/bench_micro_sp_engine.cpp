@@ -1,0 +1,174 @@
+// Micro-benchmark for the shortest-path engine overhaul:
+//
+//   * adjacency-list Dijkstra (the historical implementation, kept here as
+//     the reference) vs the CSR-backed SpEngine,
+//   * cold SP-tree computation vs SpCache hits (the per-request tree reuse
+//     Appro_Multi / Alg_One_Server / SP_static rely on),
+//   * APSP builds at 1 / 2 / 4 worker threads.
+//
+// Every row carries a dist_checksum — the sum of finite shortest-path
+// distances produced by that case. The checksums are bit-deterministic, so
+// the CI artifact gate (nfvm-report --check) verifies engine/reference and
+// cross-thread-count agreement on every run; timing columns (*_ms, *time*)
+// are machine-dependent and excluded from gating. The binary itself also
+// exits non-zero when the engine disagrees with the reference.
+#include <queue>
+
+#include "bench_common.h"
+#include "graph/apsp.h"
+#include "graph/sp_engine.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace nfvm;
+
+/// The pre-overhaul Dijkstra, verbatim modulo instrumentation: binary heap
+/// of (distance, vertex) pairs over the pointer-chasing adjacency lists.
+graph::ShortestPaths adjacency_dijkstra(const graph::Graph& g,
+                                        graph::VertexId source) {
+  const std::size_t n = g.num_vertices();
+  graph::ShortestPaths sp;
+  sp.source = source;
+  sp.dist.assign(n, graph::kInfiniteDistance);
+  sp.parent.assign(n, graph::kInvalidVertex);
+  sp.parent_edge.assign(n, graph::kInvalidEdge);
+  sp.dist[source] = 0.0;
+
+  using Item = std::pair<double, graph::VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > sp.dist[u]) continue;
+    for (const graph::Adjacency& adj : g.neighbors(u)) {
+      const double nd = d + g.edge(adj.edge).weight;
+      if (nd < sp.dist[adj.neighbor]) {
+        sp.dist[adj.neighbor] = nd;
+        sp.parent[adj.neighbor] = u;
+        sp.parent_edge[adj.neighbor] = adj.edge;
+        heap.emplace(nd, adj.neighbor);
+      }
+    }
+  }
+  return sp;
+}
+
+double tree_checksum(const graph::ShortestPaths& sp) {
+  double sum = 0.0;
+  for (double d : sp.dist) {
+    if (d < graph::kInfiniteDistance) sum += d;
+  }
+  return sum;
+}
+
+double apsp_checksum(const graph::AllPairsShortestPaths& apsp) {
+  double sum = 0.0;
+  for (graph::VertexId u = 0; u < apsp.num_vertices(); ++u) {
+    for (graph::VertexId v = 0; v < apsp.num_vertices(); ++v) {
+      const double d = apsp.distance(u, v);
+      if (d < graph::kInfiniteDistance) sum += d;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kNodes = 200;
+  constexpr std::size_t kSssspSources = 50;   // full-tree comparison sweep
+  constexpr std::size_t kCacheSources = 16;   // distinct roots in the cache
+  constexpr std::size_t kCacheQueries = 400;  // round-robin over the roots
+
+  std::cout << "# micro: CSR SpEngine vs adjacency Dijkstra, SP-tree cache, "
+               "parallel APSP\n";
+  std::cout << "# dist_checksum columns are deterministic and gate in CI; "
+               "*_ms / *time* columns do not\n";
+
+  util::Rng rng(4242);
+  const topo::Topology topo = bench::make_sweep_topology(kNodes, rng);
+  const graph::Graph& g = topo.graph;
+  const std::size_t m = g.num_edges();
+
+  util::Table table({"case", "n", "m", "reps", "time_ms", "dist_checksum",
+                     "cold_over_cached_time"});
+  const auto row = [&](const std::string& name, std::size_t reps, double ms,
+                       double checksum, double speedup) {
+    table.begin_row()
+        .add(name)
+        .add(g.num_vertices())
+        .add(m)
+        .add(reps)
+        .add(ms, 3)
+        .add(checksum, 3)
+        .add(speedup, 2);
+  };
+
+  // --- adjacency reference vs CSR engine --------------------------------
+  double ref_checksum = 0.0;
+  double engine_checksum = 0.0;
+  {
+    util::Stopwatch watch;
+    for (graph::VertexId s = 0; s < kSssspSources; ++s) {
+      ref_checksum += tree_checksum(adjacency_dijkstra(g, s));
+    }
+    row("adjacency_dijkstra", kSssspSources, watch.elapsed_ms(), ref_checksum, 0.0);
+  }
+  {
+    graph::SpEngine engine;
+    util::Stopwatch watch;
+    for (graph::VertexId s = 0; s < kSssspSources; ++s) {
+      engine_checksum += tree_checksum(engine.shortest_paths(g, s));
+    }
+    row("csr_engine_dijkstra", kSssspSources, watch.elapsed_ms(), engine_checksum,
+        0.0);
+  }
+  if (engine_checksum != ref_checksum) {
+    std::cerr << "FATAL: SpEngine disagrees with the adjacency reference\n";
+    return 1;
+  }
+
+  // --- cold trees vs SpCache hits ---------------------------------------
+  const graph::VertexId probe = static_cast<graph::VertexId>(g.num_vertices() - 1);
+  double cold_ms = 0.0;
+  {
+    graph::SpEngine engine;
+    double checksum = 0.0;
+    util::Stopwatch watch;
+    for (std::size_t q = 0; q < kCacheQueries; ++q) {
+      const auto sp =
+          engine.shortest_paths(g, static_cast<graph::VertexId>(q % kCacheSources));
+      checksum += sp.dist[probe];
+    }
+    cold_ms = watch.elapsed_ms();
+    row("sp_tree_cold", kCacheQueries, cold_ms, checksum, 0.0);
+  }
+  {
+    graph::SpCache cache;
+    double checksum = 0.0;
+    util::Stopwatch watch;
+    for (std::size_t q = 0; q < kCacheQueries; ++q) {
+      const auto sp =
+          cache.paths_from(g, static_cast<graph::VertexId>(q % kCacheSources));
+      checksum += sp->dist[probe];
+    }
+    const double cached_ms = watch.elapsed_ms();
+    row("sp_tree_cached", kCacheQueries, cached_ms, checksum,
+        cached_ms > 0.0 ? cold_ms / cached_ms : 0.0);
+  }
+
+  // --- APSP at 1 / 2 / 4 threads ----------------------------------------
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    util::ThreadPool::set_global_threads(threads);
+    util::Stopwatch watch;
+    const graph::AllPairsShortestPaths apsp(g);
+    row("apsp_threads_" + std::to_string(threads), g.num_vertices(),
+        watch.elapsed_ms(), apsp_checksum(apsp), 0.0);
+  }
+  util::ThreadPool::set_global_threads(1);
+
+  bench::finish("micro_sp_engine", table);
+  return 0;
+}

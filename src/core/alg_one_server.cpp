@@ -52,10 +52,10 @@ OfflineSolution alg_one_server(const topo::Topology& topo, const LinearCosts& co
 
   const std::vector<graph::VertexId>& dests = request.destinations;
 
-  // Shortest paths from every destination (shared across candidate servers).
-  std::vector<graph::ShortestPaths> sp_dest;
-  sp_dest.reserve(dests.size());
-  for (graph::VertexId d : dests) sp_dest.push_back(graph::dijkstra(ctx.cost_graph, d));
+  // Shortest paths from every destination (shared across candidate servers):
+  // computed in parallel and cached in the context's SP-tree cache.
+  const std::vector<std::shared_ptr<const graph::ShortestPaths>> sp_dest =
+      context_trees(ctx, dests);
 
   // Metric-closure MST over the destinations (Prim), server-independent.
   const std::size_t t = dests.size();
@@ -71,13 +71,14 @@ OfflineSolution alg_one_server(const topo::Topology& topo, const LinearCosts& co
     }
     in_tree[pick] = true;
     if (pick != 0) {
-      for (graph::EdgeId e : graph::path_edges(sp_dest[best_from[pick]], dests[pick])) {
+      for (graph::EdgeId e :
+           graph::path_edges(*sp_dest[best_from[pick]], dests[pick])) {
         mst_expansion.insert(e);
       }
     }
     for (std::size_t j = 0; j < t; ++j) {
       if (in_tree[j]) continue;
-      const double d = sp_dest[pick].dist[dests[j]];
+      const double d = sp_dest[pick]->dist[dests[j]];
       if (d < best[j]) {
         best[j] = d;
         best_from[j] = pick;
@@ -92,15 +93,15 @@ OfflineSolution alg_one_server(const topo::Topology& topo, const LinearCosts& co
     std::size_t nearest = t;
     double nearest_dist = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < t; ++i) {
-      if (sp_dest[i].dist[v] < nearest_dist) {
-        nearest_dist = sp_dest[i].dist[v];
+      if (sp_dest[i]->dist[v] < nearest_dist) {
+        nearest_dist = sp_dest[i]->dist[v];
         nearest = i;
       }
     }
     if (nearest == t) continue;  // no destination reaches this server
 
     std::set<graph::EdgeId> edges = mst_expansion;
-    for (graph::EdgeId e : graph::path_edges(sp_dest[nearest], v)) edges.insert(e);
+    for (graph::EdgeId e : graph::path_edges(*sp_dest[nearest], v)) edges.insert(e);
 
     CandidatePlan plan;
     plan.server = v;

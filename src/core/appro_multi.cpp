@@ -11,6 +11,7 @@
 #include "graph/tree.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace nfvm::core {
 namespace {
@@ -40,19 +41,21 @@ bool next_combination(std::vector<std::size_t>& idx, std::size_t n) {
 // with d_i(s', y) = min over v in combo of (w_virtual(v) + d_i(v, y)).
 // ---------------------------------------------------------------------------
 
-/// Per-request shortest-path tables on the working graph.
+/// Per-request shortest-path tables on the working graph. The trees live in
+/// the request's WorkContext SpCache; the oracle pins them via shared_ptr so
+/// they outlive any cache eviction.
 struct SharedOracle {
   const WorkContext* ctx = nullptr;
   const nfv::Request* request = nullptr;
-  std::vector<graph::ShortestPaths> sp_dest;                  // per destination
-  std::map<graph::VertexId, graph::ShortestPaths> sp_server;  // per eligible server
+  std::vector<std::shared_ptr<const graph::ShortestPaths>> sp_dest;
+  std::map<graph::VertexId, std::shared_ptr<const graph::ShortestPaths>> sp_server;
 
   const graph::ShortestPaths& from(graph::VertexId v) const {
     if (v == request->source) return ctx->sp_source;
     const auto it = sp_server.find(v);
-    if (it != sp_server.end()) return it->second;
+    if (it != sp_server.end()) return *it->second;
     for (std::size_t i = 0; i < request->destinations.size(); ++i) {
-      if (request->destinations[i] == v) return sp_dest[i];
+      if (request->destinations[i] == v) return *sp_dest[i];
     }
     throw std::logic_error("SharedOracle: no shortest-path table for vertex");
   }
@@ -63,12 +66,17 @@ SharedOracle build_shared_oracle(const WorkContext& ctx, const nfv::Request& req
   SharedOracle oracle;
   oracle.ctx = &ctx;
   oracle.request = &request;
-  oracle.sp_dest.reserve(request.destinations.size());
-  for (graph::VertexId d : request.destinations) {
-    oracle.sp_dest.push_back(graph::dijkstra(ctx.cost_graph, d));
-  }
-  for (graph::VertexId v : ctx.eligible_servers) {
-    oracle.sp_server.emplace(v, graph::dijkstra(ctx.cost_graph, v));
+  // One parallel fan-out over destination + server trees, primed into (and
+  // served from) the context's shared SP-tree cache.
+  std::vector<graph::VertexId> sources(request.destinations.begin(),
+                                       request.destinations.end());
+  sources.insert(sources.end(), ctx.eligible_servers.begin(),
+                 ctx.eligible_servers.end());
+  auto trees = context_trees(ctx, sources);
+  const std::size_t num_dest = request.destinations.size();
+  oracle.sp_dest.assign(trees.begin(), trees.begin() + static_cast<long>(num_dest));
+  for (std::size_t i = 0; i < ctx.eligible_servers.size(); ++i) {
+    oracle.sp_server.emplace(ctx.eligible_servers[i], trees[num_dest + i]);
   }
   return oracle;
 }
@@ -307,6 +315,11 @@ OfflineSolution appro_multi(const topo::Topology& topo, const LinearCosts& costs
   };
   std::vector<Candidate> candidates;
 
+  // Enumerate the server combinations up front (cheap), then evaluate them
+  // across the thread pool. Each evaluation writes only its own slot and the
+  // results are collected in enumeration order, so the admitted tree is
+  // identical for any thread count.
+  std::vector<std::vector<graph::VertexId>> combos;
   const std::size_t max_k =
       std::min(options.max_servers, ctx.eligible_servers.size());
   bool budget_left = true;
@@ -316,22 +329,39 @@ OfflineSolution appro_multi(const topo::Topology& topo, const LinearCosts& costs
       std::vector<std::size_t> idx(k);
       for (std::size_t i = 0; i < k; ++i) idx[i] = i;
       do {
-        if (sol.combinations_explored >= options.max_combinations) {
+        if (combos.size() >= options.max_combinations) {
           budget_left = false;
           break;
         }
-        ++sol.combinations_explored;
         std::vector<graph::VertexId> combo(k);
         for (std::size_t i = 0; i < k; ++i) combo[i] = ctx.eligible_servers[idx[i]];
-        const AuxiliaryGraph aux = build_auxiliary_graph(ctx, request.source, combo);
-        graph::SteinerResult st =
-            shared ? SharedComboSolver(oracle, aux).solve()
-                   : graph::steiner_tree(aux.graph, terminals, options.steiner_engine);
-        if (!st.connected) continue;
-        candidates.push_back(
-            Candidate{st.weight, std::move(combo), std::move(st.edges)});
+        combos.push_back(std::move(combo));
       } while (next_combination(idx, ctx.eligible_servers.size()));
     }
+  }
+  sol.combinations_explored = combos.size();
+
+  struct Evaluated {
+    bool connected = false;
+    double cost = 0.0;
+    std::vector<graph::EdgeId> tree_edges;
+  };
+  std::vector<Evaluated> evaluated(combos.size());
+  {
+    NFVM_SPAN("appro_multi/evaluate_combinations");
+    util::ThreadPool::global().parallel_for(combos.size(), [&](std::size_t i) {
+      const AuxiliaryGraph aux = build_auxiliary_graph(ctx, request.source, combos[i]);
+      graph::SteinerResult st =
+          shared ? SharedComboSolver(oracle, aux).solve()
+                 : graph::steiner_tree(aux.graph, terminals, options.steiner_engine);
+      evaluated[i] = Evaluated{st.connected, st.weight, std::move(st.edges)};
+    });
+  }
+  candidates.reserve(combos.size());
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    if (!evaluated[i].connected) continue;
+    candidates.push_back(Candidate{evaluated[i].cost, std::move(combos[i]),
+                                   std::move(evaluated[i].tree_edges)});
   }
   NFVM_COUNTER_ADD("core.appro_multi.combinations_explored",
                    sol.combinations_explored);

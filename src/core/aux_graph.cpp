@@ -8,6 +8,7 @@
 #include "graph/tree.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace nfvm::core {
 
@@ -44,7 +45,8 @@ WorkContext build_work_context(const topo::Topology& topo, const LinearCosts& co
     ctx.to_physical.push_back(e);
   }
 
-  ctx.sp_source = graph::dijkstra(ctx.cost_graph, request.source);
+  ctx.sp_cache = std::make_shared<graph::SpCache>();
+  ctx.sp_source = *ctx.sp_cache->paths_from(ctx.cost_graph, request.source);
 
   ctx.destinations_reachable = true;
   for (graph::VertexId d : request.destinations) {
@@ -65,6 +67,30 @@ WorkContext build_work_context(const topo::Topology& topo, const LinearCosts& co
     }
   }
   return ctx;
+}
+
+std::vector<std::shared_ptr<const graph::ShortestPaths>> context_trees(
+    const WorkContext& ctx, std::span<const graph::VertexId> sources) {
+  NFVM_SPAN("core/context_trees");
+  std::vector<std::shared_ptr<const graph::ShortestPaths>> trees(sources.size());
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    // A repeated source later in `sources` lands in `missing` twice before
+    // the first computation is cached; both slots get identical trees.
+    trees[i] = ctx.sp_cache->try_get(ctx.cost_graph, sources[i]);
+    if (!trees[i]) missing.push_back(i);
+  }
+  util::ThreadPool::global().parallel_for(missing.size(), [&](std::size_t j) {
+    const std::size_t i = missing[j];
+    trees[i] = std::make_shared<const graph::ShortestPaths>(
+        graph::dijkstra(ctx.cost_graph, sources[i]));
+  });
+  // Insert in `sources` order so the cache's LRU state does not depend on
+  // the parallel schedule.
+  for (std::size_t i : missing) {
+    ctx.sp_cache->put(ctx.cost_graph, sources[i], trees[i]);
+  }
+  return trees;
 }
 
 AuxiliaryGraph build_auxiliary_graph(const WorkContext& ctx,

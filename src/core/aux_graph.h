@@ -11,6 +11,7 @@
 // path through a chosen server.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "core/pseudo_tree.h"
 #include "graph/dijkstra.h"
 #include "graph/graph.h"
+#include "graph/sp_engine.h"
 #include "nfv/request.h"
 #include "nfv/resources.h"
 #include "topology/topology.h"
@@ -35,6 +37,11 @@ struct WorkContext {
   std::vector<graph::EdgeId> to_physical;
   /// Dijkstra from the request source on `cost_graph`.
   graph::ShortestPaths sp_source;
+  /// Shortest-path trees on `cost_graph`, shared by every algorithm stage
+  /// touching this request (source, destination and server trees). Seeded
+  /// with the source tree by build_work_context; self-invalidates if
+  /// `cost_graph` is ever mutated. Never null after build_work_context.
+  std::shared_ptr<graph::SpCache> sp_cache;
   /// Servers that can host SC_k: enough residual computing (capacitated
   /// case) and reachable from the source. Sorted ascending.
   std::vector<graph::VertexId> eligible_servers;
@@ -49,6 +56,13 @@ struct WorkContext {
 WorkContext build_work_context(const topo::Topology& topo, const LinearCosts& costs,
                                const nfv::Request& request,
                                const nfv::ResourceState* resources);
+
+/// Shortest-path trees on ctx.cost_graph from each of `sources`, in order.
+/// Cached trees come straight from ctx.sp_cache; the missing ones are
+/// computed in parallel on util::ThreadPool::global() and inserted into the
+/// cache (in `sources` order, so cache state is thread-count independent).
+std::vector<std::shared_ptr<const graph::ShortestPaths>> context_trees(
+    const WorkContext& ctx, std::span<const graph::VertexId> sources);
 
 /// One auxiliary graph G_k^i.
 struct AuxiliaryGraph {

@@ -5,17 +5,18 @@
 namespace nfvm::core {
 
 OnlineSpStatic::OnlineSpStatic(const topo::Topology& topo)
-    : OnlineAlgorithm(topo), cache_(topo.num_switches()) {}
+    : OnlineAlgorithm(topo) {}
 
-const graph::ShortestPaths& OnlineSpStatic::paths_from(graph::VertexId v) {
-  if (!cache_.at(v).has_value()) cache_[v] = graph::dijkstra(topo_->graph, v);
-  return *cache_[v];
+std::shared_ptr<const graph::ShortestPaths> OnlineSpStatic::paths_from(
+    graph::VertexId v) {
+  return cache_.paths_from(topo_->graph, v);
 }
 
 AdmissionDecision OnlineSpStatic::try_admit(const nfv::Request& request) {
   AdmissionDecision decision;
   const double demand = request.compute_demand_mhz();
-  const graph::ShortestPaths& from_source = paths_from(request.source);
+  const auto from_source_tree = paths_from(request.source);
+  const graph::ShortestPaths& from_source = *from_source_tree;
 
   struct Candidate {
     double cost = 0.0;
@@ -33,7 +34,8 @@ AdmissionDecision OnlineSpStatic::try_admit(const nfv::Request& request) {
       cause = RejectCause::kBandwidth;
       continue;
     }
-    const graph::ShortestPaths& from_server = paths_from(v);
+    const auto from_server_tree = paths_from(v);
+    const graph::ShortestPaths& from_server = *from_server_tree;
     bool all_reachable = true;
     for (graph::VertexId d : request.destinations) {
       if (!from_server.reachable(d)) {

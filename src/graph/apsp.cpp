@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace nfvm::graph {
 
@@ -13,12 +14,14 @@ AllPairsShortestPaths::AllPairsShortestPaths(const Graph& g, bool keep_parents)
   NFVM_SPAN("graph/apsp_build");
   NFVM_COUNTER_INC("graph.apsp.builds");
   dist_.resize(n_ * n_, kInfiniteDistance);
-  if (keep_parents) per_source_.reserve(n_);
-  for (VertexId s = 0; s < n_; ++s) {
-    ShortestPaths sp = dijkstra(g, s);
+  if (keep_parents) per_source_.resize(n_);
+  // Each source writes only its own row/slot, so the fan-out is
+  // deterministic regardless of thread count.
+  util::ThreadPool::global().parallel_for(n_, [&](std::size_t s) {
+    ShortestPaths sp = dijkstra(g, static_cast<VertexId>(s));
     std::copy(sp.dist.begin(), sp.dist.end(), dist_.begin() + static_cast<long>(s * n_));
-    if (keep_parents) per_source_.push_back(std::move(sp));
-  }
+    if (keep_parents) per_source_[s] = std::move(sp);
+  });
 }
 
 void AllPairsShortestPaths::check(VertexId v) const {
@@ -48,6 +51,14 @@ std::vector<EdgeId> AllPairsShortestPaths::path_edges_between(VertexId u,
     throw std::logic_error("AllPairsShortestPaths: built without keep_parents");
   }
   return path_edges(per_source_[u], v);
+}
+
+const ShortestPaths& AllPairsShortestPaths::source_tree(VertexId u) const {
+  check(u);
+  if (per_source_.empty()) {
+    throw std::logic_error("AllPairsShortestPaths: built without keep_parents");
+  }
+  return per_source_[u];
 }
 
 double AllPairsShortestPaths::diameter() const {

@@ -16,6 +16,8 @@ class AllPairsShortestPaths {
  public:
   /// Runs Dijkstra from every vertex. `keep_parents` retains the full
   /// per-source structures for path reconstruction (doubles the memory).
+  /// Sources fan out across util::ThreadPool::global(); each source's tree
+  /// lands in its own slot, so the result is identical for any thread count.
   explicit AllPairsShortestPaths(const Graph& g, bool keep_parents = false);
 
   std::size_t num_vertices() const noexcept { return n_; }
@@ -32,6 +34,9 @@ class AllPairsShortestPaths {
   std::vector<VertexId> path(VertexId u, VertexId v) const;
   /// Edge ids of a shortest path u -> v in travel order.
   std::vector<EdgeId> path_edges_between(VertexId u, VertexId v) const;
+  /// The full shortest-path tree rooted at `u`. Throws std::logic_error
+  /// when constructed without keep_parents.
+  const ShortestPaths& source_tree(VertexId u) const;
 
   /// Largest finite distance (0 for an empty/edgeless graph). Infinite
   /// pairs are ignored; use `connected()` to detect them.

@@ -1,67 +1,20 @@
 #include "graph/dijkstra.h"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
-#include <utility>
 
-#include "obs/metrics.h"
-#include "obs/trace.h"
+#include "graph/sp_engine.h"
 
 namespace nfvm::graph {
-namespace {
-
-ShortestPaths run_dijkstra(const Graph& g, VertexId source,
-                           const std::function<bool(EdgeId)>* edge_allowed) {
-  if (!g.has_vertex(source)) {
-    throw std::out_of_range("dijkstra: invalid source vertex");
-  }
-  NFVM_SPAN("graph/dijkstra");
-  NFVM_OBS_ONLY(std::uint64_t edges_scanned = 0; std::uint64_t edges_relaxed = 0;)
-  const std::size_t n = g.num_vertices();
-  ShortestPaths sp;
-  sp.source = source;
-  sp.dist.assign(n, kInfiniteDistance);
-  sp.parent.assign(n, kInvalidVertex);
-  sp.parent_edge.assign(n, kInvalidEdge);
-  sp.dist[source] = 0.0;
-
-  using Item = std::pair<double, VertexId>;  // (distance, vertex)
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  heap.emplace(0.0, source);
-
-  while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (d > sp.dist[u]) continue;  // stale entry
-    for (const Adjacency& adj : g.neighbors(u)) {
-      if (edge_allowed != nullptr && !(*edge_allowed)(adj.edge)) continue;
-      NFVM_OBS_ONLY(++edges_scanned;)
-      const double nd = d + g.edge(adj.edge).weight;
-      if (nd < sp.dist[adj.neighbor]) {
-        NFVM_OBS_ONLY(++edges_relaxed;)
-        sp.dist[adj.neighbor] = nd;
-        sp.parent[adj.neighbor] = u;
-        sp.parent_edge[adj.neighbor] = adj.edge;
-        heap.emplace(nd, adj.neighbor);
-      }
-    }
-  }
-  NFVM_COUNTER_INC("graph.dijkstra.runs");
-  NFVM_COUNTER_ADD("graph.dijkstra.edges_scanned", edges_scanned);
-  NFVM_COUNTER_ADD("graph.dijkstra.edges_relaxed", edges_relaxed);
-  return sp;
-}
-
-}  // namespace
 
 ShortestPaths dijkstra(const Graph& g, VertexId source) {
-  return run_dijkstra(g, source, nullptr);
+  return SpEngine::thread_local_engine().shortest_paths(g, source);
 }
 
 ShortestPaths dijkstra_filtered(const Graph& g, VertexId source,
                                 const std::function<bool(EdgeId)>& edge_allowed) {
-  return run_dijkstra(g, source, &edge_allowed);
+  return SpEngine::thread_local_engine().shortest_paths_filtered(g, source,
+                                                                 edge_allowed);
 }
 
 std::vector<VertexId> path_vertices(const ShortestPaths& sp, VertexId target) {
@@ -93,8 +46,7 @@ std::vector<EdgeId> path_edges(const ShortestPaths& sp, VertexId target) {
 }
 
 double shortest_distance(const Graph& g, VertexId from, VertexId to) {
-  if (!g.has_vertex(to)) throw std::out_of_range("shortest_distance: invalid target");
-  return dijkstra(g, from).dist[to];
+  return SpEngine::thread_local_engine().shortest_distance(g, from, to);
 }
 
 }  // namespace nfvm::graph

@@ -44,8 +44,11 @@ std::vector<VertexId> path_vertices(const ShortestPaths& sp, VertexId target);
 /// unreachable or target == source.
 std::vector<EdgeId> path_edges(const ShortestPaths& sp, VertexId target);
 
-/// Convenience: weight of the shortest path between two vertices
-/// (runs a fresh Dijkstra; prefer caching ShortestPaths for repeated use).
+/// Weight of the shortest path between two vertices. Early-exits as soon as
+/// `to` is settled instead of exploring the whole graph. Throws
+/// std::out_of_range for a bad `from` or `to`. Prefer caching a
+/// ShortestPaths (or a graph::SpCache) when querying many pairs from one
+/// source.
 double shortest_distance(const Graph& g, VertexId from, VertexId to);
 
 }  // namespace nfvm::graph

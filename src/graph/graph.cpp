@@ -1,21 +1,68 @@
 #include "graph/graph.h"
 
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace nfvm::graph {
 
+std::uint64_t Graph::next_uid() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 Graph::Graph(std::size_t num_vertices) : adjacency_(num_vertices) {}
+
+Graph::Graph(const Graph& other)
+    : edges_(other.edges_), adjacency_(other.adjacency_), epoch_(other.epoch_) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) {
+    edges_ = other.edges_;
+    adjacency_ = other.adjacency_;
+    epoch_ = other.epoch_;
+    uid_ = next_uid();
+  }
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : edges_(std::move(other.edges_)),
+      adjacency_(std::move(other.adjacency_)),
+      uid_(other.uid_),
+      epoch_(other.epoch_) {
+  other.edges_.clear();
+  other.adjacency_.clear();
+  other.uid_ = next_uid();
+  other.epoch_ = 0;
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    edges_ = std::move(other.edges_);
+    adjacency_ = std::move(other.adjacency_);
+    uid_ = other.uid_;
+    epoch_ = other.epoch_;
+    other.edges_.clear();
+    other.adjacency_.clear();
+    other.uid_ = next_uid();
+    other.epoch_ = 0;
+  }
+  return *this;
+}
 
 VertexId Graph::add_vertex() {
   adjacency_.emplace_back();
+  ++epoch_;
   return static_cast<VertexId>(adjacency_.size() - 1);
 }
 
 VertexId Graph::add_vertices(std::size_t count) {
   const VertexId first = static_cast<VertexId>(adjacency_.size());
   adjacency_.resize(adjacency_.size() + count);
+  ++epoch_;
   return first;
 }
 
@@ -35,6 +82,7 @@ EdgeId Graph::add_edge(VertexId u, VertexId v, double weight) {
   edges_.push_back(Edge{u, v, weight});
   adjacency_[u].push_back(Adjacency{v, id});
   if (u != v) adjacency_[v].push_back(Adjacency{u, id});
+  ++epoch_;
   return id;
 }
 
@@ -53,6 +101,7 @@ void Graph::set_weight(EdgeId e, double weight) {
     throw std::invalid_argument("Graph::set_weight: weight must be finite and >= 0");
   }
   edges_[e].weight = weight;
+  ++epoch_;
 }
 
 std::span<const Adjacency> Graph::neighbors(VertexId v) const {

@@ -40,6 +40,17 @@ class Graph {
   /// Creates a graph with `num_vertices` isolated vertices.
   explicit Graph(std::size_t num_vertices);
 
+  /// A copy is a distinct graph object: it gets a fresh uid so derived views
+  /// and caches (CsrView, SpEngine, SpCache) never mistake it for the
+  /// original once the two diverge. Moves transfer the uid (the moved-to
+  /// object IS the same logical graph); the moved-from object is left empty
+  /// with a fresh uid.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+  ~Graph() = default;
+
   /// Appends an isolated vertex and returns its id.
   VertexId add_vertex();
   /// Appends `count` isolated vertices; returns the id of the first.
@@ -83,10 +94,23 @@ class Graph {
   /// Sum of all edge weights.
   double total_weight() const noexcept;
 
+  /// Identity of this graph object, unique process-wide. Copies get a fresh
+  /// uid; moves transfer it. Derived structures (CSR views, shortest-path
+  /// caches) key on (uid, epoch) to detect both mutation and rebinding.
+  std::uint64_t uid() const noexcept { return uid_; }
+
+  /// Mutation counter: bumped by every add_vertex / add_vertices / add_edge /
+  /// set_weight. A view or cache built at epoch e is stale iff
+  /// epoch() != e (for the same uid()).
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
  private:
   std::vector<Edge> edges_;
   std::vector<std::vector<Adjacency>> adjacency_;
+  std::uint64_t uid_ = next_uid();
+  std::uint64_t epoch_ = 0;
 
+  static std::uint64_t next_uid() noexcept;
   void check_vertex(VertexId v) const;
 };
 

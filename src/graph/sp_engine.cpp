@@ -1,0 +1,260 @@
+#include "graph/sp_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace nfvm::graph {
+
+// --- SpEngine ---------------------------------------------------------------
+
+void SpEngine::heap_push(HeapItem item) {
+  heap_.push_back(item);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!item_less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+SpEngine::HeapItem SpEngine::heap_pop() {
+  const HeapItem top = heap_.front();
+  const HeapItem last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= heap_.size()) break;
+      const std::size_t end = std::min(first + 4, heap_.size());
+      std::size_t best = first;
+      for (std::size_t j = first + 1; j < end; ++j) {
+        if (item_less(heap_[j], heap_[best])) best = j;
+      }
+      if (!item_less(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void SpEngine::prepare(const Graph& g) {
+  view_.refresh(g);
+  const std::size_t n = g.num_vertices();
+  if (stamp_.size() < n) {
+    stamp_.resize(n, 0);
+    target_stamp_.resize(n, 0);
+    dist_.resize(n);
+    parent_.resize(n);
+    parent_edge_.resize(n);
+  }
+  if (++generation_ == 0) {  // wrapped: stamps are ambiguous, hard reset
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    generation_ = 1;
+  }
+  heap_.clear();
+  reached_.clear();
+}
+
+void SpEngine::touch(VertexId v) {
+  if (stamp_[v] == generation_) return;
+  stamp_[v] = generation_;
+  dist_[v] = kInfiniteDistance;
+  parent_[v] = kInvalidVertex;
+  parent_edge_[v] = kInvalidEdge;
+  reached_.push_back(v);
+}
+
+void SpEngine::run(VertexId source, const std::function<bool(EdgeId)>* edge_allowed,
+                   std::size_t targets_remaining) {
+  NFVM_SPAN("graph/dijkstra");
+  NFVM_OBS_ONLY(std::uint64_t edges_scanned = 0; std::uint64_t edges_relaxed = 0;)
+  touch(source);
+  dist_[source] = 0.0;
+  heap_push(HeapItem{0.0, source});
+
+  while (!heap_.empty()) {
+    const HeapItem top = heap_pop();
+    const VertexId u = top.vertex;
+    if (top.dist > dist_[u]) continue;  // stale entry
+    if (targets_remaining > 0 && target_stamp_[u] == target_generation_) {
+      target_stamp_[u] = 0;  // settled: count each distinct target once
+      if (--targets_remaining == 0) break;
+    }
+    for (const CsrEntry& entry : view_.out(u)) {
+      if (edge_allowed != nullptr && !(*edge_allowed)(entry.edge)) continue;
+      NFVM_OBS_ONLY(++edges_scanned;)
+      const double nd = top.dist + entry.weight;
+      touch(entry.neighbor);
+      if (nd < dist_[entry.neighbor]) {
+        NFVM_OBS_ONLY(++edges_relaxed;)
+        dist_[entry.neighbor] = nd;
+        parent_[entry.neighbor] = u;
+        parent_edge_[entry.neighbor] = entry.edge;
+        heap_push(HeapItem{nd, entry.neighbor});
+      }
+    }
+  }
+  NFVM_COUNTER_INC("graph.dijkstra.runs");
+  NFVM_COUNTER_ADD("graph.dijkstra.edges_scanned", edges_scanned);
+  NFVM_COUNTER_ADD("graph.dijkstra.edges_relaxed", edges_relaxed);
+}
+
+ShortestPaths SpEngine::materialize(VertexId source) const {
+  ShortestPaths sp;
+  sp.source = source;
+  const std::size_t n = view_.num_vertices();
+  sp.dist.assign(n, kInfiniteDistance);
+  sp.parent.assign(n, kInvalidVertex);
+  sp.parent_edge.assign(n, kInvalidEdge);
+  for (VertexId v : reached_) {
+    sp.dist[v] = dist_[v];
+    sp.parent[v] = parent_[v];
+    sp.parent_edge[v] = parent_edge_[v];
+  }
+  return sp;
+}
+
+ShortestPaths SpEngine::shortest_paths(const Graph& g, VertexId source) {
+  if (!g.has_vertex(source)) {
+    throw std::out_of_range("dijkstra: invalid source vertex");
+  }
+  prepare(g);
+  run(source, nullptr, 0);
+  return materialize(source);
+}
+
+ShortestPaths SpEngine::shortest_paths_filtered(
+    const Graph& g, VertexId source,
+    const std::function<bool(EdgeId)>& edge_allowed) {
+  if (!g.has_vertex(source)) {
+    throw std::out_of_range("dijkstra: invalid source vertex");
+  }
+  prepare(g);
+  run(source, &edge_allowed, 0);
+  return materialize(source);
+}
+
+double SpEngine::shortest_distance(const Graph& g, VertexId from, VertexId to) {
+  if (!g.has_vertex(from)) {
+    throw std::out_of_range("shortest_distance: invalid source");
+  }
+  if (!g.has_vertex(to)) {
+    throw std::out_of_range("shortest_distance: invalid target");
+  }
+  NFVM_COUNTER_INC("graph.sp_engine.early_exit_queries");
+  prepare(g);
+  if (++target_generation_ == 0) {
+    std::fill(target_stamp_.begin(), target_stamp_.end(), 0);
+    target_generation_ = 1;
+  }
+  target_stamp_[to] = target_generation_;
+  run(from, nullptr, 1);
+  target_stamp_[to] = 0;
+  return stamp_[to] == generation_ ? dist_[to] : kInfiniteDistance;
+}
+
+std::vector<double> SpEngine::distances_to(const Graph& g, VertexId from,
+                                           std::span<const VertexId> targets) {
+  if (!g.has_vertex(from)) {
+    throw std::out_of_range("distances_to: invalid source");
+  }
+  for (VertexId t : targets) {
+    if (!g.has_vertex(t)) throw std::out_of_range("distances_to: invalid target");
+  }
+  NFVM_COUNTER_INC("graph.sp_engine.early_exit_queries");
+  prepare(g);
+  if (++target_generation_ == 0) {
+    std::fill(target_stamp_.begin(), target_stamp_.end(), 0);
+    target_generation_ = 1;
+  }
+  std::size_t distinct = 0;
+  for (VertexId t : targets) {
+    if (target_stamp_[t] != target_generation_) {
+      target_stamp_[t] = target_generation_;
+      ++distinct;
+    }
+  }
+  run(from, nullptr, distinct);
+  std::vector<double> out;
+  out.reserve(targets.size());
+  for (VertexId t : targets) {
+    out.push_back(stamp_[t] == generation_ ? dist_[t] : kInfiniteDistance);
+    target_stamp_[t] = 0;  // leave no stale stamps for the next query
+  }
+  return out;
+}
+
+SpEngine& SpEngine::thread_local_engine() {
+  thread_local SpEngine engine;
+  return engine;
+}
+
+// --- SpCache ----------------------------------------------------------------
+
+SpCache::SpCache(std::size_t capacity) : capacity_(capacity) {}
+
+void SpCache::sync(const Graph& g) {
+  if (bound_ && uid_ == g.uid() && epoch_ == g.epoch()) return;
+  if (bound_ && !lru_.empty()) NFVM_COUNTER_INC("graph.spcache.invalidations");
+  lru_.clear();
+  index_.clear();
+  uid_ = g.uid();
+  epoch_ = g.epoch();
+  bound_ = true;
+}
+
+std::shared_ptr<const ShortestPaths> SpCache::paths_from(const Graph& g,
+                                                         VertexId source) {
+  if (auto cached = try_get(g, source)) return cached;
+  auto paths =
+      std::make_shared<const ShortestPaths>(engine_.shortest_paths(g, source));
+  put(g, source, paths);
+  return paths;
+}
+
+std::shared_ptr<const ShortestPaths> SpCache::try_get(const Graph& g,
+                                                      VertexId source) {
+  sync(g);
+  const auto it = index_.find(source);
+  if (it == index_.end()) {
+    NFVM_COUNTER_INC("graph.spcache.misses");
+    return nullptr;
+  }
+  NFVM_COUNTER_INC("graph.spcache.hits");
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
+  return it->second->second;
+}
+
+void SpCache::put(const Graph& g, VertexId source,
+                  std::shared_ptr<const ShortestPaths> paths) {
+  sync(g);
+  const auto it = index_.find(source);
+  if (it != index_.end()) {
+    it->second->second = std::move(paths);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(source, std::move(paths));
+  index_[source] = lru_.begin();
+  if (capacity_ > 0 && lru_.size() > capacity_) {
+    NFVM_COUNTER_INC("graph.spcache.evictions");
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void SpCache::clear() {
+  lru_.clear();
+  index_.clear();
+  bound_ = false;
+}
+
+}  // namespace nfvm::graph

@@ -1,0 +1,166 @@
+// Reusable shortest-path engine and shortest-path-tree cache.
+//
+// Every algorithm in this library bottoms out in repeated Dijkstra runs.
+// The free functions in graph/dijkstra.h allocate three O(n) arrays and a
+// heap per call and scan the pointer-chasing adjacency lists; under heavy
+// request volumes that allocation and cache-miss traffic dominates. This
+// header provides the shared substrate:
+//
+//  * SpEngine — owns a CsrView (rebuilt lazily when the graph's
+//    (uid, epoch) changes) plus scratch dist/parent/parent_edge buffers
+//    with generation-stamped lazy reset, a 4-ary heap, early-exit
+//    point-to-point / target-set queries, and the filtered-edge variant.
+//    The dijkstra() free functions are thin wrappers over the per-thread
+//    engine, so existing call sites keep working and allocate nothing
+//    beyond the returned ShortestPaths.
+//
+//  * SpCache — an LRU of shortest-path trees keyed by
+//    (graph uid, graph epoch, source). Sharing one cache across a
+//    request's lifetime stops Appro_Multi / Alg_One_Server / the Steiner
+//    metric closure from recomputing the same source, destination and
+//    server trees. Any mutation (set_weight, add_edge) bumps the graph
+//    epoch and invalidates the whole cache on the next query.
+//
+// Tie-breaking: the engine's heap orders items by (distance, vertex id),
+// exactly like the std::priority_queue<pair<double, VertexId>> it
+// replaces, and CSR entries keep Graph::neighbors order — so the engine
+// returns bit-identical trees to the historical implementation.
+//
+// Thread model: SpEngine and SpCache are NOT thread-safe; use one per
+// thread (SpEngine::thread_local_engine()) or confine a cache to the
+// thread that owns the request. Concurrent *reads* of a const Graph from
+// many engines are safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+
+namespace nfvm::graph {
+
+class SpEngine {
+ public:
+  SpEngine() = default;
+  SpEngine(const SpEngine&) = delete;
+  SpEngine& operator=(const SpEngine&) = delete;
+
+  /// Full Dijkstra from `source`. Bit-identical to graph::dijkstra.
+  /// Throws std::out_of_range for a bad source.
+  ShortestPaths shortest_paths(const Graph& g, VertexId source);
+
+  /// Dijkstra ignoring edges for which `edge_allowed(e)` is false.
+  ShortestPaths shortest_paths_filtered(
+      const Graph& g, VertexId source,
+      const std::function<bool(EdgeId)>& edge_allowed);
+
+  /// Point-to-point distance, stopping as soon as `to` is settled (the
+  /// classic early exit: no work beyond the target's distance ring).
+  /// Throws std::out_of_range for a bad `from` or `to`.
+  double shortest_distance(const Graph& g, VertexId from, VertexId to);
+
+  /// Metric-closure row: distances from `from` to each of `targets`,
+  /// stopping once every (distinct) target is settled. Result is indexed
+  /// like `targets`; unreachable targets get kInfiniteDistance.
+  std::vector<double> distances_to(const Graph& g, VertexId from,
+                                   std::span<const VertexId> targets);
+
+  /// The CSR view currently held (refreshed on every query).
+  const CsrView& view() const noexcept { return view_; }
+
+  /// Per-thread engine backing the graph::dijkstra wrappers. Scratch
+  /// buffers and the CSR view persist across calls on the same thread.
+  static SpEngine& thread_local_engine();
+
+ private:
+  struct HeapItem {
+    double dist;
+    VertexId vertex;
+  };
+
+  /// (distance, vertex id) lexicographic — the historical pop order.
+  static bool item_less(const HeapItem& a, const HeapItem& b) noexcept {
+    return a.dist < b.dist || (a.dist == b.dist && a.vertex < b.vertex);
+  }
+
+  void heap_push(HeapItem item);
+  HeapItem heap_pop();
+
+  /// Refreshes the view, advances the generation and clears the heap.
+  void prepare(const Graph& g);
+  /// Lazily initializes v's workspace slots for this generation.
+  void touch(VertexId v);
+  /// Core loop. `edge_allowed` may be null. When `targets_remaining` > 0
+  /// the run stops once that many target-stamped vertices are settled.
+  void run(VertexId source, const std::function<bool(EdgeId)>* edge_allowed,
+           std::size_t targets_remaining);
+  /// Copies the touched region of the workspace into a ShortestPaths.
+  ShortestPaths materialize(VertexId source) const;
+
+  CsrView view_;
+  std::vector<double> dist_;
+  std::vector<VertexId> parent_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t generation_ = 0;
+  std::vector<std::uint32_t> target_stamp_;
+  std::uint32_t target_generation_ = 0;
+  std::vector<HeapItem> heap_;     // 4-ary min-heap, lazy deletion
+  std::vector<VertexId> reached_;  // vertices touched this run
+};
+
+/// Default SpCache capacity: enough for a request's source + destinations +
+/// eligible servers on every topology in the repo without eviction churn.
+inline constexpr std::size_t kDefaultSpCacheCapacity = 256;
+
+class SpCache {
+ public:
+  /// `capacity` == 0 means unbounded.
+  explicit SpCache(std::size_t capacity = kDefaultSpCacheCapacity);
+  SpCache(const SpCache&) = delete;
+  SpCache& operator=(const SpCache&) = delete;
+
+  /// The shortest-path tree from `source` on `g`: cached when (uid, epoch,
+  /// source) matches a previous query, computed (and inserted) otherwise.
+  /// The returned tree is shared — it stays valid after eviction as long
+  /// as the caller holds the pointer.
+  std::shared_ptr<const ShortestPaths> paths_from(const Graph& g, VertexId source);
+
+  /// Cache probe without computing: the cached tree for (g, source), or
+  /// nullptr on a miss. Lets parallel fan-outs compute only the missing
+  /// trees and then insert them with put().
+  std::shared_ptr<const ShortestPaths> try_get(const Graph& g, VertexId source);
+
+  /// Inserts a precomputed tree (e.g. built by a parallel fan-out) for the
+  /// current (uid, epoch) of `g`. Replaces any existing entry for `source`.
+  void put(const Graph& g, VertexId source,
+           std::shared_ptr<const ShortestPaths> paths);
+
+  void clear();
+  std::size_t size() const noexcept { return index_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  /// Flushes when `g` is not the graph+epoch the cache was filled from.
+  void sync(const Graph& g);
+
+  using LruList =
+      std::list<std::pair<VertexId, std::shared_ptr<const ShortestPaths>>>;
+
+  std::size_t capacity_;
+  std::uint64_t uid_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool bound_ = false;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<VertexId, LruList::iterator> index_;
+  SpEngine engine_;
+};
+
+}  // namespace nfvm::graph

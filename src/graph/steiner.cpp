@@ -6,11 +6,13 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "graph/apsp.h"
 #include "graph/dijkstra.h"
 #include "graph/mst.h"
 #include "graph/union_find.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace nfvm::graph {
 namespace {
@@ -93,12 +95,13 @@ SteinerResult kmb_steiner(const Graph& g, std::span<const VertexId> terminals) {
     return result;
   }
 
-  // Step 1: shortest paths from every terminal.
-  std::vector<ShortestPaths> sp;
+  // Step 1: shortest paths from every terminal, one slot per terminal so
+  // the fan-out is deterministic regardless of thread count.
+  std::vector<ShortestPaths> sp(terms.size());
   {
     NFVM_SPAN("steiner/kmb/terminal_sssp");
-    sp.reserve(terms.size());
-    for (VertexId t : terms) sp.push_back(dijkstra(g, t));
+    util::ThreadPool::global().parallel_for(
+        terms.size(), [&](std::size_t i) { sp[i] = dijkstra(g, terms[i]); });
   }
   for (std::size_t i = 1; i < terms.size(); ++i) {
     if (!sp[0].reachable(terms[i])) return result;  // connected == false
@@ -299,8 +302,19 @@ SteinerResult steiner_tree(const Graph& g, std::span<const VertexId> terminals,
 }
 
 SteinerResult exact_steiner(const Graph& g, std::span<const VertexId> terminals) {
+  // One parallel APSP build shared across the whole DP (and reusable by the
+  // caller via the overload below when sweeping many terminal sets).
+  const AllPairsShortestPaths apsp(g, /*keep_parents=*/true);
+  return exact_steiner(g, terminals, apsp);
+}
+
+SteinerResult exact_steiner(const Graph& g, std::span<const VertexId> terminals,
+                            const AllPairsShortestPaths& apsp) {
   NFVM_SPAN("steiner/exact_dreyfus_wagner");
   NFVM_COUNTER_INC("graph.steiner.exact.runs");
+  if (apsp.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument("exact_steiner: APSP built from a different graph");
+  }
   const std::vector<VertexId> terms = distinct_terminals(g, terminals);
   SteinerResult result;
   if (terms.size() == 1) {
@@ -312,12 +326,11 @@ SteinerResult exact_steiner(const Graph& g, std::span<const VertexId> terminals)
   }
 
   const std::size_t n = g.num_vertices();
-  // All-pairs shortest paths (repeated Dijkstra keeps parents for paths).
-  std::vector<ShortestPaths> sp;
-  sp.reserve(n);
-  for (VertexId v = 0; v < n; ++v) sp.push_back(dijkstra(g, v));
+  const auto sp = [&apsp](VertexId s) -> const ShortestPaths& {
+    return apsp.source_tree(s);
+  };
   for (std::size_t i = 1; i < terms.size(); ++i) {
-    if (!sp[terms[0]].reachable(terms[i])) return result;
+    if (!sp(terms[0]).reachable(terms[i])) return result;
   }
 
   // Dreyfus-Wagner over subsets of terms[1..]; the tree always implicitly
@@ -338,7 +351,7 @@ SteinerResult exact_steiner(const Graph& g, std::span<const VertexId> terminals)
     const VertexId term = terms[b + 1];
     const std::size_t mask = std::size_t{1} << b;
     for (VertexId v = 0; v < n; ++v) {
-      dp[mask][v] = sp[term].dist[v];
+      dp[mask][v] = sp(term).dist[v];
       choice[mask][v] = Choice{0, static_cast<std::uint32_t>(term)};
     }
   }
@@ -365,7 +378,7 @@ SteinerResult exact_steiner(const Graph& g, std::span<const VertexId> terminals)
     for (VertexId v = 0; v < n; ++v) {
       for (VertexId u = 0; u < n; ++u) {
         if (u == v || dp[mask][u] >= kInfiniteDistance) continue;
-        const double cand = dp[mask][u] + sp[u].dist[v];
+        const double cand = dp[mask][u] + sp(u).dist[v];
         if (cand < row[v]) {
           row[v] = cand;
           choice[mask][v] = Choice{2, static_cast<std::uint32_t>(u)};
@@ -387,7 +400,7 @@ SteinerResult exact_steiner(const Graph& g, std::span<const VertexId> terminals)
     const Choice c = choice[f.mask][f.v];
     switch (c.kind) {
       case 0: {  // base: path terminal -> v
-        for (EdgeId e : path_edges(sp[c.aux], f.v)) edge_set.insert(e);
+        for (EdgeId e : path_edges(sp(c.aux), f.v)) edge_set.insert(e);
         break;
       }
       case 1: {  // merge at v
@@ -396,7 +409,7 @@ SteinerResult exact_steiner(const Graph& g, std::span<const VertexId> terminals)
         break;
       }
       case 2: {  // extend u -> v
-        for (EdgeId e : path_edges(sp[c.aux], f.v)) edge_set.insert(e);
+        for (EdgeId e : path_edges(sp(c.aux), f.v)) edge_set.insert(e);
         stack.push_back(Frame{f.mask, static_cast<VertexId>(c.aux)});
         break;
       }

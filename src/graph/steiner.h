@@ -16,6 +16,8 @@
 
 namespace nfvm::graph {
 
+class AllPairsShortestPaths;
+
 struct SteinerResult {
   /// True iff all terminals lie in one connected component (a tree exists).
   bool connected = false;
@@ -55,9 +57,18 @@ SteinerResult steiner_tree(const Graph& g, std::span<const VertexId> terminals,
 
 /// Exact minimum Steiner tree via Dreyfus-Wagner. Throws
 /// std::invalid_argument when there are more than `kExactSteinerMaxTerminals`
-/// distinct terminals (the DP is Theta(3^t n)).
+/// distinct terminals (the DP is Theta(3^t n)). Builds one all-pairs
+/// structure (parallel Dijkstra fan-out) and delegates to the overload below.
 inline constexpr std::size_t kExactSteinerMaxTerminals = 14;
 SteinerResult exact_steiner(const Graph& g, std::span<const VertexId> terminals);
+
+/// Dreyfus-Wagner against a caller-supplied all-pairs structure, so repeated
+/// exact queries on the same graph (e.g. the K=1 optimum oracle sweeping
+/// server combinations) share one APSP build. `apsp` must have been built
+/// from `g` with keep_parents == true; throws std::invalid_argument when its
+/// vertex count disagrees with `g`.
+SteinerResult exact_steiner(const Graph& g, std::span<const VertexId> terminals,
+                            const AllPairsShortestPaths& apsp);
 
 /// Vertex-insertion local search on top of a Steiner tree: for each vertex
 /// outside the current tree, rebuild the KMB tree with that vertex forced as

@@ -12,6 +12,10 @@
 //     --dynamic              Poisson arrivals + exponential holding times
 //     --arrival-rate <x>     (dynamic only, default 1.0)
 //     --mean-duration <x>    (dynamic only, default 20.0)
+//     --threads <n>          worker threads for the parallel fan-outs (APSP,
+//                            Steiner SSSP, Appro_Multi combinations, offline
+//                            batches). Default: NFVM_THREADS env var, else 1.
+//                            Results are bit-identical for any thread count.
 //     --dump-topology <file> write the topology in nfvm-topology format
 //     --dump-dot <file>      write a Graphviz rendering of the topology
 //   Observability (see docs/observability.md):
@@ -54,7 +58,9 @@
 #include "obs/run_info.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
+#include "sim/offline_batch.h"
 #include "sim/simulator.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "topology/geant.h"
 #include "topology/rocketfuel.h"
@@ -84,6 +90,7 @@ struct Options {
   bool dynamic = false;
   double arrival_rate = 1.0;
   double mean_duration = 20.0;
+  std::size_t threads = 0;  // 0 = keep the NFVM_THREADS / default sizing
   std::string dump_topology;
   std::string dump_dot;
   std::string metrics_json;
@@ -99,6 +106,7 @@ struct Options {
   std::cerr << "usage: nfvm_sim [--mode " << kModes << "] [--topology T] [--nodes N] [--seed S]\n"
                "                [--algorithm A] [--requests R] [--dest-ratio X]\n"
                "                [--max-delay MS] [--dynamic] [--arrival-rate X] [--mean-duration X]\n"
+               "                [--threads N]\n"
                "                [--dump-topology FILE] [--dump-dot FILE]\n"
                "                [--metrics-json FILE|-] [--trace FILE] [--events FILE|-]\n"
                "                [--run-dir DIR] [--timeseries FILE] [--sample-interval-ms N]\n"
@@ -195,6 +203,7 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--dynamic") opts.dynamic = true;
     else if (arg == "--arrival-rate") opts.arrival_rate = std::stod(need_value(i));
     else if (arg == "--mean-duration") opts.mean_duration = std::stod(need_value(i));
+    else if (arg == "--threads") opts.threads = std::stoul(need_value(i));
     else if (arg == "--dump-topology") opts.dump_topology = need_value(i);
     else if (arg == "--dump-dot") opts.dump_dot = need_value(i);
     else if (arg == "--metrics-json") opts.metrics_json = need_value(i);
@@ -263,6 +272,7 @@ std::map<std::string, std::string> manifest_config(const Options& opts) {
     config["arrival_rate"] = util::format_double(opts.arrival_rate, 4);
     config["mean_duration"] = util::format_double(opts.mean_duration, 4);
   }
+  config["threads"] = std::to_string(util::ThreadPool::global().num_threads());
   return config;
 }
 
@@ -326,6 +336,7 @@ void write_artifacts(const Options& opts, const obs::EventLog& events,
 
 int main(int argc, char** argv) {
   const Options opts = parse_args(argc, argv);
+  if (opts.threads > 0) util::ThreadPool::set_global_threads(opts.threads);
 
   RunContext ctx;
   ctx.argv.assign(argv, argv + argc);
@@ -384,21 +395,24 @@ int main(int argc, char** argv) {
       const std::size_t batch = std::min<std::size_t>(opts.requests, 100);
       obs::log_info("offline batch: " + std::to_string(batch) + " requests on " +
                     topo.name);
+      std::vector<nfv::Request> batch_requests;
+      batch_requests.reserve(batch);
       for (std::size_t i = 0; i < batch; ++i) {
         nfv::Request r = gen.next();
         r.max_delay_ms = opts.max_delay_ms;
+        batch_requests.push_back(std::move(r));
+      }
+      // Requests fan out across the thread pool; aggregation below walks the
+      // indexed results in request order, so stats match a serial run.
+      const auto results = sim::run_offline_batch(topo, costs, batch_requests);
+      for (const sim::OfflineRequestResult& res : results) {
         for (std::size_t k = 1; k <= 3; ++k) {
-          core::ApproMultiOptions ao;
-          ao.max_servers = k;
-          ao.engine = core::ApproMultiOptions::Engine::kSharedDijkstra;
-          const core::OfflineSolution sol = core::appro_multi(topo, costs, r, ao);
+          const core::OfflineSolution& sol = res.appro_multi[k - 1];
           if (!sol.admitted) continue;
           (k == 1 ? k1 : k == 2 ? k2 : k3).add(sol.tree.cost);
         }
-        const core::OfflineSolution base = core::alg_one_server(topo, costs, r);
-        if (base.admitted) one.add(base.tree.cost);
-        const core::ChainSplitSolution cs = core::chain_split_multicast(topo, costs, r);
-        if (cs.admitted) split.add(cs.tree.cost);
+        if (res.one_server.admitted) one.add(res.one_server.tree.cost);
+        if (res.chain_split.admitted) split.add(res.chain_split.tree.cost);
       }
     }
     util::Table offline_table({"algorithm", "admitted", "mean_cost"});
