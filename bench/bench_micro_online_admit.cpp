@@ -1,0 +1,178 @@
+// Micro-benchmark for the online admission fast path:
+//
+//   * the legacy rebuild path (filter the weighted graph and run per-server
+//     Dijkstras from scratch on every request) vs the incremental path (a
+//     persistent OnlineWeightedView patched after each admission plus the
+//     shared-closure server scan),
+//   * Online_CP and Online_SP, on GEANT and Waxman sweeps up to 400 nodes,
+//   * periodic departures so the era reset (release -> cache drop) is paid
+//     inside the measured loop, not just steady-state cache hits.
+//
+// Every row carries an admission checksum - sum over requests of
+// (i+1) * (admitted ? 1 + cost : -1) - which is bit-deterministic, so the CI
+// artifact gate (nfvm-report --check) verifies that both paths keep taking
+// identical decisions on every run; timing / throughput columns (*_ms,
+// *_time) are machine-dependent and excluded from gating. The binary itself
+// also exits non-zero when the two paths disagree on any sequence, or when
+// the incremental path fails to deliver a 2x request rate on the largest
+// configuration.
+#include "bench_common.h"
+#include "core/online_cp.h"
+#include "core/online_sp.h"
+#include "topology/geant.h"
+
+namespace {
+
+using namespace nfvm;
+
+struct RunResult {
+  std::size_t admitted = 0;
+  double time_ms = 0.0;
+  double checksum = 0.0;
+};
+
+/// Feeds the sequence through one algorithm instance, releasing the oldest
+/// still-held footprint every 7th request (the departure pattern of the
+/// trace-equivalence tests).
+template <typename Algo>
+RunResult run_sequence(Algo& algo, const std::vector<nfv::Request>& requests) {
+  RunResult result;
+  std::vector<nfv::Footprint> held;
+  util::Stopwatch watch;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const core::AdmissionDecision decision = algo.process(requests[i]);
+    if (decision.admitted) {
+      ++result.admitted;
+      result.checksum +=
+          static_cast<double>(i + 1) * (1.0 + decision.tree.cost);
+      held.push_back(decision.footprint);
+    } else {
+      result.checksum -= static_cast<double>(i + 1);
+    }
+    if (i % 7 == 6 && !held.empty()) {
+      algo.release(held.front());
+      held.erase(held.begin());
+    }
+  }
+  result.time_ms = watch.elapsed_ms();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t num_requests = bench::online_sequence_length(300);
+
+  std::cout << "# micro: online admission fast path - incremental view + "
+               "shared-closure scan vs per-request rebuild ("
+            << num_requests << " requests, departures every 7th)\n";
+  std::cout << "# checksum / admitted columns are deterministic and gate in "
+               "CI; *_ms / *_time columns do not\n";
+
+  util::Table table({"case", "mode", "n", "m", "requests", "admitted",
+                     "time_ms", "req_per_s_time", "checksum", "speedup_time"});
+
+  bool checksums_agree = true;
+  double largest_speedup = 0.0;
+  std::string largest_case;
+
+  const auto run_case = [&](const std::string& name, const topo::Topology& topo,
+                            const std::vector<nfv::Request>& requests,
+                            auto make_rebuild, auto make_incremental,
+                            bool gate_speedup) {
+    auto rebuild = make_rebuild(topo);
+    auto incremental = make_incremental(topo);
+    const RunResult slow = run_sequence(rebuild, requests);
+    const RunResult fast = run_sequence(incremental, requests);
+
+    if (slow.checksum != fast.checksum) {
+      std::cerr << "FATAL: " << name
+                << ": incremental admission sequence diverged from rebuild "
+                   "(checksum "
+                << fast.checksum << " vs " << slow.checksum << ")\n";
+      checksums_agree = false;
+    }
+    const double speedup = fast.time_ms > 0.0 ? slow.time_ms / fast.time_ms : 0.0;
+    if (gate_speedup) {
+      largest_speedup = speedup;
+      largest_case = name;
+    }
+
+    const auto row = [&](const std::string& mode, const RunResult& r,
+                         double ratio) {
+      table.begin_row()
+          .add(name)
+          .add(mode)
+          .add(topo.graph.num_vertices())
+          .add(topo.graph.num_edges())
+          .add(requests.size())
+          .add(r.admitted)
+          .add(r.time_ms, 3)
+          .add(r.time_ms > 0.0
+                   ? static_cast<double>(requests.size()) / (r.time_ms / 1000.0)
+                   : 0.0,
+               1)
+          .add(r.checksum, 3)
+          .add(ratio, 2);
+    };
+    row("rebuild", slow, 0.0);
+    row("incremental", fast, speedup);
+  };
+
+  const auto make_cp_rebuild = [](const topo::Topology& topo) {
+    core::OnlineCpOptions opts;
+    opts.incremental_view = false;
+    return core::OnlineCp(topo, opts);
+  };
+  const auto make_cp_fast = [](const topo::Topology& topo) {
+    return core::OnlineCp(topo);
+  };
+  const auto make_sp_rebuild = [](const topo::Topology& topo) {
+    core::OnlineSpOptions opts;
+    opts.incremental_view = false;
+    return core::OnlineSp(topo, opts);
+  };
+  const auto make_sp_fast = [](const topo::Topology& topo) {
+    return core::OnlineSp(topo);
+  };
+
+  // --- GEANT ------------------------------------------------------------
+  {
+    util::Rng rng(77);
+    const topo::Topology topo = topo::make_geant(rng);
+    util::Rng workload(4242);
+    sim::RequestGenerator gen(topo, workload);
+    const std::vector<nfv::Request> requests = gen.sequence(num_requests);
+    run_case("cp_geant", topo, requests, make_cp_rebuild, make_cp_fast, false);
+    run_case("sp_geant", topo, requests, make_sp_rebuild, make_sp_fast, false);
+  }
+
+  // --- Waxman size sweep -------------------------------------------------
+  const std::vector<std::size_t> sizes = {100, 200, 400};
+  for (std::size_t n : sizes) {
+    util::Rng rng(1000 + n);
+    topo::WaxmanOptions wo;
+    wo.target_mean_degree = 4.0;
+    wo.capacities.max_bandwidth_mbps = 2500.0;  // contention
+    const topo::Topology topo = topo::make_waxman(n, rng, wo);
+    util::Rng workload(4242);
+    sim::RequestGenerator gen(topo, workload);
+    const std::vector<nfv::Request> requests = gen.sequence(num_requests);
+    const bool largest = n == sizes.back();
+    run_case("cp_waxman_" + std::to_string(n), topo, requests, make_cp_rebuild,
+             make_cp_fast, largest);  // the 2x gate rides on the largest CP case
+    run_case("sp_waxman_" + std::to_string(n), topo, requests, make_sp_rebuild,
+             make_sp_fast, false);
+  }
+
+  bench::finish("micro_online_admit", table);
+
+  if (!checksums_agree) return 1;
+  if (largest_speedup < 2.0) {
+    std::cerr << "FATAL: " << largest_case
+              << ": incremental fast path speedup " << largest_speedup
+              << "x is below the required 2x\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,12 +1,11 @@
 #include "core/appro_multi.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
 #include <stdexcept>
 
 #include "core/aux_graph.h"
 #include "core/delay.h"
+#include "core/shared_closure.h"
 #include "graph/steiner.h"
 #include "graph/tree.h"
 #include "obs/metrics.h"
@@ -29,246 +28,6 @@ bool next_combination(std::vector<std::size_t>& idx, std::size_t n) {
   }
   return false;
 }
-
-// ---------------------------------------------------------------------------
-// Shared-Dijkstra engine: evaluates one combination's KMB metric closure from
-// per-request shortest-path tables instead of running |terminals| Dijkstras
-// inside every auxiliary graph. Distances in G_k^i decompose into
-//   d_i(x, y) = min( d_G'(x, y),                 # plain working graph
-//                    star_in(x) + star_out(y),   # through the zero-cost star
-//                                                # {s_k} ∪ (combo ∩ N(s_k))
-//                    d_i(s', x) + d_i(s', y) )   # through the virtual source
-// with d_i(s', y) = min over v in combo of (w_virtual(v) + d_i(v, y)).
-// ---------------------------------------------------------------------------
-
-/// Per-request shortest-path tables on the working graph. The trees live in
-/// the request's WorkContext SpCache; the oracle pins them via shared_ptr so
-/// they outlive any cache eviction.
-struct SharedOracle {
-  const WorkContext* ctx = nullptr;
-  const nfv::Request* request = nullptr;
-  std::vector<std::shared_ptr<const graph::ShortestPaths>> sp_dest;
-  std::map<graph::VertexId, std::shared_ptr<const graph::ShortestPaths>> sp_server;
-
-  const graph::ShortestPaths& from(graph::VertexId v) const {
-    if (v == request->source) return ctx->sp_source;
-    const auto it = sp_server.find(v);
-    if (it != sp_server.end()) return *it->second;
-    for (std::size_t i = 0; i < request->destinations.size(); ++i) {
-      if (request->destinations[i] == v) return *sp_dest[i];
-    }
-    throw std::logic_error("SharedOracle: no shortest-path table for vertex");
-  }
-};
-
-SharedOracle build_shared_oracle(const WorkContext& ctx, const nfv::Request& request) {
-  NFVM_SPAN("appro_multi/build_shared_oracle");
-  SharedOracle oracle;
-  oracle.ctx = &ctx;
-  oracle.request = &request;
-  // One parallel fan-out over destination + server trees, primed into (and
-  // served from) the context's shared SP-tree cache.
-  std::vector<graph::VertexId> sources(request.destinations.begin(),
-                                       request.destinations.end());
-  sources.insert(sources.end(), ctx.eligible_servers.begin(),
-                 ctx.eligible_servers.end());
-  auto trees = context_trees(ctx, sources);
-  const std::size_t num_dest = request.destinations.size();
-  oracle.sp_dest.assign(trees.begin(), trees.begin() + static_cast<long>(num_dest));
-  for (std::size_t i = 0; i < ctx.eligible_servers.size(); ++i) {
-    oracle.sp_server.emplace(ctx.eligible_servers[i], trees[num_dest + i]);
-  }
-  return oracle;
-}
-
-/// Evaluates one combination via the shared tables; returns a Steiner tree
-/// in auxiliary-graph edge ids.
-class SharedComboSolver {
- public:
-  SharedComboSolver(const SharedOracle& oracle, const AuxiliaryGraph& aux)
-      : oracle_(oracle), aux_(aux), request_(*oracle.request) {
-    // Zero-cost star: the source plus combo servers adjacent to it.
-    star_.push_back({request_.source, graph::kInvalidEdge});
-    for (const graph::Adjacency& adj :
-         oracle_.ctx->cost_graph.neighbors(request_.source)) {
-      if (std::find(aux.combo.begin(), aux.combo.end(), adj.neighbor) ==
-          aux.combo.end()) {
-        continue;
-      }
-      bool seen = false;
-      for (const StarEntry& e : star_) seen |= (e.vertex == adj.neighbor);
-      if (!seen) star_.push_back({adj.neighbor, adj.edge});
-    }
-    via_sprime_.resize(request_.destinations.size());
-    for (std::size_t j = 0; j < request_.destinations.size(); ++j) {
-      via_sprime_[j] = best_via_sprime(request_.destinations[j]);
-    }
-  }
-
-  graph::SteinerResult solve() {
-    const std::size_t t = request_.destinations.size() + 1;  // s' + dests
-    std::vector<bool> in_tree(t, false);
-    std::vector<double> best(t, graph::kInfiniteDistance);
-    std::vector<std::size_t> best_from(t, 0);
-    best[0] = 0.0;
-    std::vector<std::pair<std::size_t, std::size_t>> mst;
-    for (std::size_t step = 0; step < t; ++step) {
-      std::size_t pick = t;
-      for (std::size_t i = 0; i < t; ++i) {
-        if (!in_tree[i] && (pick == t || best[i] < best[pick])) pick = i;
-      }
-      if (best[pick] >= graph::kInfiniteDistance) {
-        return graph::SteinerResult{};  // disconnected closure
-      }
-      in_tree[pick] = true;
-      if (pick != 0) mst.emplace_back(best_from[pick], pick);
-      for (std::size_t j = 0; j < t; ++j) {
-        if (in_tree[j]) continue;
-        const double d = closure_distance(pick, j);
-        if (d < best[j]) {
-          best[j] = d;
-          best_from[j] = pick;
-        }
-      }
-    }
-
-    edge_set_.clear();
-    for (const auto& [a, b] : mst) expand(a, b);
-    std::vector<graph::EdgeId> union_edges(edge_set_.begin(), edge_set_.end());
-
-    std::vector<graph::VertexId> terminals;
-    terminals.push_back(aux_.virtual_source);
-    terminals.insert(terminals.end(), request_.destinations.begin(),
-                     request_.destinations.end());
-    return graph::kmb_finish(aux_.graph, union_edges, terminals);
-  }
-
- private:
-  struct StarEntry {
-    graph::VertexId vertex;
-    graph::EdgeId edge;  // working-graph edge to the source (invalid for it)
-  };
-  /// A vertex-to-vertex distance with the realized routing choice:
-  /// p == kInvalidVertex means the direct working-graph path, otherwise the
-  /// path enters the zero-cost star at p and leaves it at q.
-  struct Via {
-    double value = graph::kInfiniteDistance;
-    graph::VertexId p = graph::kInvalidVertex;
-    graph::VertexId q = graph::kInvalidVertex;
-  };
-  /// d_i(s', y) with the realized server.
-  struct ViaSprime {
-    double value = graph::kInfiniteDistance;
-    graph::VertexId server = graph::kInvalidVertex;
-    Via inner;
-  };
-
-  Via vertex_distance(const graph::ShortestPaths& sp_x, graph::VertexId y) const {
-    Via best;
-    best.value = sp_x.dist[y];
-    double in = graph::kInfiniteDistance;
-    graph::VertexId pb = graph::kInvalidVertex;
-    for (const StarEntry& e : star_) {
-      if (sp_x.dist[e.vertex] < in) {
-        in = sp_x.dist[e.vertex];
-        pb = e.vertex;
-      }
-    }
-    double out = graph::kInfiniteDistance;
-    graph::VertexId qb = graph::kInvalidVertex;
-    for (const StarEntry& e : star_) {
-      const double d = oracle_.from(e.vertex).dist[y];
-      if (d < out) {
-        out = d;
-        qb = e.vertex;
-      }
-    }
-    if (in + out < best.value) {
-      best.value = in + out;
-      best.p = pb;
-      best.q = qb;
-    }
-    return best;
-  }
-
-  ViaSprime best_via_sprime(graph::VertexId y) const {
-    ViaSprime best;
-    for (std::size_t i = 0; i < aux_.combo.size(); ++i) {
-      const graph::VertexId v = aux_.combo[i];
-      const double virt =
-          aux_.graph.weight(static_cast<graph::EdgeId>(aux_.num_real_edges + i));
-      const Via via = vertex_distance(oracle_.from(v), y);
-      if (virt + via.value < best.value) {
-        best.value = virt + via.value;
-        best.server = v;
-        best.inner = via;
-      }
-    }
-    return best;
-  }
-
-  /// Closure distance between terminal indices (0 = s', j >= 1 = dest j-1).
-  double closure_distance(std::size_t a, std::size_t b) const {
-    if (a > b) std::swap(a, b);
-    if (a == 0) return via_sprime_[b - 1].value;
-    const graph::VertexId x = request_.destinations[a - 1];
-    const graph::VertexId y = request_.destinations[b - 1];
-    const double direct = vertex_distance(oracle_.from(x), y).value;
-    const double via_virtual = via_sprime_[a - 1].value + via_sprime_[b - 1].value;
-    return std::min(direct, via_virtual);
-  }
-
-  void emit_via(const graph::ShortestPaths& sp_x, graph::VertexId y, const Via& via) {
-    if (via.p == graph::kInvalidVertex) {
-      for (graph::EdgeId e : graph::path_edges(sp_x, y)) edge_set_.insert(e);
-      return;
-    }
-    for (graph::EdgeId e : graph::path_edges(sp_x, via.p)) edge_set_.insert(e);
-    for (const StarEntry& e : star_) {
-      if ((e.vertex == via.p || e.vertex == via.q) &&
-          e.edge != graph::kInvalidEdge) {
-        edge_set_.insert(e.edge);
-      }
-    }
-    for (graph::EdgeId e : graph::path_edges(oracle_.from(via.q), y)) {
-      edge_set_.insert(e);
-    }
-  }
-
-  void emit_sprime(std::size_t dest_index) {
-    const ViaSprime& vs = via_sprime_[dest_index];
-    const std::size_t combo_index = static_cast<std::size_t>(
-        std::find(aux_.combo.begin(), aux_.combo.end(), vs.server) -
-        aux_.combo.begin());
-    edge_set_.insert(static_cast<graph::EdgeId>(aux_.num_real_edges + combo_index));
-    emit_via(oracle_.from(vs.server), request_.destinations[dest_index], vs.inner);
-  }
-
-  void expand(std::size_t a, std::size_t b) {
-    if (a > b) std::swap(a, b);
-    if (a == 0) {
-      emit_sprime(b - 1);
-      return;
-    }
-    const graph::VertexId x = request_.destinations[a - 1];
-    const graph::VertexId y = request_.destinations[b - 1];
-    const Via direct = vertex_distance(oracle_.from(x), y);
-    const double via_virtual = via_sprime_[a - 1].value + via_sprime_[b - 1].value;
-    if (via_virtual < direct.value) {
-      emit_sprime(a - 1);
-      emit_sprime(b - 1);
-    } else {
-      emit_via(oracle_.from(x), y, direct);
-    }
-  }
-
-  const SharedOracle& oracle_;
-  const AuxiliaryGraph& aux_;
-  const nfv::Request& request_;
-  std::vector<StarEntry> star_;
-  std::vector<ViaSprime> via_sprime_;
-  std::set<graph::EdgeId> edge_set_;
-};
 
 }  // namespace
 
@@ -350,10 +109,16 @@ OfflineSolution appro_multi(const topo::Topology& topo, const LinearCosts& costs
   {
     NFVM_SPAN("appro_multi/evaluate_combinations");
     util::ThreadPool::global().parallel_for(combos.size(), [&](std::size_t i) {
-      const AuxiliaryGraph aux = build_auxiliary_graph(ctx, request.source, combos[i]);
-      graph::SteinerResult st =
-          shared ? SharedComboSolver(oracle, aux).solve()
-                 : graph::steiner_tree(aux.graph, terminals, options.steiner_engine);
+      graph::SteinerResult st;
+      if (shared) {
+        // Overlay + shared tables: no per-combination graph copy at all.
+        const AuxOverlay aux = build_aux_overlay(ctx, request.source, combos[i]);
+        st = SharedComboSolver(oracle, aux).solve();
+      } else {
+        const AuxiliaryGraph aux =
+            build_auxiliary_graph(ctx, request.source, combos[i]);
+        st = graph::steiner_tree(aux.graph, terminals, options.steiner_engine);
+      }
       evaluated[i] = Evaluated{st.connected, st.weight, std::move(st.edges)};
     });
   }
@@ -377,7 +142,10 @@ OfflineSolution appro_multi(const topo::Topology& topo, const LinearCosts& costs
 
   NFVM_SPAN("appro_multi/realize_cheapest");
   for (const Candidate& cand : candidates) {
-    const AuxiliaryGraph aux = build_auxiliary_graph(ctx, request.source, cand.combo);
+    // Realization only needs edge weights/endpoints and the source's
+    // shortest-path tree — the overlay suffices for both engines (the edge-id
+    // scheme is shared), so the second full graph copy is gone too.
+    const AuxOverlay aux = build_aux_overlay(ctx, request.source, cand.combo);
     PseudoMulticastTree tree = realize_pseudo_tree(ctx, aux, cand.tree_edges, request);
     if (!meets_delay_bound(topo, request, tree)) continue;
     if (options.resources != nullptr &&

@@ -30,15 +30,10 @@ WorkContext build_work_context(const topo::Topology& topo, const LinearCosts& co
   ctx.cost_graph = graph::Graph(topo.num_switches());
   ctx.to_physical.reserve(topo.num_links());
   for (graph::EdgeId e = 0; e < topo.num_links(); ++e) {
-    if (resources != nullptr) {
-      if (resources->residual_bandwidth(e) < b) continue;
-      const graph::Edge& ed = topo.graph.edge(e);
-      // Forwarding-table pruning: a switch without a free flow entry cannot
-      // join any new multicast tree.
-      if (resources->residual_table_entries(ed.u) < 1.0 ||
-          resources->residual_table_entries(ed.v) < 1.0) {
-        continue;
-      }
+    // Shared eligibility predicate: residual bandwidth plus forwarding-table
+    // pruning (a switch without a free flow entry cannot join any new tree).
+    if (resources != nullptr && !nfv::edge_eligible(*resources, topo.graph, e, b)) {
+      continue;
     }
     const graph::Edge& ed = topo.graph.edge(e);
     ctx.cost_graph.add_edge(ed.u, ed.v, costs.edge_cost(e, b));
@@ -133,30 +128,84 @@ AuxiliaryGraph build_auxiliary_graph(const WorkContext& ctx,
   return aux;
 }
 
-PseudoMulticastTree realize_pseudo_tree(const WorkContext& ctx,
-                                        const AuxiliaryGraph& aux,
-                                        const std::vector<graph::EdgeId>& tree_edges,
-                                        const nfv::Request& request) {
+double AuxOverlay::weight(graph::EdgeId e) const {
+  if (is_virtual(e)) return virtual_weight[virtual_index(e)];
+  if (std::binary_search(zero_edges.begin(), zero_edges.end(), e)) return 0.0;
+  return ctx->cost_graph.weight(e);
+}
+
+graph::EdgeRecord AuxOverlay::record(graph::EdgeId e) const {
+  if (is_virtual(e)) {
+    const std::size_t i = virtual_index(e);
+    return graph::EdgeRecord{e, virtual_source, combo[i], virtual_weight[i]};
+  }
+  const graph::Edge& ed = ctx->cost_graph.edge(e);
+  return graph::EdgeRecord{e, ed.u, ed.v, weight(e)};
+}
+
+AuxOverlay build_aux_overlay(const WorkContext& ctx, graph::VertexId source,
+                             std::span<const graph::VertexId> combo) {
+  if (combo.empty()) {
+    throw std::invalid_argument("build_aux_overlay: empty server combination");
+  }
+  NFVM_COUNTER_INC("core.appro_multi.aux_overlays");
+  AuxOverlay aux;
+  aux.ctx = &ctx;
+  aux.num_real_edges = ctx.cost_graph.num_edges();
+  aux.virtual_source = static_cast<graph::VertexId>(ctx.cost_graph.num_vertices());
+  aux.combo.assign(combo.begin(), combo.end());
+
+  aux.virtual_weight.reserve(combo.size());
+  for (graph::VertexId v : combo) {
+    if (!ctx.sp_source.reachable(v)) {
+      throw std::invalid_argument("build_aux_overlay: server unreachable");
+    }
+    aux.virtual_weight.push_back(ctx.sp_source.dist[v] + ctx.server_chain_cost[v]);
+  }
+
+  // Zero-cost correction: physical edges (s_k, v) with v in the combination.
+  for (const graph::Adjacency& adj : ctx.cost_graph.neighbors(source)) {
+    if (std::find(combo.begin(), combo.end(), adj.neighbor) != combo.end()) {
+      aux.zero_edges.push_back(adj.edge);
+    }
+  }
+  std::sort(aux.zero_edges.begin(), aux.zero_edges.end());
+  return aux;
+}
+
+namespace {
+
+/// Shared realization body: `aux_weight(e)`, `virtual_path_edges(i)` and the
+/// rooted view abstract over the materialized aux graph vs the overlay; the
+/// accumulation and routing logic is identical (and so is the output).
+template <typename AuxT, typename WeightFn, typename VirtualPathFn>
+PseudoMulticastTree realize_impl(const WorkContext& ctx, const AuxT& aux,
+                                 const graph::RootedTree& rooted,
+                                 const std::vector<graph::EdgeId>& tree_edges,
+                                 const nfv::Request& request,
+                                 const WeightFn& aux_weight,
+                                 const VirtualPathFn& virtual_path_edges) {
   PseudoMulticastTree tree;
   tree.source = request.source;
 
-  const graph::RootedTree rooted(aux.graph, tree_edges, aux.virtual_source);
-
-  std::map<graph::EdgeId, int> mult;  // physical edge -> traversal count
+  std::vector<graph::EdgeId> traversals;  // physical ids, one per traversal
+  traversals.reserve(tree_edges.size());
   double cost = 0.0;
   for (graph::EdgeId e : tree_edges) {
-    cost += aux.graph.weight(e);
+    cost += aux_weight(e);
     if (aux.is_virtual(e)) {
       const std::size_t i = aux.virtual_index(e);
       tree.servers.push_back(aux.combo[i]);
-      for (graph::EdgeId pe : aux.virtual_paths[i]) ++mult[ctx.to_physical[pe]];
+      for (graph::EdgeId pe : virtual_path_edges(i)) {
+        traversals.push_back(ctx.to_physical[pe]);
+      }
     } else {
-      ++mult[ctx.to_physical[e]];
+      traversals.push_back(ctx.to_physical[e]);
     }
   }
   tree.cost = cost;
   std::sort(tree.servers.begin(), tree.servers.end());
-  tree.edge_uses.assign(mult.begin(), mult.end());
+  tree.edge_uses = accumulate_edge_uses(std::move(traversals));
 
   tree.routes.reserve(request.destinations.size());
   for (graph::VertexId d : request.destinations) {
@@ -178,6 +227,39 @@ PseudoMulticastTree realize_pseudo_tree(const WorkContext& ctx,
     tree.routes.push_back(std::move(route));
   }
   return tree;
+}
+
+}  // namespace
+
+PseudoMulticastTree realize_pseudo_tree(const WorkContext& ctx,
+                                        const AuxiliaryGraph& aux,
+                                        const std::vector<graph::EdgeId>& tree_edges,
+                                        const nfv::Request& request) {
+  const graph::RootedTree rooted(aux.graph, tree_edges, aux.virtual_source);
+  return realize_impl(
+      ctx, aux, rooted, tree_edges, request,
+      [&](graph::EdgeId e) { return aux.graph.weight(e); },
+      [&](std::size_t i) -> const std::vector<graph::EdgeId>& {
+        return aux.virtual_paths[i];
+      });
+}
+
+PseudoMulticastTree realize_pseudo_tree(const WorkContext& ctx,
+                                        const AuxOverlay& aux,
+                                        const std::vector<graph::EdgeId>& tree_edges,
+                                        const nfv::Request& request) {
+  std::vector<graph::EdgeRecord> records;
+  records.reserve(tree_edges.size());
+  for (graph::EdgeId e : tree_edges) records.push_back(aux.record(e));
+  const graph::RootedTree rooted(aux.num_vertices(), records, aux.virtual_source);
+  return realize_impl(
+      ctx, aux, rooted, tree_edges, request,
+      [&](graph::EdgeId e) { return aux.weight(e); },
+      [&](std::size_t i) {
+        // The stored virtual_paths of the materialized variant are exactly
+        // path_edges(sp_source, combo[i]); re-derive on demand.
+        return graph::path_edges(ctx.sp_source, aux.combo[i]);
+      });
 }
 
 }  // namespace nfvm::core

@@ -86,6 +86,40 @@ AuxiliaryGraph build_auxiliary_graph(const WorkContext& ctx,
                                      graph::VertexId source,
                                      std::span<const graph::VertexId> combo);
 
+/// Lightweight view of G_k^i over ctx.cost_graph: instead of copying the
+/// whole working graph per combination (the dominant allocation of the
+/// Appro_Multi fan-out), it records only what differs from the working
+/// graph — the virtual-edge tail and the zero-cost star patch list. Edge
+/// ids follow the AuxiliaryGraph scheme exactly: ids < num_real_edges are
+/// cost_graph ids, id num_real_edges + i is the virtual edge to combo[i].
+struct AuxOverlay {
+  const WorkContext* ctx = nullptr;
+  graph::VertexId virtual_source = graph::kInvalidVertex;
+  std::size_t num_real_edges = 0;
+  std::vector<graph::VertexId> combo;
+  /// Weight of virtual edge i: d(s_k, combo[i]) + c_{combo[i]}(SC_k).
+  std::vector<double> virtual_weight;
+  /// Real (s_k, v) edges with v in the combo, patched to weight zero by the
+  /// double-counting correction. Sorted ascending.
+  std::vector<graph::EdgeId> zero_edges;
+
+  /// Vertex count including the virtual source (id == |V| of cost_graph).
+  std::size_t num_vertices() const { return ctx->cost_graph.num_vertices() + 1; }
+  bool is_virtual(graph::EdgeId e) const { return e >= num_real_edges; }
+  std::size_t virtual_index(graph::EdgeId e) const { return e - num_real_edges; }
+  /// Overlay edge weight (star patches and virtual edges applied).
+  double weight(graph::EdgeId e) const;
+  /// Self-contained record of edge `e` for the record-based tree/Steiner
+  /// machinery (graph::kmb_finish, graph::RootedTree).
+  graph::EdgeRecord record(graph::EdgeId e) const;
+};
+
+/// Builds the overlay for a combination: same validation and semantics as
+/// build_auxiliary_graph without materializing a Graph. Counted by
+/// `core.appro_multi.aux_overlays`.
+AuxOverlay build_aux_overlay(const WorkContext& ctx, graph::VertexId source,
+                             std::span<const graph::VertexId> combo);
+
 /// Realizes the physical pseudo-multicast tree from an auxiliary-graph
 /// Steiner tree (Algorithm 1 steps 10-12 plus the Fig. 3 routing semantics):
 /// virtual edges expand into the stored shortest path plus a chain instance
@@ -95,6 +129,14 @@ AuxiliaryGraph build_auxiliary_graph(const WorkContext& ctx,
 /// destinations.
 PseudoMulticastTree realize_pseudo_tree(const WorkContext& ctx,
                                         const AuxiliaryGraph& aux,
+                                        const std::vector<graph::EdgeId>& tree_edges,
+                                        const nfv::Request& request);
+
+/// Overlay variant: identical semantics and output to the AuxiliaryGraph
+/// overload (virtual paths are re-derived from ctx.sp_source, which is what
+/// the materialized graph stored), without building the aux graph copy.
+PseudoMulticastTree realize_pseudo_tree(const WorkContext& ctx,
+                                        const AuxOverlay& aux,
                                         const std::vector<graph::EdgeId>& tree_edges,
                                         const nfv::Request& request);
 

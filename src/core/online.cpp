@@ -42,6 +42,7 @@ AdmissionDecision OnlineAlgorithm::process(const nfv::Request& request) {
     // try_admit must hand back a footprint that fits; allocate() re-checks
     // and throws on a contract violation rather than over-committing.
     state_.allocate(decision.footprint);
+    after_allocate(decision.footprint);
     ++num_admitted_;
     decision.reject_cause = RejectCause::kNone;
     NFVM_COUNTER_INC("online.admitted");
@@ -75,6 +76,10 @@ AdmissionDecision OnlineAlgorithm::process(const nfv::Request& request) {
 
 void OnlineAlgorithm::release(const nfv::Footprint& footprint) {
   state_.release(footprint);
+  after_release(footprint);
 }
+
+void OnlineAlgorithm::after_allocate(const nfv::Footprint& /*footprint*/) {}
+void OnlineAlgorithm::after_release(const nfv::Footprint& /*footprint*/) {}
 
 }  // namespace nfvm::core

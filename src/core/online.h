@@ -39,6 +39,43 @@ inline constexpr std::size_t kNumRejectCauses = 6;
 /// in event logs.
 std::string_view to_string(RejectCause cause);
 
+/// Reject-reason bookkeeping for a candidate-server scan with explicit
+/// precedence, replacing the old string-comparison special case in
+/// OnlineCp::try_admit. Candidates are examined in order; an update is
+/// applied iff its rank is >= the current value's rank, so equal ranks keep
+/// the historical last-writer-wins semantics while a low-rank gate (e.g. the
+/// sigma_v pre-scan threshold) can never overwrite a more specific
+/// evaluated-candidate failure.
+class RejectTracker {
+ public:
+  /// The initial reason before any server reported anything.
+  static constexpr int kRankDefault = 0;
+  /// A pre-evaluation gate skipped the server (Online_CP's sigma_v check).
+  static constexpr int kRankThreshold = 1;
+  /// An evaluated candidate failed (disconnection, sigma_e, delay, capacity).
+  static constexpr int kRankCandidate = 2;
+
+  RejectTracker(std::string_view reason, RejectCause cause)
+      : reason_(reason), cause_(cause) {}
+
+  /// Applies (reason, cause) iff `rank` >= the rank of the current value.
+  void update(int rank, std::string_view reason, RejectCause cause) {
+    if (rank < rank_) return;
+    rank_ = rank;
+    reason_ = reason;
+    cause_ = cause;
+  }
+
+  std::string_view reason() const noexcept { return reason_; }
+  RejectCause cause() const noexcept { return cause_; }
+  int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_ = kRankDefault;
+  std::string_view reason_;
+  RejectCause cause_;
+};
+
 struct AdmissionDecision {
   bool admitted = false;
   std::string reject_reason;
@@ -78,6 +115,13 @@ class OnlineAlgorithm {
  protected:
   /// Decide without mutating resource state; `process` handles allocation.
   virtual AdmissionDecision try_admit(const nfv::Request& request) = 0;
+
+  /// Called by process() right after an admitted footprint was allocated,
+  /// and by release() right after a footprint was returned. Default: no-op.
+  /// Algorithms maintaining incremental state derived from the residuals
+  /// (e.g. OnlineCp's weighted working view) patch it here.
+  virtual void after_allocate(const nfv::Footprint& footprint);
+  virtual void after_release(const nfv::Footprint& footprint);
 
   const topo::Topology* topo_;
   nfv::ResourceState state_;

@@ -1,15 +1,17 @@
 #include "core/online_cp.h"
 
 #include <algorithm>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "core/delay.h"
+#include "core/shared_closure.h"
 #include "graph/steiner.h"
 #include "graph/subgraph.h"
 #include "graph/tree.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace nfvm::core {
 
@@ -26,7 +28,15 @@ OnlineCp::OnlineCp(const topo::Topology& topo, const OnlineCpOptions& options)
                    : static_cast<double>(topo.num_switches()) - 1.0),
       linear_weights_(options.linear_weights),
       steiner_engine_(options.steiner_engine),
-      name_(options.linear_weights ? "Online_CP(linear)" : "Online_CP") {}
+      name_(options.linear_weights ? "Online_CP(linear)" : "Online_CP") {
+  // The fast path replaces the per-candidate Steiner call with a
+  // shared-closure KMB; other engines keep the rebuild path so ablations
+  // still exercise exactly the engine they ask for.
+  if (options.incremental_view &&
+      steiner_engine_ == graph::SteinerEngine::kKmb) {
+    view_.emplace(topo, [this](graph::EdgeId e) { return edge_weight(e); });
+  }
+}
 
 double OnlineCp::edge_weight(graph::EdgeId e) const {
   if (linear_weights_) return state_.bandwidth_utilization(e);
@@ -38,8 +48,223 @@ double OnlineCp::server_weight(graph::VertexId v) const {
   return model_.server_weight(v, state_);
 }
 
+void OnlineCp::after_allocate(const nfv::Footprint& footprint) {
+  if (view_.has_value()) view_->apply_allocate(footprint);
+}
+
+void OnlineCp::after_release(const nfv::Footprint& footprint) {
+  if (view_.has_value()) view_->apply_release(footprint);
+}
+
 AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
   NFVM_SPAN("online_cp/try_admit");
+  if (view_.has_value()) return try_admit_fast(request);
+  return try_admit_rebuild(request);
+}
+
+namespace {
+
+/// What a candidate-server evaluation produces, written into its own slot by
+/// the parallel scan; the sequential replay loop consumes the slots in true
+/// server order, so reasons and the admitted candidate are identical to the
+/// sequential rebuild path. Only the Steiner evaluation and the candidate's
+/// cost live here — route assembly, the delay check and the footprint are
+/// deferred to the replay loop, which (like the rebuild scan) only pays them
+/// for candidates surviving the cost prune.
+struct CpCandidateSlot {
+  bool connected = false;
+  bool over_sigma_e = false;
+  double cost = 0.0;
+  std::vector<graph::EdgeId> edges;  // physical ids
+};
+
+}  // namespace
+
+AdmissionDecision OnlineCp::try_admit_fast(const nfv::Request& request) {
+  AdmissionDecision decision;
+  const double b = request.bandwidth_mbps;
+  const double demand = request.compute_demand_mhz();
+
+  RejectTracker reject("no server has sufficient residual computing",
+                       RejectCause::kCompute);
+
+  // Phase A: classify the servers. Compute-skips stay silent and the sigma_v
+  // gate records its (low-rank) reason; survivors form the evaluation list.
+  std::vector<graph::VertexId> eval;
+  std::vector<double> eval_wv;
+  for (graph::VertexId v : topo_->servers) {
+    if (state_.residual_compute(v) < demand) continue;
+    const double wv = server_weight(v);
+    if (wv >= sigma_v_) {
+      reject.update(RejectTracker::kRankThreshold,
+                    "all candidate servers exceed the computing threshold",
+                    RejectCause::kThreshold);
+      continue;
+    }
+    eval.push_back(v);
+    eval_wv.push_back(wv);
+  }
+  NFVM_COUNTER_ADD("core.online_cp.candidates_evaluated", eval.size());
+
+  if (eval.empty()) {
+    decision.reject_reason = std::string(reject.reason());
+    decision.reject_cause = reject.cause();
+    return decision;
+  }
+  NFVM_COUNTER_INC("core.online.closure_scans");
+
+  // Phase B: one shortest-path tree per distinct terminal for the WHOLE
+  // scan — O(|servers| + |D_k| + 1) Dijkstras instead of
+  // O(|servers| * (|D_k| + 2)) — primed in parallel through the view's
+  // tree cache.
+  std::vector<graph::VertexId> sources;
+  sources.reserve(1 + request.destinations.size() + eval.size());
+  sources.push_back(request.source);
+  sources.insert(sources.end(), request.destinations.begin(),
+                 request.destinations.end());
+  sources.insert(sources.end(), eval.begin(), eval.end());
+  const auto trees = view_->trees_for(state_, sources, b);
+  TerminalTables tables(topo_->graph.num_vertices());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    tables.set(sources[i], trees[i]);
+  }
+  const std::function<const graph::ShortestPaths&(graph::VertexId)> table_for =
+      [&tables](graph::VertexId v) -> const graph::ShortestPaths& {
+    return tables.from(v);
+  };
+
+  // Phase C: evaluate every surviving candidate's Steiner tree and cost in
+  // parallel. Each evaluation is pure (reads the view + tables, writes its
+  // slot); the cost prune of the sequential scan is deliberately NOT applied
+  // here — it only suppresses work, never changes the admitted candidate,
+  // and the replay loop below re-applies it for reason parity.
+  std::vector<CpCandidateSlot> slots(eval.size());
+  {
+    NFVM_SPAN("online_cp/server_scan");
+    util::ThreadPool::global().parallel_for(eval.size(), [&](std::size_t i) {
+      const graph::VertexId v = eval[i];
+      CpCandidateSlot& slot = slots[i];
+
+      // Steiner tree over {s_k, v} ∪ D_k (Algorithm 2, step 8), straight
+      // from the shared tables — edge ids are physical.
+      std::vector<graph::VertexId> terminals;
+      terminals.reserve(request.destinations.size() + 2);
+      terminals.push_back(request.source);
+      terminals.push_back(v);
+      terminals.insert(terminals.end(), request.destinations.begin(),
+                       request.destinations.end());
+      graph::SteinerResult st =
+          graph::kmb_steiner_from_tables(view_->graph(), terminals, table_for);
+      if (!st.connected) return;
+      slot.connected = true;
+      if (st.weight >= sigma_e_) {
+        slot.over_sigma_e = true;
+        return;
+      }
+
+      // Backhaul from v to the LCA of {v} ∪ D_k (Algorithm 2, steps 10-12)
+      // prices the candidate; route assembly waits for the replay loop.
+      const graph::RootedTree rooted(view_->graph(), st.edges, request.source);
+      std::vector<graph::VertexId> lca_args;
+      lca_args.push_back(v);
+      lca_args.insert(lca_args.end(), request.destinations.begin(),
+                      request.destinations.end());
+      const graph::VertexId meet = rooted.lca(lca_args);
+      const double w_back = rooted.path_weight(v, meet);
+      slot.cost = st.weight + eval_wv[i] + w_back;
+      slot.edges = std::move(st.edges);
+    });
+  }
+
+  // Phase D: sequential replay in true server order — identical branch
+  // structure to the rebuild scan, so the winner, the reject reason and the
+  // cause match it bit for bit at any thread count. Candidates surviving the
+  // cost prune (a strictly decreasing cost chain, typically a handful) get
+  // their routes, delay check and footprint here, exactly like the rebuild
+  // scan's post-prune body.
+  struct Candidate {
+    double cost = 0.0;
+    PseudoMulticastTree tree;
+    nfv::Footprint footprint;
+  };
+  std::optional<Candidate> best;
+  for (std::size_t i = 0; i < eval.size(); ++i) {
+    CpCandidateSlot& slot = slots[i];
+    const graph::VertexId v = eval[i];
+    if (!slot.connected) {
+      reject.update(RejectTracker::kRankCandidate,
+                    "source, server and destinations are disconnected at b_k",
+                    RejectCause::kBandwidth);
+      continue;
+    }
+    if (slot.over_sigma_e) {
+      reject.update(RejectTracker::kRankCandidate,
+                    "every candidate tree exceeds the bandwidth threshold",
+                    RejectCause::kThreshold);
+      continue;
+    }
+    if (best.has_value() && slot.cost >= best->cost) continue;
+
+    const graph::RootedTree rooted(view_->graph(), slot.edges, request.source);
+    std::vector<graph::VertexId> lca_args;
+    lca_args.push_back(v);
+    lca_args.insert(lca_args.end(), request.destinations.begin(),
+                    request.destinations.end());
+    const graph::VertexId meet = rooted.lca(lca_args);
+
+    Candidate cand;
+    cand.cost = slot.cost;
+    cand.tree.source = request.source;
+    cand.tree.servers = {v};
+    cand.tree.cost = slot.cost;
+    std::vector<graph::EdgeId> traversals = std::move(slot.edges);
+    const std::vector<graph::EdgeId> backhaul = rooted.path_edges(v, meet);
+    traversals.insert(traversals.end(), backhaul.begin(), backhaul.end());
+    cand.tree.edge_uses = accumulate_edge_uses(std::move(traversals));
+
+    const std::vector<graph::VertexId> to_server =
+        rooted.path_vertices(request.source, v);
+    for (graph::VertexId d : request.destinations) {
+      DestinationRoute route;
+      route.destination = d;
+      route.server = v;
+      route.walk = to_server;
+      route.server_index = route.walk.size() - 1;
+      const std::vector<graph::VertexId> down = rooted.path_vertices(v, d);
+      route.walk.insert(route.walk.end(), down.begin() + 1, down.end());
+      cand.tree.routes.push_back(std::move(route));
+    }
+
+    if (!meets_delay_bound(*topo_, request, cand.tree)) {
+      reject.update(RejectTracker::kRankCandidate,
+                    "no candidate tree meets the delay bound",
+                    RejectCause::kDelay);
+      continue;
+    }
+    cand.footprint = cand.tree.footprint(request, topo_->graph);
+    if (!state_.can_allocate(cand.footprint)) {
+      // Double-traversed backhaul links can need 2 b_k; charge honestly and
+      // skip candidates that no longer fit.
+      reject.update(RejectTracker::kRankCandidate,
+                    "backhaul multiplicities exceed residual bandwidth",
+                    RejectCause::kBandwidth);
+      continue;
+    }
+    best = std::move(cand);
+  }
+
+  if (!best.has_value()) {
+    decision.reject_reason = std::string(reject.reason());
+    decision.reject_cause = reject.cause();
+    return decision;
+  }
+  decision.admitted = true;
+  decision.tree = std::move(best->tree);
+  decision.footprint = std::move(best->footprint);
+  return decision;
+}
+
+AdmissionDecision OnlineCp::try_admit_rebuild(const nfv::Request& request) {
   AdmissionDecision decision;
   const double b = request.bandwidth_mbps;
   const double demand = request.compute_demand_mhz();
@@ -50,10 +275,7 @@ AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
     NFVM_SPAN("online_cp/build_weighted_graph");
     graph::Subgraph filtered =
         graph::filter_edges(topo_->graph, [&](graph::EdgeId e) {
-          if (state_.residual_bandwidth(e) < b) return false;
-          const graph::Edge& ed = topo_->graph.edge(e);
-          return state_.residual_table_entries(ed.u) >= 1.0 &&
-                 state_.residual_table_entries(ed.v) >= 1.0;
+          return nfv::edge_eligible(state_, topo_->graph, e, b);
         });
     for (graph::EdgeId e = 0; e < filtered.graph.num_edges(); ++e) {
       filtered.graph.set_weight(e, edge_weight(filtered.original_edge[e]));
@@ -68,8 +290,8 @@ AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
     nfv::Footprint footprint;
   };
   std::optional<Candidate> best;
-  std::string_view reason = "no server has sufficient residual computing";
-  RejectCause cause = RejectCause::kCompute;
+  RejectTracker reject("no server has sufficient residual computing",
+                       RejectCause::kCompute);
   NFVM_OBS_ONLY(std::uint64_t candidates_evaluated = 0;)
 
   NFVM_SPAN("online_cp/server_scan");
@@ -77,10 +299,9 @@ AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
     if (state_.residual_compute(v) < demand) continue;
     const double wv = server_weight(v);
     if (wv >= sigma_v_) {
-      if (reason == "no server has sufficient residual computing") {
-        reason = "all candidate servers exceed the computing threshold";
-        cause = RejectCause::kThreshold;
-      }
+      reject.update(RejectTracker::kRankThreshold,
+                    "all candidate servers exceed the computing threshold",
+                    RejectCause::kThreshold);
       continue;
     }
     NFVM_OBS_ONLY(++candidates_evaluated;)
@@ -95,13 +316,15 @@ AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
     const graph::SteinerResult st =
         graph::steiner_tree(sub.graph, terminals, steiner_engine_);
     if (!st.connected) {
-      reason = "source, server and destinations are disconnected at b_k";
-      cause = RejectCause::kBandwidth;
+      reject.update(RejectTracker::kRankCandidate,
+                    "source, server and destinations are disconnected at b_k",
+                    RejectCause::kBandwidth);
       continue;
     }
     if (st.weight >= sigma_e_) {
-      reason = "every candidate tree exceeds the bandwidth threshold";
-      cause = RejectCause::kThreshold;
+      reject.update(RejectTracker::kRankCandidate,
+                    "every candidate tree exceeds the bandwidth threshold",
+                    RejectCause::kThreshold);
       continue;
     }
 
@@ -124,10 +347,13 @@ AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
     cand.tree.servers = {v};
     cand.tree.cost = cost;
 
-    std::map<graph::EdgeId, int> mult;  // physical ids
-    for (graph::EdgeId e : st.edges) ++mult[sub.original_edge[e]];
-    for (graph::EdgeId e : rooted.path_edges(v, meet)) ++mult[sub.original_edge[e]];
-    cand.tree.edge_uses.assign(mult.begin(), mult.end());
+    std::vector<graph::EdgeId> traversals;  // physical ids
+    traversals.reserve(st.edges.size());
+    for (graph::EdgeId e : st.edges) traversals.push_back(sub.original_edge[e]);
+    for (graph::EdgeId e : rooted.path_edges(v, meet)) {
+      traversals.push_back(sub.original_edge[e]);
+    }
+    cand.tree.edge_uses = accumulate_edge_uses(std::move(traversals));
 
     const std::vector<graph::VertexId> to_server =
         rooted.path_vertices(request.source, v);
@@ -143,16 +369,18 @@ AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
     }
 
     if (!meets_delay_bound(*topo_, request, cand.tree)) {
-      reason = "no candidate tree meets the delay bound";
-      cause = RejectCause::kDelay;
+      reject.update(RejectTracker::kRankCandidate,
+                    "no candidate tree meets the delay bound",
+                    RejectCause::kDelay);
       continue;
     }
     cand.footprint = cand.tree.footprint(request, topo_->graph);
     if (!state_.can_allocate(cand.footprint)) {
       // Double-traversed backhaul links can need 2 b_k; charge honestly and
       // skip candidates that no longer fit.
-      reason = "backhaul multiplicities exceed residual bandwidth";
-      cause = RejectCause::kBandwidth;
+      reject.update(RejectTracker::kRankCandidate,
+                    "backhaul multiplicities exceed residual bandwidth",
+                    RejectCause::kBandwidth);
       continue;
     }
     best = std::move(cand);
@@ -160,8 +388,8 @@ AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
   NFVM_COUNTER_ADD("core.online_cp.candidates_evaluated", candidates_evaluated);
 
   if (!best.has_value()) {
-    decision.reject_reason = std::string(reason);
-    decision.reject_cause = cause;
+    decision.reject_reason = std::string(reject.reason());
+    decision.reject_cause = reject.cause();
     return decision;
   }
   decision.admitted = true;

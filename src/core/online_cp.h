@@ -16,8 +16,11 @@
 // sigma_v = sigma_e = |V| - 1 (Theorem 2).
 #pragma once
 
+#include <optional>
+
 #include "core/cost_model.h"
 #include "core/online.h"
+#include "core/online_view.h"
 #include "graph/steiner.h"
 
 namespace nfvm::core {
@@ -35,6 +38,14 @@ struct OnlineCpOptions {
   bool linear_weights = false;
   /// Steiner approximation used per candidate server (paper: KMB).
   graph::SteinerEngine steiner_engine = graph::SteinerEngine::kKmb;
+  /// Admission fast path: keep a persistent incremental weighted view of the
+  /// network (patched after each admission instead of rebuilt per request)
+  /// and evaluate the server scan from one shared shortest-path tree per
+  /// terminal. Bit-identical decisions to the rebuild path at any thread
+  /// count; only effective with the KMB Steiner engine (other engines fall
+  /// back to the rebuild path). See docs/performance.md, "The online fast
+  /// path".
+  bool incremental_view = true;
 };
 
 class OnlineCp final : public OnlineAlgorithm {
@@ -49,8 +60,16 @@ class OnlineCp final : public OnlineAlgorithm {
 
  protected:
   AdmissionDecision try_admit(const nfv::Request& request) override;
+  void after_allocate(const nfv::Footprint& footprint) override;
+  void after_release(const nfv::Footprint& footprint) override;
 
  private:
+  /// Legacy path: rebuild the filtered weighted subgraph per request and run
+  /// one KMB (|D_k| + 2 Dijkstras) per candidate server.
+  AdmissionDecision try_admit_rebuild(const nfv::Request& request);
+  /// Fast path: patch-maintained weighted view + shared-closure server scan
+  /// (one shortest-path tree per terminal for the whole scan).
+  AdmissionDecision try_admit_fast(const nfv::Request& request);
   double edge_weight(graph::EdgeId e) const;
   double server_weight(graph::VertexId v) const;
 
@@ -60,6 +79,9 @@ class OnlineCp final : public OnlineAlgorithm {
   bool linear_weights_;
   graph::SteinerEngine steiner_engine_;
   std::string name_;
+  /// Engaged iff the fast path is active (options.incremental_view with the
+  /// KMB engine).
+  std::optional<OnlineWeightedView> view_;
 };
 
 }  // namespace nfvm::core

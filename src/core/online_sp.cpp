@@ -1,16 +1,166 @@
 #include "core/online_sp.h"
 
-#include <optional>
+#include <vector>
 
 #include "core/delay.h"
 #include "graph/dijkstra.h"
 #include "graph/subgraph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace nfvm::core {
 
-OnlineSp::OnlineSp(const topo::Topology& topo) : OnlineAlgorithm(topo) {}
+OnlineSp::OnlineSp(const topo::Topology& topo) : OnlineSp(topo, OnlineSpOptions{}) {}
+
+OnlineSp::OnlineSp(const topo::Topology& topo, const OnlineSpOptions& options)
+    : OnlineAlgorithm(topo) {
+  if (options.incremental_view) {
+    // The scan's Dijkstras run on the physical link weights (the per-request
+    // pruning only removes edges, it never reweights), so the view's weight
+    // function is residual-independent: admissions keep every cached tree.
+    view_.emplace(topo, [this](graph::EdgeId e) { return topo_->graph.weight(e); });
+  }
+}
+
+void OnlineSp::after_allocate(const nfv::Footprint& footprint) {
+  if (view_.has_value()) view_->apply_allocate(footprint);
+}
+
+void OnlineSp::after_release(const nfv::Footprint& footprint) {
+  if (view_.has_value()) view_->apply_release(footprint);
+}
 
 AdmissionDecision OnlineSp::try_admit(const nfv::Request& request) {
+  if (view_.has_value()) return try_admit_fast(request);
+  return try_admit_rebuild(request);
+}
+
+namespace {
+
+/// Per-candidate evaluation written by the parallel scan, replayed
+/// sequentially in true server order for reason/winner parity with the
+/// rebuild path. The delay check and footprint are deferred to the replay
+/// loop, which (like the rebuild scan) only pays them for candidates
+/// surviving the cost prune.
+struct SpCandidateSlot {
+  bool server_reachable = false;
+  bool dests_reachable = false;
+  double cost = 0.0;
+  PseudoMulticastTree tree;
+};
+
+}  // namespace
+
+AdmissionDecision OnlineSp::try_admit_fast(const nfv::Request& request) {
+  AdmissionDecision decision;
+  const double b = request.bandwidth_mbps;
+  const double demand = request.compute_demand_mhz();
+
+  RejectTracker reject("no server has sufficient residual computing",
+                       RejectCause::kCompute);
+
+  // Phase A: the compute gate (the only resource pruning done per server
+  // before path evaluation).
+  std::vector<graph::VertexId> eval;
+  for (graph::VertexId v : topo_->servers) {
+    if (state_.residual_compute(v) < demand) continue;
+    eval.push_back(v);
+  }
+  if (eval.empty()) {
+    decision.reject_reason = std::string(reject.reason());
+    decision.reject_cause = reject.cause();
+    return decision;
+  }
+  NFVM_COUNTER_INC("core.online.closure_scans");
+
+  // Phase B: one shortest-path tree per terminal (source + candidate
+  // servers), served from / primed into the view's cache.
+  std::vector<graph::VertexId> sources;
+  sources.reserve(1 + eval.size());
+  sources.push_back(request.source);
+  sources.insert(sources.end(), eval.begin(), eval.end());
+  const auto trees = view_->trees_for(state_, sources, b);
+  const graph::ShortestPaths& from_source = *trees[0];
+
+  // Phase C: evaluate candidates in parallel, each writing only its slot.
+  std::vector<SpCandidateSlot> slots(eval.size());
+  util::ThreadPool::global().parallel_for(eval.size(), [&](std::size_t i) {
+    const graph::VertexId v = eval[i];
+    SpCandidateSlot& slot = slots[i];
+    slot.server_reachable = from_source.reachable(v);
+    if (!slot.server_reachable) return;
+    const graph::ShortestPaths& from_server = *trees[1 + i];
+    slot.dests_reachable = true;
+    for (graph::VertexId d : request.destinations) {
+      if (!from_server.reachable(d)) {
+        slot.dests_reachable = false;
+        break;
+      }
+    }
+    if (!slot.dests_reachable) return;
+
+    // Edge ids are physical already (the view mirrors the topology), so no
+    // subgraph remap is needed.
+    slot.tree = make_one_server_spt_tree(request, v, from_source, from_server,
+                                         /*to_physical=*/nullptr, /*cost=*/0.0);
+    // Cost = number of link traversals (unit weights on links).
+    slot.tree.cost = static_cast<double>(slot.tree.total_link_traversals());
+    slot.cost = slot.tree.cost;
+  });
+
+  // Phase D: sequential replay — the same branch ladder as the rebuild scan
+  // (note the cost prune sits BEFORE the delay check, silently). Delay and
+  // footprint are only paid by prune survivors, like the rebuild scan.
+  struct Candidate {
+    double cost = 0.0;
+    PseudoMulticastTree tree;
+    nfv::Footprint footprint;
+  };
+  std::optional<Candidate> best;
+  for (std::size_t i = 0; i < eval.size(); ++i) {
+    SpCandidateSlot& slot = slots[i];
+    if (!slot.server_reachable) {
+      reject.update(RejectTracker::kRankCandidate,
+                    "server unreachable at the demanded bandwidth",
+                    RejectCause::kBandwidth);
+      continue;
+    }
+    if (!slot.dests_reachable) {
+      reject.update(RejectTracker::kRankCandidate,
+                    "a destination is unreachable at the demanded bandwidth",
+                    RejectCause::kBandwidth);
+      continue;
+    }
+    if (best.has_value() && slot.cost >= best->cost) continue;
+    if (!meets_delay_bound(*topo_, request, slot.tree)) {
+      reject.update(RejectTracker::kRankCandidate,
+                    "no candidate tree meets the delay bound",
+                    RejectCause::kDelay);
+      continue;
+    }
+    nfv::Footprint footprint = slot.tree.footprint(request, topo_->graph);
+    if (!state_.can_allocate(footprint)) {
+      reject.update(RejectTracker::kRankCandidate,
+                    "path overlaps exceed residual bandwidth",
+                    RejectCause::kBandwidth);
+      continue;
+    }
+    best = Candidate{slot.cost, std::move(slot.tree), std::move(footprint)};
+  }
+
+  if (!best.has_value()) {
+    decision.reject_reason = std::string(reject.reason());
+    decision.reject_cause = reject.cause();
+    return decision;
+  }
+  decision.admitted = true;
+  decision.tree = std::move(best->tree);
+  decision.footprint = std::move(best->footprint);
+  return decision;
+}
+
+AdmissionDecision OnlineSp::try_admit_rebuild(const nfv::Request& request) {
   AdmissionDecision decision;
   const double b = request.bandwidth_mbps;
   const double demand = request.compute_demand_mhz();
@@ -18,10 +168,7 @@ AdmissionDecision OnlineSp::try_admit(const nfv::Request& request) {
   // Remove links and servers without enough available resources; all
   // remaining links weigh 1.
   const graph::Subgraph sub = graph::filter_edges(topo_->graph, [&](graph::EdgeId e) {
-    if (state_.residual_bandwidth(e) < b) return false;
-    const graph::Edge& ed = topo_->graph.edge(e);
-    return state_.residual_table_entries(ed.u) >= 1.0 &&
-           state_.residual_table_entries(ed.v) >= 1.0;
+    return nfv::edge_eligible(state_, topo_->graph, e, b);
   });
 
   const graph::ShortestPaths from_source = graph::dijkstra(sub.graph, request.source);
@@ -32,14 +179,15 @@ AdmissionDecision OnlineSp::try_admit(const nfv::Request& request) {
     nfv::Footprint footprint;
   };
   std::optional<Candidate> best;
-  std::string_view reason = "no server has sufficient residual computing";
-  RejectCause cause = RejectCause::kCompute;
+  RejectTracker reject("no server has sufficient residual computing",
+                       RejectCause::kCompute);
 
   for (graph::VertexId v : topo_->servers) {
     if (state_.residual_compute(v) < demand) continue;
     if (!from_source.reachable(v)) {
-      reason = "server unreachable at the demanded bandwidth";
-      cause = RejectCause::kBandwidth;
+      reject.update(RejectTracker::kRankCandidate,
+                    "server unreachable at the demanded bandwidth",
+                    RejectCause::kBandwidth);
       continue;
     }
     const graph::ShortestPaths from_server = graph::dijkstra(sub.graph, v);
@@ -51,8 +199,9 @@ AdmissionDecision OnlineSp::try_admit(const nfv::Request& request) {
       }
     }
     if (!all_reachable) {
-      reason = "a destination is unreachable at the demanded bandwidth";
-      cause = RejectCause::kBandwidth;
+      reject.update(RejectTracker::kRankCandidate,
+                    "a destination is unreachable at the demanded bandwidth",
+                    RejectCause::kBandwidth);
       continue;
     }
 
@@ -62,23 +211,25 @@ AdmissionDecision OnlineSp::try_admit(const nfv::Request& request) {
     tree.cost = static_cast<double>(tree.total_link_traversals());
     if (best.has_value() && tree.cost >= best->cost) continue;
     if (!meets_delay_bound(*topo_, request, tree)) {
-      reason = "no candidate tree meets the delay bound";
-      cause = RejectCause::kDelay;
+      reject.update(RejectTracker::kRankCandidate,
+                    "no candidate tree meets the delay bound",
+                    RejectCause::kDelay);
       continue;
     }
 
     nfv::Footprint footprint = tree.footprint(request, topo_->graph);
     if (!state_.can_allocate(footprint)) {
-      reason = "path overlaps exceed residual bandwidth";
-      cause = RejectCause::kBandwidth;
+      reject.update(RejectTracker::kRankCandidate,
+                    "path overlaps exceed residual bandwidth",
+                    RejectCause::kBandwidth);
       continue;
     }
     best = Candidate{tree.cost, std::move(tree), std::move(footprint)};
   }
 
   if (!best.has_value()) {
-    decision.reject_reason = std::string(reason);
-    decision.reject_cause = cause;
+    decision.reject_reason = std::string(reject.reason());
+    decision.reject_cause = reject.cause();
     return decision;
   }
   decision.admitted = true;

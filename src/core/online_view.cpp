@@ -1,0 +1,125 @@
+#include "core/online_view.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/dijkstra.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace nfvm::core {
+
+OnlineWeightedView::OnlineWeightedView(const topo::Topology& topo,
+                                       EdgeWeightFn edge_weight)
+    : topo_(&topo),
+      edge_weight_(std::move(edge_weight)),
+      view_(topo.graph.num_vertices()) {
+  for (graph::EdgeId e = 0; e < topo_->graph.num_edges(); ++e) {
+    const graph::Edge& ed = topo_->graph.edge(e);
+    view_.add_edge(ed.u, ed.v, edge_weight_(e));
+  }
+  NFVM_COUNTER_INC("core.online.view_rebuilds");
+}
+
+void OnlineWeightedView::rebuild() {
+  NFVM_SPAN("online/view_rebuild");
+  for (graph::EdgeId e = 0; e < view_.num_edges(); ++e) {
+    const double w = edge_weight_(e);
+    if (view_.weight(e) != w) view_.set_weight(e, w);
+  }
+  cache_.clear();
+  built_at_b_.clear();
+  NFVM_COUNTER_INC("core.online.view_rebuilds");
+}
+
+void OnlineWeightedView::apply_allocate(const nfv::Footprint& footprint) {
+  NFVM_SPAN("online/view_patch");
+  std::vector<graph::EdgeId> changed;
+  changed.reserve(footprint.bandwidth.size());
+  for (const auto& [e, amount] : footprint.bandwidth) {
+    const double w = edge_weight_(e);
+    if (view_.weight(e) != w) {
+      view_.set_weight(e, w);
+      changed.push_back(e);
+    }
+  }
+  NFVM_COUNTER_INC("core.online.view_patches");
+  if (changed.empty()) return;  // no weight moved: cached trees stay exact
+  std::sort(changed.begin(), changed.end());
+  // Eager weight-invalidation: drop exactly the trees containing a patched
+  // edge. Surviving trees are weight-clean, so lookups only re-check
+  // eligibility (see the era invariant in the header).
+  cache_.rebind_keep(view_, [&](graph::VertexId, const graph::ShortestPaths& tree) {
+    for (graph::EdgeId pe : tree.parent_edge) {
+      if (pe != graph::kInvalidEdge &&
+          std::binary_search(changed.begin(), changed.end(), pe)) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void OnlineWeightedView::apply_release(const nfv::Footprint& footprint) {
+  NFVM_SPAN("online/view_release");
+  for (const auto& [e, amount] : footprint.bandwidth) {
+    const double w = edge_weight_(e);
+    if (view_.weight(e) != w) view_.set_weight(e, w);
+  }
+  // Residuals grew back: previously ineligible/expensive edges may now lie
+  // on shorter paths, which per-edge validation cannot detect. New era.
+  cache_.clear();
+  built_at_b_.clear();
+  NFVM_COUNTER_INC("core.online.view_rebuilds");
+}
+
+bool OnlineWeightedView::tree_valid(const nfv::ResourceState& state,
+                                    graph::VertexId source,
+                                    const graph::ShortestPaths& tree,
+                                    double b) const {
+  const auto it = built_at_b_.find(source);
+  if (it == built_at_b_.end() || b < it->second) return false;
+  for (graph::EdgeId pe : tree.parent_edge) {
+    if (pe != graph::kInvalidEdge &&
+        !nfv::edge_eligible(state, topo_->graph, pe, b)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::shared_ptr<const graph::ShortestPaths>>
+OnlineWeightedView::trees_for(const nfv::ResourceState& state,
+                              std::span<const graph::VertexId> sources,
+                              double b) {
+  NFVM_SPAN("online/view_trees");
+  std::vector<std::shared_ptr<const graph::ShortestPaths>> trees(sources.size());
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    // A repeated source lands in `missing` more than once before the first
+    // computation is cached; the slots get identical trees either way.
+    auto cached = cache_.try_get(view_, sources[i]);
+    if (cached && tree_valid(state, sources[i], *cached, b)) {
+      trees[i] = std::move(cached);
+    } else {
+      missing.push_back(i);
+    }
+  }
+  const auto eligible = [&](graph::EdgeId e) {
+    return nfv::edge_eligible(state, topo_->graph, e, b);
+  };
+  util::ThreadPool::global().parallel_for(missing.size(), [&](std::size_t j) {
+    const std::size_t i = missing[j];
+    trees[i] = std::make_shared<const graph::ShortestPaths>(
+        graph::dijkstra_filtered(view_, sources[i], eligible));
+  });
+  // Insert in `sources` order so cache state is thread-count independent.
+  for (std::size_t i : missing) {
+    cache_.put(view_, sources[i], trees[i]);
+    built_at_b_[sources[i]] = b;
+  }
+  return trees;
+}
+
+}  // namespace nfvm::core

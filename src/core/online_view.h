@@ -1,0 +1,98 @@
+// Persistent weighted working view for the online admission fast path.
+//
+// Online_CP's weighted graph G_k (w_e = beta^{u_e} - 1) is a pure function
+// of each link's residual bandwidth, so after an admission only the edges of
+// the admitted footprint change weight. Instead of rebuilding the filtered,
+// reweighted graph from scratch for every request, this class keeps one
+// Graph mirroring the physical topology edge-for-edge (edge id == physical
+// edge id) and *patches* the touched weights after each allocation.
+//
+// Bandwidth/table eligibility is deliberately NOT baked into the view:
+// queries run a filtered Dijkstra with the per-request predicate
+// nfv::edge_eligible(state, g, e, b_k). That is what makes a shortest-path
+// tree computed for one request reusable by later ones.
+//
+// Cached-tree reuse invariant (the correctness core — see
+// docs/performance.md, "The online fast path"): within an *era* (no release
+// since the last rebuild), residuals only shrink, so weights only grow and
+// the eligible edge set at threshold b' is a subset of the set at b_T <= b'.
+// A cached tree from `source` is therefore bit-identical to a freshly
+// computed filtered Dijkstra iff
+//   (1) it was computed this era,
+//   (2) b' >= b_T (the threshold recorded when it was computed), and
+//   (3) every tree edge is still eligible at b' and weight-unchanged.
+// Condition (3)'s weight half is enforced eagerly: apply_allocate evicts
+// exactly the cached trees containing a patched edge (SpCache::rebind_keep),
+// so surviving entries are weight-clean by induction and the per-lookup
+// validation only walks eligibility. Releases break the era's monotonicity
+// (residuals grow back, shorter paths may appear), so apply_release drops
+// the whole cache.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/sp_engine.h"
+#include "nfv/resources.h"
+#include "topology/topology.h"
+
+namespace nfvm::core {
+
+class OnlineWeightedView {
+ public:
+  /// `edge_weight(e)` must be a pure function of edge e's CURRENT residual
+  /// state (it is called for every edge at construction / rebuild and for
+  /// the touched edges after allocations and releases). The topology must
+  /// outlive the view.
+  using EdgeWeightFn = std::function<double(graph::EdgeId)>;
+  OnlineWeightedView(const topo::Topology& topo, EdgeWeightFn edge_weight);
+
+  /// The weighted mirror graph. Edge ids coincide with physical edge ids
+  /// and adjacency order matches the topology graph, so trees computed here
+  /// need no id remapping.
+  const graph::Graph& graph() const noexcept { return view_; }
+
+  /// Recomputes every edge weight and drops all cached trees
+  /// (`core.online.view_rebuilds`). Constructor-equivalent reset.
+  void rebuild();
+
+  /// Patches the weights of the footprint's edges after an admission and
+  /// evicts exactly the cached trees containing a changed edge
+  /// (`core.online.view_patches`).
+  void apply_allocate(const nfv::Footprint& footprint);
+
+  /// Patches the footprint's edge weights after a release and drops the
+  /// whole tree cache: a release starts a new era (counted by
+  /// `core.online.view_rebuilds`).
+  void apply_release(const nfv::Footprint& footprint);
+
+  /// Shortest-path trees from each of `sources` on the view, restricted to
+  /// edges eligible at bandwidth threshold `b` (nfv::edge_eligible against
+  /// `state`). Cached trees are reused only when the era invariant above
+  /// guarantees bit-identity with a fresh filtered Dijkstra; the misses are
+  /// computed in parallel on util::ThreadPool::global() and inserted in
+  /// `sources` order, so results and cache state are thread-count
+  /// independent. Repeated sources yield identical trees in each slot.
+  std::vector<std::shared_ptr<const graph::ShortestPaths>> trees_for(
+      const nfv::ResourceState& state, std::span<const graph::VertexId> sources,
+      double b);
+
+ private:
+  bool tree_valid(const nfv::ResourceState& state, graph::VertexId source,
+                  const graph::ShortestPaths& tree, double b) const;
+
+  const topo::Topology* topo_;
+  EdgeWeightFn edge_weight_;
+  graph::Graph view_;
+  graph::SpCache cache_;
+  /// b_T per cached source: the eligibility threshold the tree was computed
+  /// at. Stale entries for evicted sources are harmless (overwritten on the
+  /// next insert, ignored when try_get misses).
+  std::unordered_map<graph::VertexId, double> built_at_b_;
+};
+
+}  // namespace nfvm::core

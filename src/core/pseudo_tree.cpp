@@ -55,6 +55,19 @@ nfv::Footprint PseudoMulticastTree::footprint(const nfv::Request& request) const
   return fp;
 }
 
+std::vector<std::pair<graph::EdgeId, int>> accumulate_edge_uses(
+    std::vector<graph::EdgeId> traversals) {
+  std::sort(traversals.begin(), traversals.end());
+  std::vector<std::pair<graph::EdgeId, int>> uses;
+  for (std::size_t i = 0; i < traversals.size();) {
+    std::size_t j = i;
+    while (j < traversals.size() && traversals[j] == traversals[i]) ++j;
+    uses.emplace_back(traversals[i], static_cast<int>(j - i));
+    i = j;
+  }
+  return uses;
+}
+
 PseudoMulticastTree make_one_server_spt_tree(
     const nfv::Request& request, graph::VertexId server,
     const graph::ShortestPaths& from_source, const graph::ShortestPaths& from_server,

@@ -79,6 +79,14 @@ PseudoMulticastTree make_one_server_spt_tree(
     const graph::ShortestPaths& from_source, const graph::ShortestPaths& from_server,
     const std::vector<graph::EdgeId>* to_physical, double cost);
 
+/// Sorted-vector accumulator for `edge_uses`: sorts the traversal list
+/// (one entry per traversal, duplicates allowed) and run-length-counts it
+/// into (edge, multiplicity) pairs with ascending distinct ids — the same
+/// output as a std::map<EdgeId, int> accumulation without the per-node
+/// allocations.
+std::vector<std::pair<graph::EdgeId, int>> accumulate_edge_uses(
+    std::vector<graph::EdgeId> traversals);
+
 /// Structural validation of a pseudo-multicast tree against the physical
 /// graph and the request:
 ///  - exactly one route per destination, each a contiguous walk in `g`

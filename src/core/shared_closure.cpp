@@ -1,0 +1,204 @@
+#include "core/shared_closure.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace nfvm::core {
+
+const graph::ShortestPaths& TerminalTables::from(graph::VertexId v) const {
+  const graph::ShortestPaths* table = by_vertex_.at(v);
+  if (table == nullptr) {
+    throw std::logic_error("TerminalTables: no shortest-path table for vertex");
+  }
+  return *table;
+}
+
+SharedOracle build_shared_oracle(const WorkContext& ctx,
+                                 const nfv::Request& request) {
+  NFVM_SPAN("appro_multi/build_shared_oracle");
+  SharedOracle oracle;
+  oracle.ctx = &ctx;
+  oracle.request = &request;
+  oracle.tables = TerminalTables(ctx.cost_graph.num_vertices());
+  // One parallel fan-out over destination + server trees, primed into (and
+  // served from) the context's shared SP-tree cache.
+  std::vector<graph::VertexId> sources(request.destinations.begin(),
+                                       request.destinations.end());
+  sources.insert(sources.end(), ctx.eligible_servers.begin(),
+                 ctx.eligible_servers.end());
+  auto trees = context_trees(ctx, sources);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    oracle.tables.set(sources[i], std::move(trees[i]));
+  }
+  // Registered last so the source always resolves to ctx.sp_source, even
+  // when it doubles as a destination or an eligible server.
+  oracle.tables.set_unowned(request.source, &ctx.sp_source);
+  return oracle;
+}
+
+SharedComboSolver::SharedComboSolver(const SharedOracle& oracle,
+                                     const AuxOverlay& aux)
+    : oracle_(oracle), aux_(aux), request_(*oracle.request) {
+  // Zero-cost star: the source plus combo servers adjacent to it.
+  star_.push_back({request_.source, graph::kInvalidEdge});
+  for (const graph::Adjacency& adj :
+       oracle_.ctx->cost_graph.neighbors(request_.source)) {
+    if (std::find(aux.combo.begin(), aux.combo.end(), adj.neighbor) ==
+        aux.combo.end()) {
+      continue;
+    }
+    bool seen = false;
+    for (const StarEntry& e : star_) seen |= (e.vertex == adj.neighbor);
+    if (!seen) star_.push_back({adj.neighbor, adj.edge});
+  }
+  via_sprime_.resize(request_.destinations.size());
+  for (std::size_t j = 0; j < request_.destinations.size(); ++j) {
+    via_sprime_[j] = best_via_sprime(request_.destinations[j]);
+  }
+}
+
+graph::SteinerResult SharedComboSolver::solve() {
+  const std::size_t t = request_.destinations.size() + 1;  // s' + dests
+  std::vector<bool> in_tree(t, false);
+  std::vector<double> best(t, graph::kInfiniteDistance);
+  std::vector<std::size_t> best_from(t, 0);
+  best[0] = 0.0;
+  std::vector<std::pair<std::size_t, std::size_t>> mst;
+  for (std::size_t step = 0; step < t; ++step) {
+    std::size_t pick = t;
+    for (std::size_t i = 0; i < t; ++i) {
+      if (!in_tree[i] && (pick == t || best[i] < best[pick])) pick = i;
+    }
+    if (best[pick] >= graph::kInfiniteDistance) {
+      return graph::SteinerResult{};  // disconnected closure
+    }
+    in_tree[pick] = true;
+    if (pick != 0) mst.emplace_back(best_from[pick], pick);
+    for (std::size_t j = 0; j < t; ++j) {
+      if (in_tree[j]) continue;
+      const double d = closure_distance(pick, j);
+      if (d < best[j]) {
+        best[j] = d;
+        best_from[j] = pick;
+      }
+    }
+  }
+
+  edge_set_.clear();
+  for (const auto& [a, b] : mst) expand(a, b);
+  std::vector<graph::EdgeRecord> union_edges;
+  union_edges.reserve(edge_set_.size());
+  for (graph::EdgeId e : edge_set_) union_edges.push_back(aux_.record(e));
+
+  std::vector<graph::VertexId> terminals;
+  terminals.push_back(aux_.virtual_source);
+  terminals.insert(terminals.end(), request_.destinations.begin(),
+                   request_.destinations.end());
+  return graph::kmb_finish(aux_.num_vertices(), union_edges, terminals);
+}
+
+SharedComboSolver::Via SharedComboSolver::vertex_distance(
+    const graph::ShortestPaths& sp_x, graph::VertexId y) const {
+  Via best;
+  best.value = sp_x.dist[y];
+  double in = graph::kInfiniteDistance;
+  graph::VertexId pb = graph::kInvalidVertex;
+  for (const StarEntry& e : star_) {
+    if (sp_x.dist[e.vertex] < in) {
+      in = sp_x.dist[e.vertex];
+      pb = e.vertex;
+    }
+  }
+  double out = graph::kInfiniteDistance;
+  graph::VertexId qb = graph::kInvalidVertex;
+  for (const StarEntry& e : star_) {
+    const double d = oracle_.from(e.vertex).dist[y];
+    if (d < out) {
+      out = d;
+      qb = e.vertex;
+    }
+  }
+  if (in + out < best.value) {
+    best.value = in + out;
+    best.p = pb;
+    best.q = qb;
+  }
+  return best;
+}
+
+SharedComboSolver::ViaSprime SharedComboSolver::best_via_sprime(
+    graph::VertexId y) const {
+  ViaSprime best;
+  for (std::size_t i = 0; i < aux_.combo.size(); ++i) {
+    const graph::VertexId v = aux_.combo[i];
+    const double virt = aux_.virtual_weight[i];
+    const Via via = vertex_distance(oracle_.from(v), y);
+    if (virt + via.value < best.value) {
+      best.value = virt + via.value;
+      best.server = v;
+      best.inner = via;
+    }
+  }
+  return best;
+}
+
+/// Closure distance between terminal indices (0 = s', j >= 1 = dest j-1).
+double SharedComboSolver::closure_distance(std::size_t a, std::size_t b) const {
+  if (a > b) std::swap(a, b);
+  if (a == 0) return via_sprime_[b - 1].value;
+  const graph::VertexId x = request_.destinations[a - 1];
+  const graph::VertexId y = request_.destinations[b - 1];
+  const double direct = vertex_distance(oracle_.from(x), y).value;
+  const double via_virtual = via_sprime_[a - 1].value + via_sprime_[b - 1].value;
+  return std::min(direct, via_virtual);
+}
+
+void SharedComboSolver::emit_via(const graph::ShortestPaths& sp_x,
+                                 graph::VertexId y, const Via& via) {
+  if (via.p == graph::kInvalidVertex) {
+    for (graph::EdgeId e : graph::path_edges(sp_x, y)) edge_set_.insert(e);
+    return;
+  }
+  for (graph::EdgeId e : graph::path_edges(sp_x, via.p)) edge_set_.insert(e);
+  for (const StarEntry& e : star_) {
+    if ((e.vertex == via.p || e.vertex == via.q) &&
+        e.edge != graph::kInvalidEdge) {
+      edge_set_.insert(e.edge);
+    }
+  }
+  for (graph::EdgeId e : graph::path_edges(oracle_.from(via.q), y)) {
+    edge_set_.insert(e);
+  }
+}
+
+void SharedComboSolver::emit_sprime(std::size_t dest_index) {
+  const ViaSprime& vs = via_sprime_[dest_index];
+  const std::size_t combo_index = static_cast<std::size_t>(
+      std::find(aux_.combo.begin(), aux_.combo.end(), vs.server) -
+      aux_.combo.begin());
+  edge_set_.insert(static_cast<graph::EdgeId>(aux_.num_real_edges + combo_index));
+  emit_via(oracle_.from(vs.server), request_.destinations[dest_index], vs.inner);
+}
+
+void SharedComboSolver::expand(std::size_t a, std::size_t b) {
+  if (a > b) std::swap(a, b);
+  if (a == 0) {
+    emit_sprime(b - 1);
+    return;
+  }
+  const graph::VertexId x = request_.destinations[a - 1];
+  const graph::VertexId y = request_.destinations[b - 1];
+  const Via direct = vertex_distance(oracle_.from(x), y);
+  const double via_virtual = via_sprime_[a - 1].value + via_sprime_[b - 1].value;
+  if (via_virtual < direct.value) {
+    emit_sprime(a - 1);
+    emit_sprime(b - 1);
+  } else {
+    emit_via(oracle_.from(x), y, direct);
+  }
+}
+
+}  // namespace nfvm::core

@@ -1,0 +1,124 @@
+// Shared-Dijkstra closure machinery for server scans.
+//
+// Both Appro_Multi's shared engine and the online fast paths evaluate many
+// candidate trees whose metric closures are all assembled from the SAME small
+// family of shortest-path trees: one per terminal (source, destinations) plus
+// one per candidate server. This header factors that family out:
+//
+//   * TerminalTables — a per-request registry of shortest-path tables keyed
+//     by root vertex, pinning shared trees so cache eviction cannot free them
+//     mid-scan.
+//   * SharedOracle / build_shared_oracle — the Appro_Multi per-request
+//     tables (source + destinations + eligible servers), primed in one
+//     parallel fan-out through the WorkContext SP-tree cache.
+//   * SharedComboSolver — evaluates one server combination's Steiner tree
+//     from the tables over an AuxOverlay, never materializing the auxiliary
+//     graph. Distances in G_k^i decompose into
+//       d_i(x, y) = min( d_G'(x, y),                 # plain working graph
+//                        star_in(x) + star_out(y),   # through the zero-cost
+//                                                    # star {s_k} ∪ (combo ∩ N(s_k))
+//                        d_i(s', x) + d_i(s', y) )   # through the virtual source
+//     with d_i(s', y) = min over v in combo of (w_virtual(v) + d_i(v, y)).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/aux_graph.h"
+#include "graph/dijkstra.h"
+#include "graph/steiner.h"
+#include "nfv/request.h"
+
+namespace nfvm::core {
+
+/// Shortest-path tables keyed by root vertex. Shared trees (typically owned
+/// by an SpCache) are pinned via shared_ptr; borrowed tables (set_unowned)
+/// must outlive the registry. Later set() calls for the same vertex override
+/// earlier ones.
+class TerminalTables {
+ public:
+  TerminalTables() = default;
+  explicit TerminalTables(std::size_t num_vertices)
+      : by_vertex_(num_vertices, nullptr) {}
+
+  void set(graph::VertexId v, std::shared_ptr<const graph::ShortestPaths> tree) {
+    by_vertex_.at(v) = tree.get();
+    pinned_.push_back(std::move(tree));
+  }
+  void set_unowned(graph::VertexId v, const graph::ShortestPaths* tree) {
+    by_vertex_.at(v) = tree;
+  }
+  bool has(graph::VertexId v) const { return by_vertex_.at(v) != nullptr; }
+
+  /// Throws std::logic_error when no table was registered for `v`.
+  const graph::ShortestPaths& from(graph::VertexId v) const;
+
+ private:
+  std::vector<const graph::ShortestPaths*> by_vertex_;
+  std::vector<std::shared_ptr<const graph::ShortestPaths>> pinned_;
+};
+
+/// Per-request shortest-path tables on the working graph: the source tree
+/// plus one tree per destination and per eligible server.
+struct SharedOracle {
+  const WorkContext* ctx = nullptr;
+  const nfv::Request* request = nullptr;
+  TerminalTables tables;
+
+  const graph::ShortestPaths& from(graph::VertexId v) const {
+    return tables.from(v);
+  }
+};
+
+/// Primes the oracle's tables in one parallel fan-out (context_trees) through
+/// ctx.sp_cache.
+SharedOracle build_shared_oracle(const WorkContext& ctx,
+                                 const nfv::Request& request);
+
+/// Evaluates one combination via the shared tables; returns a Steiner tree
+/// in auxiliary-graph edge ids. Deterministic: identical output to running
+/// KMB inside the materialized auxiliary graph.
+class SharedComboSolver {
+ public:
+  SharedComboSolver(const SharedOracle& oracle, const AuxOverlay& aux);
+
+  graph::SteinerResult solve();
+
+ private:
+  struct StarEntry {
+    graph::VertexId vertex;
+    graph::EdgeId edge;  // working-graph edge to the source (invalid for it)
+  };
+  /// A vertex-to-vertex distance with the realized routing choice:
+  /// p == kInvalidVertex means the direct working-graph path, otherwise the
+  /// path enters the zero-cost star at p and leaves it at q.
+  struct Via {
+    double value = graph::kInfiniteDistance;
+    graph::VertexId p = graph::kInvalidVertex;
+    graph::VertexId q = graph::kInvalidVertex;
+  };
+  /// d_i(s', y) with the realized server.
+  struct ViaSprime {
+    double value = graph::kInfiniteDistance;
+    graph::VertexId server = graph::kInvalidVertex;
+    Via inner;
+  };
+
+  Via vertex_distance(const graph::ShortestPaths& sp_x, graph::VertexId y) const;
+  ViaSprime best_via_sprime(graph::VertexId y) const;
+  double closure_distance(std::size_t a, std::size_t b) const;
+  void emit_via(const graph::ShortestPaths& sp_x, graph::VertexId y,
+                const Via& via);
+  void emit_sprime(std::size_t dest_index);
+  void expand(std::size_t a, std::size_t b);
+
+  const SharedOracle& oracle_;
+  const AuxOverlay& aux_;
+  const nfv::Request& request_;
+  std::vector<StarEntry> star_;
+  std::vector<ViaSprime> via_sprime_;
+  std::set<graph::EdgeId> edge_set_;  // ascending iteration = deterministic
+};
+
+}  // namespace nfvm::core

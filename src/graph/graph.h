@@ -34,6 +34,16 @@ struct Adjacency {
   EdgeId edge = kInvalidEdge;
 };
 
+/// A self-contained edge description (id, endpoints, weight). Lets the tree
+/// and Steiner machinery operate on implicit graphs — e.g. the Appro_Multi
+/// auxiliary-graph overlay — without materializing a Graph per query.
+struct EdgeRecord {
+  EdgeId id = kInvalidEdge;
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  double weight = 1.0;
+};
+
 class Graph {
  public:
   Graph() = default;

@@ -251,6 +251,25 @@ void SpCache::put(const Graph& g, VertexId source,
   }
 }
 
+void SpCache::rebind_keep(
+    const Graph& g,
+    const std::function<bool(VertexId, const ShortestPaths&)>& keep) {
+  NFVM_OBS_ONLY(std::uint64_t dropped = 0;)
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (keep(it->first, *it->second)) {
+      ++it;
+      continue;
+    }
+    index_.erase(it->first);
+    it = lru_.erase(it);
+    NFVM_OBS_ONLY(++dropped;)
+  }
+  uid_ = g.uid();
+  epoch_ = g.epoch();
+  bound_ = true;
+  NFVM_COUNTER_ADD("graph.spcache.keyed_evictions", dropped);
+}
+
 void SpCache::clear() {
   lru_.clear();
   index_.clear();

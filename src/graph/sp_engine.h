@@ -143,6 +143,18 @@ class SpCache {
   void put(const Graph& g, VertexId source,
            std::shared_ptr<const ShortestPaths> paths);
 
+  /// Keyed invalidation: rebinds the cache to the *current* (uid, epoch) of
+  /// `g` without the wholesale flush of the implicit sync(). Entries for
+  /// which `keep(source, tree)` returns true survive under the new key (LRU
+  /// order preserved); the rest are evicted and counted by
+  /// `graph.spcache.keyed_evictions`. For callers that mutate the graph in a
+  /// controlled way — e.g. the online incremental view patching a few edge
+  /// weights after an admission — and can prove exactly which cached trees
+  /// the mutation left intact. The caller owns that proof: a kept entry is
+  /// served as-is on the next try_get.
+  void rebind_keep(const Graph& g,
+                   const std::function<bool(VertexId, const ShortestPaths&)>& keep);
+
   void clear();
   std::size_t size() const noexcept { return index_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }

@@ -83,28 +83,16 @@ double edges_weight(const Graph& g, std::span<const EdgeId> edges) {
   return w;
 }
 
-}  // namespace
-
-SteinerResult kmb_steiner(const Graph& g, std::span<const VertexId> terminals) {
-  NFVM_SPAN("steiner/kmb");
-  NFVM_COUNTER_INC("graph.steiner.kmb.runs");
-  const std::vector<VertexId> terms = distinct_terminals(g, terminals);
+/// KMB steps 2-5 against per-terminal shortest-path tables (one table per
+/// entry of `terms`, in order). Both kmb_steiner (freshly computed tables)
+/// and kmb_steiner_from_tables (caller-cached tables) funnel through here,
+/// which is what makes the two bit-identical.
+SteinerResult kmb_from_terminal_tables(const Graph& g,
+                                       const std::vector<VertexId>& terms,
+                                       std::span<const ShortestPaths* const> sp) {
   SteinerResult result;
-  if (terms.size() == 1) {
-    result.connected = true;
-    return result;
-  }
-
-  // Step 1: shortest paths from every terminal, one slot per terminal so
-  // the fan-out is deterministic regardless of thread count.
-  std::vector<ShortestPaths> sp(terms.size());
-  {
-    NFVM_SPAN("steiner/kmb/terminal_sssp");
-    util::ThreadPool::global().parallel_for(
-        terms.size(), [&](std::size_t i) { sp[i] = dijkstra(g, terms[i]); });
-  }
   for (std::size_t i = 1; i < terms.size(); ++i) {
-    if (!sp[0].reachable(terms[i])) return result;  // connected == false
+    if (!sp[0]->reachable(terms[i])) return result;  // connected == false
   }
 
   // Step 2: MST of the metric closure (Prim on the t x t distance matrix).
@@ -125,7 +113,7 @@ SteinerResult kmb_steiner(const Graph& g, std::span<const VertexId> terminals) {
       if (pick != 0) closure_edges.emplace_back(best_from[pick], pick);
       for (std::size_t j = 0; j < t; ++j) {
         if (in_tree[j]) continue;
-        const double d = sp[pick].dist[terms[j]];
+        const double d = sp[pick]->dist[terms[j]];
         if (d < best[j]) {
           best[j] = d;
           best_from[j] = pick;
@@ -138,7 +126,7 @@ SteinerResult kmb_steiner(const Graph& g, std::span<const VertexId> terminals) {
   // Step 3: expand closure edges into shortest paths; union of their edges.
   std::unordered_set<EdgeId> edge_set;
   for (const auto& [i, j] : closure_edges) {
-    for (EdgeId e : path_edges(sp[i], terms[j])) edge_set.insert(e);
+    for (EdgeId e : path_edges(*sp[i], terms[j])) edge_set.insert(e);
   }
   std::vector<EdgeId> expanded(edge_set.begin(), edge_set.end());
   std::sort(expanded.begin(), expanded.end());  // determinism
@@ -151,6 +139,47 @@ SteinerResult kmb_steiner(const Graph& g, std::span<const VertexId> terminals) {
   result.weight = edges_weight(g, result.edges);
   result.connected = true;
   return result;
+}
+
+}  // namespace
+
+SteinerResult kmb_steiner(const Graph& g, std::span<const VertexId> terminals) {
+  NFVM_SPAN("steiner/kmb");
+  NFVM_COUNTER_INC("graph.steiner.kmb.runs");
+  const std::vector<VertexId> terms = distinct_terminals(g, terminals);
+  SteinerResult result;
+  if (terms.size() == 1) {
+    result.connected = true;
+    return result;
+  }
+
+  // Step 1: shortest paths from every terminal, one slot per terminal so
+  // the fan-out is deterministic regardless of thread count.
+  std::vector<ShortestPaths> sp(terms.size());
+  {
+    NFVM_SPAN("steiner/kmb/terminal_sssp");
+    util::ThreadPool::global().parallel_for(
+        terms.size(), [&](std::size_t i) { sp[i] = dijkstra(g, terms[i]); });
+  }
+  std::vector<const ShortestPaths*> tables(terms.size());
+  for (std::size_t i = 0; i < terms.size(); ++i) tables[i] = &sp[i];
+  return kmb_from_terminal_tables(g, terms, tables);
+}
+
+SteinerResult kmb_steiner_from_tables(
+    const Graph& g, std::span<const VertexId> terminals,
+    const std::function<const ShortestPaths&(VertexId)>& table_for) {
+  NFVM_SPAN("steiner/kmb_from_tables");
+  NFVM_COUNTER_INC("graph.steiner.kmb.runs");
+  const std::vector<VertexId> terms = distinct_terminals(g, terminals);
+  SteinerResult result;
+  if (terms.size() == 1) {
+    result.connected = true;
+    return result;
+  }
+  std::vector<const ShortestPaths*> tables(terms.size());
+  for (std::size_t i = 0; i < terms.size(); ++i) tables[i] = &table_for(terms[i]);
+  return kmb_from_terminal_tables(g, terms, tables);
 }
 
 SteinerResult improve_steiner(const Graph& g, SteinerResult current,
@@ -216,6 +245,90 @@ SteinerResult kmb_finish(const Graph& g, std::span<const EdgeId> union_edges,
   }
   result.edges = prune_leaves(g, std::move(sub_mst.edges), terms);
   result.weight = edges_weight(g, result.edges);
+  result.connected = true;
+  return result;
+}
+
+SteinerResult kmb_finish(std::size_t num_vertices,
+                         std::span<const EdgeRecord> union_edges,
+                         std::span<const VertexId> terminals) {
+  NFVM_SPAN("steiner/kmb_finish");
+  NFVM_COUNTER_INC("graph.steiner.kmb_finish.runs");
+  if (terminals.empty()) {
+    throw std::invalid_argument("steiner: terminal set must be non-empty");
+  }
+  std::vector<VertexId> terms(terminals.begin(), terminals.end());
+  for (VertexId t : terms) {
+    if (t >= num_vertices) throw std::out_of_range("steiner: invalid terminal");
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  SteinerResult result;
+  if (terms.size() == 1) {
+    result.connected = true;
+    return result;
+  }
+
+  // Kruskal over the records: stable sort by weight (ties keep input order,
+  // exactly like kruskal_mst_subset) and unite in that order.
+  std::vector<std::size_t> order(union_edges.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return union_edges[a].weight < union_edges[b].weight;
+  });
+  UnionFind uf(num_vertices);
+  std::vector<std::size_t> kept;  // indices into union_edges, in MST order
+  kept.reserve(union_edges.size());
+  for (std::size_t i : order) {
+    const EdgeRecord& r = union_edges[i];
+    if (r.u >= num_vertices || r.v >= num_vertices) {
+      throw std::out_of_range("kmb_finish: edge record endpoint out of range");
+    }
+    if (uf.unite(r.u, r.v)) kept.push_back(i);
+  }
+  for (VertexId t : terms) {
+    if (uf.find(t) != uf.find(terms[0])) return result;  // connected == false
+  }
+
+  // Leaf pruning, mirroring prune_leaves over the kept records.
+  std::vector<bool> is_terminal(num_vertices, false);
+  for (VertexId t : terms) is_terminal[t] = true;
+  std::vector<std::vector<std::size_t>> incident(num_vertices);
+  std::vector<std::size_t> degree(num_vertices, 0);
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    const EdgeRecord& r = union_edges[kept[k]];
+    incident[r.u].push_back(k);
+    incident[r.v].push_back(k);
+    ++degree[r.u];
+    ++degree[r.v];
+  }
+  std::vector<bool> edge_removed(kept.size(), false);
+  std::queue<VertexId> leaves;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (degree[v] == 1 && !is_terminal[v]) leaves.push(v);
+  }
+  while (!leaves.empty()) {
+    const VertexId v = leaves.front();
+    leaves.pop();
+    if (degree[v] != 1 || is_terminal[v]) continue;
+    for (std::size_t idx : incident[v]) {
+      if (edge_removed[idx]) continue;
+      edge_removed[idx] = true;
+      const EdgeRecord& r = union_edges[kept[idx]];
+      const VertexId other = r.u == v ? r.v : r.u;
+      --degree[v];
+      --degree[other];
+      if (degree[other] == 1 && !is_terminal[other]) leaves.push(other);
+      break;  // a degree-1 vertex has exactly one live incident edge
+    }
+  }
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    if (edge_removed[k]) continue;
+    const EdgeRecord& r = union_edges[kept[k]];
+    result.edges.push_back(r.id);
+    result.weight += r.weight;
+  }
   result.connected = true;
   return result;
 }

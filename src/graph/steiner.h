@@ -9,6 +9,7 @@
 //   ratio and by the K=1 exact optimum oracle.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -17,6 +18,7 @@
 namespace nfvm::graph {
 
 class AllPairsShortestPaths;
+struct ShortestPaths;
 
 struct SteinerResult {
   /// True iff all terminals lie in one connected component (a tree exists).
@@ -36,6 +38,18 @@ struct SteinerResult {
 ///
 /// Guarantee: weight <= 2 (1 - 1/t) * OPT where t = #distinct terminals.
 SteinerResult kmb_steiner(const Graph& g, std::span<const VertexId> terminals);
+
+/// KMB from caller-supplied per-terminal shortest-path tables: identical to
+/// kmb_steiner except that step 1 (one SSSP per distinct terminal) is
+/// replaced by `table_for(t)` lookups. `table_for` must return the full
+/// shortest-path tree rooted at `t` on `g` (same graph, same weights) and
+/// the reference must stay valid for the duration of the call. This is the
+/// online fast path's entry point: the per-request terminal trees are primed
+/// once (and cached across requests) instead of being recomputed per
+/// candidate server, and the result is bit-identical to kmb_steiner.
+SteinerResult kmb_steiner_from_tables(
+    const Graph& g, std::span<const VertexId> terminals,
+    const std::function<const ShortestPaths&(VertexId)>& table_for);
 
 /// Takahashi-Matsuyama (1980) path-heuristic: grow the tree from one
 /// terminal, repeatedly attaching the closest unconnected terminal via a
@@ -88,6 +102,16 @@ SteinerResult improve_steiner(const Graph& g, SteinerResult current,
 /// repeated removal of non-terminal leaves. `union_edges` must connect all
 /// distinct terminals; result.connected reflects whether it did.
 SteinerResult kmb_finish(const Graph& g, std::span<const EdgeId> union_edges,
+                         std::span<const VertexId> terminals);
+
+/// Record-based kmb_finish for implicit graphs (e.g. the auxiliary-graph
+/// overlay): `union_edges` carries endpoints and weights directly, vertex
+/// ids range over [0, num_vertices). Pipeline (stable sort by weight with
+/// input-order ties, union order, leaf pruning, weight summation order) is
+/// identical to the Graph overload, so results are bit-identical when the
+/// records mirror a materialized graph.
+SteinerResult kmb_finish(std::size_t num_vertices,
+                         std::span<const EdgeRecord> union_edges,
                          std::span<const VertexId> terminals);
 
 /// Checks that `edges` forms a tree (acyclic, connected over touched

@@ -7,35 +7,57 @@
 namespace nfvm::graph {
 
 RootedTree::RootedTree(const Graph& g, std::span<const EdgeId> tree_edges,
-                       VertexId root)
-    : graph_(&g), root_(root) {
+                       VertexId root) {
   if (!g.has_vertex(root)) throw std::out_of_range("RootedTree: invalid root");
-  const std::size_t n = g.num_vertices();
+  std::vector<EdgeRecord> records;
+  records.reserve(tree_edges.size());
+  for (EdgeId e : tree_edges) {
+    const Edge& ed = g.edge(e);
+    records.push_back(EdgeRecord{e, ed.u, ed.v, ed.weight});
+  }
+  init(g.num_vertices(), records, root);
+}
+
+RootedTree::RootedTree(std::size_t num_vertices,
+                       std::span<const EdgeRecord> tree_edges, VertexId root) {
+  if (root >= num_vertices) throw std::out_of_range("RootedTree: invalid root");
+  init(num_vertices, tree_edges, root);
+}
+
+void RootedTree::init(std::size_t n, std::span<const EdgeRecord> tree_edges,
+                      VertexId root) {
+  root_ = root;
   parent_.assign(n, kInvalidVertex);
   parent_edge_.assign(n, kInvalidEdge);
   depth_.assign(n, 0);
   dist_.assign(n, 0.0);
   present_.assign(n, false);
 
-  // Adjacency restricted to tree edges.
-  std::vector<std::vector<Adjacency>> adj(n);
-  for (EdgeId e : tree_edges) {
-    const Edge& ed = g.edge(e);
-    if (ed.u == ed.v) throw std::invalid_argument("RootedTree: self-loop in tree edges");
-    adj[ed.u].push_back(Adjacency{ed.v, e});
-    adj[ed.v].push_back(Adjacency{ed.u, e});
+  // Adjacency restricted to tree edges, in input order.
+  struct Arc {
+    VertexId neighbor;
+    EdgeId edge;
+    double weight;
+  };
+  std::vector<std::vector<Arc>> adj(n);
+  for (const EdgeRecord& r : tree_edges) {
+    if (r.u >= n || r.v >= n) {
+      throw std::out_of_range("RootedTree: edge endpoint out of range");
+    }
+    if (r.u == r.v) throw std::invalid_argument("RootedTree: self-loop in tree edges");
+    adj[r.u].push_back(Arc{r.v, r.id, r.weight});
+    adj[r.v].push_back(Arc{r.u, r.id, r.weight});
   }
 
   // BFS orientation from the root.
   std::queue<VertexId> queue;
   present_[root] = true;
   queue.push(root);
-  std::size_t visited_edges = 0;
   while (!queue.empty()) {
     const VertexId u = queue.front();
     queue.pop();
     order_.push_back(u);
-    for (const Adjacency& a : adj[u]) {
+    for (const Arc& a : adj[u]) {
       if (a.edge == parent_edge_[u]) continue;
       if (present_[a.neighbor]) {
         throw std::invalid_argument("RootedTree: edges contain a cycle");
@@ -44,14 +66,12 @@ RootedTree::RootedTree(const Graph& g, std::span<const EdgeId> tree_edges,
       parent_[a.neighbor] = u;
       parent_edge_[a.neighbor] = a.edge;
       depth_[a.neighbor] = depth_[u] + 1;
-      dist_[a.neighbor] = dist_[u] + g.edge(a.edge).weight;
+      dist_[a.neighbor] = dist_[u] + a.weight;
       queue.push(a.neighbor);
-      ++visited_edges;
     }
   }
   // Edges touching the root's component but unused would indicate a cycle;
   // detected above. Edges fully outside the component are allowed (forest).
-  (void)visited_edges;
 
   // Binary lifting tables.
   std::size_t max_depth = 0;

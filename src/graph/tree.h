@@ -21,6 +21,13 @@ class RootedTree {
   /// `tree_edges` contains a cycle, std::out_of_range for a bad root.
   RootedTree(const Graph& g, std::span<const EdgeId> tree_edges, VertexId root);
 
+  /// Same rooted view over an *implicit* graph given as edge records (e.g.
+  /// the Appro_Multi auxiliary-graph overlay): `num_vertices` bounds the
+  /// vertex ids and `tree_edges` supplies endpoints and weights directly.
+  /// Identical semantics and exceptions to the Graph overload.
+  RootedTree(std::size_t num_vertices, std::span<const EdgeRecord> tree_edges,
+             VertexId root);
+
   VertexId root() const noexcept { return root_; }
 
   /// True iff `v` belongs to the root's tree.
@@ -55,7 +62,6 @@ class RootedTree {
   const std::vector<VertexId>& vertices() const noexcept { return order_; }
 
  private:
-  const Graph* graph_;
   VertexId root_;
   std::vector<VertexId> parent_;
   std::vector<EdgeId> parent_edge_;
@@ -66,6 +72,9 @@ class RootedTree {
   /// up_[k][v] = 2^k-th ancestor of v (kInvalidVertex beyond the root).
   std::vector<std::vector<VertexId>> up_;
 
+  /// Shared constructor body: BFS orientation + binary-lifting tables.
+  void init(std::size_t num_vertices, std::span<const EdgeRecord> tree_edges,
+            VertexId root);
   void check_present(VertexId v) const;
 };
 

@@ -88,4 +88,17 @@ class ResourceState {
       const std::vector<std::pair<graph::VertexId, double>>& entries);
 };
 
+/// The admission algorithms' shared link-eligibility predicate: link `e` of
+/// `g` can join a new multicast tree for a request demanding
+/// `bandwidth_mbps` iff its residual bandwidth covers the demand and both
+/// endpoint switches still have a free forwarding-table entry (trivially
+/// true when the topology does not track table capacities).
+inline bool edge_eligible(const ResourceState& state, const graph::Graph& g,
+                          graph::EdgeId e, double bandwidth_mbps) {
+  if (state.residual_bandwidth(e) < bandwidth_mbps) return false;
+  const graph::Edge& ed = g.edge(e);
+  return state.residual_table_entries(ed.u) >= 1.0 &&
+         state.residual_table_entries(ed.v) >= 1.0;
+}
+
 }  // namespace nfvm::nfv

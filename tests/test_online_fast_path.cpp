@@ -1,0 +1,299 @@
+// The online admission fast path: trace equivalence between the incremental
+// (patched weighted view + shared-closure scan) and legacy rebuild paths,
+// OnlineWeightedView patch/era semantics, keyed SpCache invalidation, the
+// table-driven KMB entry points, and RejectTracker precedence.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/online.h"
+#include "core/online_cp.h"
+#include "core/online_sp.h"
+#include "core/online_view.h"
+#include "graph/dijkstra.h"
+#include "graph/steiner.h"
+#include "nfv/resources.h"
+#include "sim/request_gen.h"
+#include "topology/waxman.h"
+#include "util/rng.h"
+
+namespace nfvm::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Trace equivalence: fast path vs rebuild path
+// ---------------------------------------------------------------------------
+
+void expect_same_decision(const AdmissionDecision& a, const AdmissionDecision& b,
+                          std::size_t index) {
+  ASSERT_EQ(a.admitted, b.admitted) << "request " << index;
+  EXPECT_EQ(a.reject_reason, b.reject_reason) << "request " << index;
+  EXPECT_EQ(a.reject_cause, b.reject_cause) << "request " << index;
+  EXPECT_EQ(a.tree.source, b.tree.source) << "request " << index;
+  EXPECT_EQ(a.tree.servers, b.tree.servers) << "request " << index;
+  EXPECT_EQ(a.tree.cost, b.tree.cost) << "request " << index;  // bit-exact
+  EXPECT_EQ(a.tree.edge_uses, b.tree.edge_uses) << "request " << index;
+  ASSERT_EQ(a.tree.routes.size(), b.tree.routes.size()) << "request " << index;
+  for (std::size_t r = 0; r < a.tree.routes.size(); ++r) {
+    EXPECT_EQ(a.tree.routes[r].destination, b.tree.routes[r].destination);
+    EXPECT_EQ(a.tree.routes[r].server, b.tree.routes[r].server);
+    EXPECT_EQ(a.tree.routes[r].walk, b.tree.routes[r].walk);
+    EXPECT_EQ(a.tree.routes[r].server_index, b.tree.routes[r].server_index);
+  }
+  EXPECT_EQ(a.footprint.bandwidth, b.footprint.bandwidth) << "request " << index;
+  EXPECT_EQ(a.footprint.compute, b.footprint.compute) << "request " << index;
+  EXPECT_EQ(a.footprint.table_entries, b.footprint.table_entries)
+      << "request " << index;
+}
+
+/// Feeds the same request sequence (with periodic departures) through both
+/// algorithms and requires byte-identical decision streams.
+template <typename Algo>
+void run_trace_equivalence(Algo& fast, Algo& rebuild, std::size_t num_requests) {
+  util::Rng workload(515);
+  sim::RequestGenerator gen(fast.topology(), workload);
+  const std::vector<nfv::Request> requests = gen.sequence(num_requests);
+
+  std::vector<nfv::Footprint> admitted_fast;
+  std::vector<nfv::Footprint> admitted_rebuild;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const AdmissionDecision df = fast.process(requests[i]);
+    const AdmissionDecision dr = rebuild.process(requests[i]);
+    expect_same_decision(df, dr, i);
+    if (df.admitted) {
+      admitted_fast.push_back(df.footprint);
+      admitted_rebuild.push_back(dr.footprint);
+    }
+    // Departures: release the oldest still-held footprint every 7 requests,
+    // exercising the era reset (cache drop + weight re-patch) mid-sequence.
+    if (i % 7 == 6 && !admitted_fast.empty()) {
+      fast.release(admitted_fast.front());
+      rebuild.release(admitted_rebuild.front());
+      admitted_fast.erase(admitted_fast.begin());
+      admitted_rebuild.erase(admitted_rebuild.begin());
+    }
+  }
+  EXPECT_EQ(fast.num_admitted(), rebuild.num_admitted());
+  EXPECT_EQ(fast.num_rejected(), rebuild.num_rejected());
+}
+
+TEST(OnlineFastPath, CpTraceEquivalenceWithDepartures) {
+  util::Rng rng(91);
+  const topo::Topology topo = topo::make_waxman(60, rng);
+  OnlineCpOptions fast_opts;
+  ASSERT_TRUE(fast_opts.incremental_view);  // fast path is the default
+  OnlineCpOptions rebuild_opts;
+  rebuild_opts.incremental_view = false;
+  OnlineCp fast(topo, fast_opts);
+  OnlineCp rebuild(topo, rebuild_opts);
+  run_trace_equivalence(fast, rebuild, 80);
+}
+
+TEST(OnlineFastPath, CpTraceEquivalenceLinearWeights) {
+  util::Rng rng(92);
+  const topo::Topology topo = topo::make_waxman(40, rng);
+  OnlineCpOptions fast_opts;
+  fast_opts.linear_weights = true;
+  OnlineCpOptions rebuild_opts;
+  rebuild_opts.linear_weights = true;
+  rebuild_opts.incremental_view = false;
+  OnlineCp fast(topo, fast_opts);
+  OnlineCp rebuild(topo, rebuild_opts);
+  run_trace_equivalence(fast, rebuild, 60);
+}
+
+TEST(OnlineFastPath, SpTraceEquivalenceWithDepartures) {
+  util::Rng rng(93);
+  const topo::Topology topo = topo::make_waxman(60, rng);
+  OnlineSpOptions rebuild_opts;
+  rebuild_opts.incremental_view = false;
+  OnlineSp fast(topo);  // default options: fast path on
+  OnlineSp rebuild(topo, rebuild_opts);
+  run_trace_equivalence(fast, rebuild, 80);
+}
+
+TEST(OnlineFastPath, NonKmbEngineFallsBackToRebuildPath) {
+  // A non-KMB Steiner engine must keep working (and agree with an explicit
+  // rebuild configuration) even though it cannot use the shared closure.
+  util::Rng rng(94);
+  const topo::Topology topo = topo::make_waxman(30, rng);
+  OnlineCpOptions a_opts;
+  a_opts.steiner_engine = graph::SteinerEngine::kTakahashiMatsuyama;
+  OnlineCpOptions b_opts = a_opts;
+  b_opts.incremental_view = false;
+  OnlineCp a(topo, a_opts);
+  OnlineCp b(topo, b_opts);
+  run_trace_equivalence(a, b, 40);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineWeightedView: patching, keyed invalidation, eras
+// ---------------------------------------------------------------------------
+
+/// Triangle 0-1-2 (0-2 direct more expensive than 0-1 + 1-2) plus a tail
+/// 2-3: the tree from 1 never contains edge 0-2, the tree from 0 does.
+topo::Topology triangle_tail_topology() {
+  topo::Topology t;
+  t.name = "triangle_tail";
+  t.graph = graph::Graph(4);
+  t.graph.add_edge(0, 1, 1.0);  // e0
+  t.graph.add_edge(1, 2, 1.0);  // e1
+  t.graph.add_edge(0, 2, 1.5);  // e2
+  t.graph.add_edge(2, 3, 1.0);  // e3
+  t.servers = {2};
+  t.link_bandwidth = {1000, 1000, 1000, 1000};
+  t.server_compute = {0, 0, 8000, 0};
+  return t;
+}
+
+TEST(OnlineWeightedView, PatchEvictsOnlyTreesContainingChangedEdges) {
+  const topo::Topology topo = triangle_tail_topology();
+  nfv::ResourceState state(topo);
+  // Weight = f(residual): halves of consumed bandwidth on top of the static
+  // link weight, so allocations move exactly the touched edges.
+  OnlineWeightedView view(topo, [&](graph::EdgeId e) {
+    const double consumed =
+        state.bandwidth_capacity(e) - state.residual_bandwidth(e);
+    return topo.graph.weight(e) + consumed / 1000.0;
+  });
+
+  const std::vector<graph::VertexId> sources = {0, 1};
+  const auto first = view.trees_for(state, sources, 50.0);
+  // Tree from 0 uses e2 (1.5 < 1+1); tree from 1 reaches everything through
+  // e0/e1/e3.
+  ASSERT_EQ(first[0]->parent_edge[2], 2u);
+  ASSERT_EQ(first[1]->parent_edge[2], 1u);
+
+  nfv::Footprint fp;
+  fp.bandwidth = {{2, 100.0}};  // consume on e2 only
+  state.allocate(fp);
+  view.apply_allocate(fp);
+
+  const auto second = view.trees_for(state, sources, 50.0);
+  EXPECT_NE(second[0].get(), first[0].get());  // contained e2: evicted
+  EXPECT_EQ(second[1].get(), first[1].get());  // untouched: cache hit
+  // The recomputed tree sees the patched weight: e2 now costs 1.6, so the
+  // path 0-1-2 (2.0) still loses; bump it past 2.0 and the tree reroutes.
+  nfv::Footprint fp2;
+  fp2.bandwidth = {{2, 500.0}};
+  state.allocate(fp2);
+  view.apply_allocate(fp2);
+  const auto third = view.trees_for(state, sources, 50.0);
+  EXPECT_EQ(third[0]->parent_edge[2], 1u);  // rerouted around the hot link
+}
+
+TEST(OnlineWeightedView, AllocationWithoutWeightChangeKeepsCache) {
+  const topo::Topology topo = triangle_tail_topology();
+  nfv::ResourceState state(topo);
+  // Residual-independent weights (the OnlineSp configuration): allocations
+  // never dirty the cache.
+  OnlineWeightedView view(topo,
+                          [&](graph::EdgeId e) { return topo.graph.weight(e); });
+  const std::vector<graph::VertexId> sources = {0};
+  const auto first = view.trees_for(state, sources, 50.0);
+  nfv::Footprint fp;
+  fp.bandwidth = {{0, 100.0}, {1, 100.0}, {2, 100.0}, {3, 100.0}};
+  state.allocate(fp);
+  view.apply_allocate(fp);
+  const auto second = view.trees_for(state, sources, 50.0);
+  EXPECT_EQ(second[0].get(), first[0].get());
+}
+
+TEST(OnlineWeightedView, ReleaseStartsNewEraDroppingAllTrees) {
+  const topo::Topology topo = triangle_tail_topology();
+  nfv::ResourceState state(topo);
+  OnlineWeightedView view(topo,
+                          [&](graph::EdgeId e) { return topo.graph.weight(e); });
+  const std::vector<graph::VertexId> sources = {0, 1};
+  const auto first = view.trees_for(state, sources, 50.0);
+  nfv::Footprint fp;
+  fp.bandwidth = {{3, 100.0}};
+  state.allocate(fp);
+  view.apply_allocate(fp);
+  state.release(fp);
+  view.apply_release(fp);
+  const auto second = view.trees_for(state, sources, 50.0);
+  // Even weight-identical trees must be recomputed: a release can only be
+  // trusted through a full era reset.
+  EXPECT_NE(second[0].get(), first[0].get());
+  EXPECT_NE(second[1].get(), first[1].get());
+}
+
+TEST(OnlineWeightedView, LowerBandwidthThresholdForcesRecompute) {
+  const topo::Topology topo = triangle_tail_topology();
+  nfv::ResourceState state(topo);
+  OnlineWeightedView view(topo,
+                          [&](graph::EdgeId e) { return topo.graph.weight(e); });
+  const std::vector<graph::VertexId> sources = {0};
+  const auto at_100 = view.trees_for(state, sources, 100.0);
+  // b' < b_T: eligibility at b' is a superset, the cached tree may be wrong.
+  const auto at_50 = view.trees_for(state, sources, 50.0);
+  EXPECT_NE(at_50[0].get(), at_100[0].get());
+  // b' >= b_T with all tree edges still eligible: reuse.
+  const auto at_80 = view.trees_for(state, sources, 80.0);
+  EXPECT_EQ(at_80[0].get(), at_50[0].get());
+}
+
+TEST(OnlineWeightedView, IneligibleTreeEdgeForcesRecompute) {
+  const topo::Topology topo = triangle_tail_topology();
+  nfv::ResourceState state(topo);
+  OnlineWeightedView view(topo,
+                          [&](graph::EdgeId e) { return topo.graph.weight(e); });
+  const std::vector<graph::VertexId> sources = {0};
+  const auto before = view.trees_for(state, sources, 50.0);
+  ASSERT_EQ(before[0]->parent_edge[2], 2u);  // uses e2
+  // Starve e2 below the request bandwidth WITHOUT changing weights (weights
+  // are residual-independent here), so only per-lookup eligibility can
+  // notice.
+  nfv::Footprint fp;
+  fp.bandwidth = {{2, 960.0}};
+  state.allocate(fp);
+  view.apply_allocate(fp);
+  const auto after = view.trees_for(state, sources, 50.0);
+  EXPECT_NE(after[0].get(), before[0].get());
+  EXPECT_EQ(after[0]->parent_edge[2], 1u);  // rerouted: e2 now ineligible
+  // A fresh filtered Dijkstra agrees bit-for-bit.
+  const graph::ShortestPaths fresh =
+      graph::dijkstra_filtered(view.graph(), 0, [&](graph::EdgeId e) {
+        return nfv::edge_eligible(state, topo.graph, e, 50.0);
+      });
+  EXPECT_EQ(after[0]->dist, fresh.dist);
+  EXPECT_EQ(after[0]->parent_edge, fresh.parent_edge);
+}
+
+// ---------------------------------------------------------------------------
+// RejectTracker precedence
+// ---------------------------------------------------------------------------
+
+TEST(RejectTracker, DefaultsToConstructorValue) {
+  const RejectTracker t("nothing yet", RejectCause::kCompute);
+  EXPECT_EQ(t.reason(), "nothing yet");
+  EXPECT_EQ(t.cause(), RejectCause::kCompute);
+  EXPECT_EQ(t.rank(), RejectTracker::kRankDefault);
+}
+
+TEST(RejectTracker, ThresholdOverridesDefaultOnly) {
+  RejectTracker t("default", RejectCause::kCompute);
+  t.update(RejectTracker::kRankThreshold, "threshold", RejectCause::kThreshold);
+  EXPECT_EQ(t.reason(), "threshold");
+  t.update(RejectTracker::kRankCandidate, "candidate", RejectCause::kDelay);
+  EXPECT_EQ(t.reason(), "candidate");
+  // A later threshold gate can no longer override an evaluated candidate's
+  // failure (the old string-compare special case, now explicit).
+  t.update(RejectTracker::kRankThreshold, "threshold again",
+           RejectCause::kThreshold);
+  EXPECT_EQ(t.reason(), "candidate");
+  EXPECT_EQ(t.cause(), RejectCause::kDelay);
+}
+
+TEST(RejectTracker, EqualRankIsLastWriterWins) {
+  RejectTracker t("default", RejectCause::kCompute);
+  t.update(RejectTracker::kRankCandidate, "first", RejectCause::kBandwidth);
+  t.update(RejectTracker::kRankCandidate, "second", RejectCause::kDelay);
+  EXPECT_EQ(t.reason(), "second");
+  EXPECT_EQ(t.cause(), RejectCause::kDelay);
+}
+
+}  // namespace
+}  // namespace nfvm::core
