@@ -20,8 +20,13 @@ int main() {
   std::cout << "# Figure 9: online admissions vs number of requests ("
             << num_requests << " max; override with NFVM_BENCH_ONLINE_REQUESTS)\n";
 
-  util::Table table(
-      {"topology", "requests", "online_cp", "sp_static", "sp_adaptive"});
+  // The trailing *_ms columns attribute each full 300-request run to its
+  // dominant admission phases (from RequestRecord provenance; zero under
+  // NFVM_OBS=0). They repeat on every prefix row of a topology and are
+  // excluded from CI gating like all timing columns.
+  util::Table table({"topology", "requests", "online_cp", "sp_static",
+                     "sp_adaptive", "cp_closure_ms", "cp_eval_ms",
+                     "sp_static_eval_ms", "sp_adaptive_eval_ms"});
 
   for (int which = 0; which < 2; ++which) {
     util::Rng rng(42);
@@ -35,9 +40,11 @@ int main() {
     core::OnlineCp cp(topo);
     core::OnlineSp sp(topo);
     core::OnlineSpStatic sp_static(topo);
-    const sim::SimulationMetrics mcp = sim::run_online(cp, requests);
-    const sim::SimulationMetrics msp = sim::run_online(sp, requests);
-    const sim::SimulationMetrics mst = sim::run_online(sp_static, requests);
+    sim::SimulatorOptions opts;
+    opts.record_provenance = true;
+    const sim::SimulationMetrics mcp = sim::run_online(cp, requests, opts);
+    const sim::SimulationMetrics msp = sim::run_online(sp, requests, opts);
+    const sim::SimulationMetrics mst = sim::run_online(sp_static, requests, opts);
 
     const std::size_t step = std::max<std::size_t>(1, num_requests / 6);
     for (std::size_t i = step - 1; i < num_requests; i += step) {
@@ -46,7 +53,11 @@ int main() {
           .add(i + 1)
           .add(mcp.cumulative_admitted[i])
           .add(mst.cumulative_admitted[i])
-          .add(msp.cumulative_admitted[i]);
+          .add(msp.cumulative_admitted[i])
+          .add(mcp.phase_closure_us / 1000.0, 3)
+          .add(mcp.phase_eval_us / 1000.0, 3)
+          .add(mst.phase_eval_us / 1000.0, 3)
+          .add(msp.phase_eval_us / 1000.0, 3);
     }
   }
   bench::finish("fig9_online_requests", table);

@@ -1,9 +1,11 @@
 #include "core/online.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/timer.h"
 
 namespace nfvm::core {
 
@@ -31,18 +33,44 @@ OnlineAlgorithm::OnlineAlgorithm(const topo::Topology& topo)
   registry.counter("online.reject.threshold");
   registry.counter("online.reject.delay");
   registry.counter("online.reject.other");
+  spcache_hits_counter_ = registry.counter("graph.spcache.hits");
+  spcache_misses_counter_ = registry.counter("graph.spcache.misses");
 #endif
 }
 
 AdmissionDecision OnlineAlgorithm::process(const nfv::Request& request) {
   NFVM_SPAN("online/admit");
   nfv::validate_request(request, topo_->graph);
+#if NFVM_OBS
+  RequestRecord record;
+  util::Stopwatch total_watch;
+  std::uint64_t spcache_hits_before = 0;
+  std::uint64_t spcache_misses_before = 0;
+  if (record_provenance_) {
+    record.request_id = request.id;
+    record.servers_total = topo_->servers.size();
+    spcache_hits_before = spcache_hits_counter_->value();
+    spcache_misses_before = spcache_misses_counter_->value();
+    active_record_ = &record;
+  }
+#endif
   AdmissionDecision decision = try_admit(request);
+  NFVM_OBS_ONLY(active_record_ = nullptr;)
   if (decision.admitted) {
     // try_admit must hand back a footprint that fits; allocate() re-checks
     // and throws on a contract violation rather than over-committing.
     state_.allocate(decision.footprint);
+#if NFVM_OBS
+    if (record_provenance_) {
+      const util::Stopwatch patch_watch;
+      after_allocate(decision.footprint);
+      record.view_patch_us = patch_watch.elapsed_us();
+    } else {
+      after_allocate(decision.footprint);
+    }
+#else
     after_allocate(decision.footprint);
+#endif
     ++num_admitted_;
     decision.reject_cause = RejectCause::kNone;
     NFVM_COUNTER_INC("online.admitted");
@@ -71,6 +99,16 @@ AdmissionDecision OnlineAlgorithm::process(const nfv::Request& request) {
     }
   }
   NFVM_COUNTER_INC("online.requests");
+#if NFVM_OBS
+  if (record_provenance_) {
+    record.admitted = decision.admitted;
+    record.total_us = total_watch.elapsed_us();
+    record.spcache_hits = spcache_hits_counter_->value() - spcache_hits_before;
+    record.spcache_misses =
+        spcache_misses_counter_->value() - spcache_misses_before;
+    decision.record = std::make_shared<const RequestRecord>(std::move(record));
+  }
+#endif
   return decision;
 }
 

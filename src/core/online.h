@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "core/pseudo_tree.h"
+#include "core/request_record.h"
 #include "nfv/request.h"
 #include "nfv/resources.h"
+#include "obs/metrics.h"
 #include "topology/topology.h"
 
 namespace nfvm::core {
@@ -85,6 +87,10 @@ struct AdmissionDecision {
   PseudoMulticastTree tree;
   /// Resources charged for the request; valid iff admitted.
   nfv::Footprint footprint;
+  /// Decision provenance (core/request_record.h). Null unless the algorithm
+  /// has set_record_provenance(true) and the build has NFVM_OBS=1; shared so
+  /// copying decisions stays cheap.
+  std::shared_ptr<const RequestRecord> record;
 };
 
 class OnlineAlgorithm {
@@ -106,6 +112,20 @@ class OnlineAlgorithm {
   /// Releases a previously admitted request's resources (departures).
   void release(const nfv::Footprint& footprint);
 
+  /// When enabled, every process() call attaches a RequestRecord (phase
+  /// timings, scan provenance, reject context) to the returned decision.
+  /// Costs a few clock reads and one small allocation per request; under
+  /// -DNFVM_OBS=0 the flag is ignored and decisions never carry a record.
+  /// Recording never influences the decisions themselves.
+  void set_record_provenance(bool on) noexcept { record_provenance_ = on; }
+  bool record_provenance() const noexcept {
+#if NFVM_OBS
+    return record_provenance_;
+#else
+    return false;
+#endif
+  }
+
   const topo::Topology& topology() const noexcept { return *topo_; }
   const nfv::ResourceState& resources() const noexcept { return state_; }
   std::size_t num_admitted() const noexcept { return num_admitted_; }
@@ -123,12 +143,29 @@ class OnlineAlgorithm {
   virtual void after_allocate(const nfv::Footprint& footprint);
   virtual void after_release(const nfv::Footprint& footprint);
 
+  /// The record the current process() call is populating, or null when
+  /// recording is off. try_admit implementations fill scan provenance
+  /// through this; under -DNFVM_OBS=0 it is a compile-time null so guarded
+  /// population code folds away entirely.
+#if NFVM_OBS
+  RequestRecord* active_record() noexcept { return active_record_; }
+#else
+  static constexpr RequestRecord* active_record() noexcept { return nullptr; }
+#endif
+
   const topo::Topology* topo_;
   nfv::ResourceState state_;
 
  private:
   std::size_t num_admitted_ = 0;
   std::size_t num_rejected_ = 0;
+  bool record_provenance_ = false;
+#if NFVM_OBS
+  RequestRecord* active_record_ = nullptr;
+  /// Cached graph.spcache.{hits,misses} counters for cache attribution.
+  obs::Counter* spcache_hits_counter_ = nullptr;
+  obs::Counter* spcache_misses_counter_ = nullptr;
+#endif
 };
 
 }  // namespace nfvm::core

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace nfvm::core {
 
@@ -75,6 +76,7 @@ struct CpCandidateSlot {
   bool connected = false;
   bool over_sigma_e = false;
   double cost = 0.0;
+  double steiner_weight = 0.0;  // st.weight share of cost, for provenance
   std::vector<graph::EdgeId> edges;  // physical ids
 };
 
@@ -87,24 +89,35 @@ AdmissionDecision OnlineCp::try_admit_fast(const nfv::Request& request) {
 
   RejectTracker reject("no server has sufficient residual computing",
                        RejectCause::kCompute);
+  NFVM_OBS_ONLY(RequestRecord* const rec = active_record();
+                util::Stopwatch phase_watch;)
 
   // Phase A: classify the servers. Compute-skips stay silent and the sigma_v
   // gate records its (low-rank) reason; survivors form the evaluation list.
   std::vector<graph::VertexId> eval;
   std::vector<double> eval_wv;
   for (graph::VertexId v : topo_->servers) {
-    if (state_.residual_compute(v) < demand) continue;
+    if (state_.residual_compute(v) < demand) {
+      NFVM_OBS_ONLY(if (rec) ++rec->skipped_compute;)
+      continue;
+    }
     const double wv = server_weight(v);
     if (wv >= sigma_v_) {
       reject.update(RejectTracker::kRankThreshold,
                     "all candidate servers exceed the computing threshold",
                     RejectCause::kThreshold);
+      NFVM_OBS_ONLY(if (rec) ++rec->skipped_sigma_v;)
       continue;
     }
     eval.push_back(v);
     eval_wv.push_back(wv);
   }
   NFVM_COUNTER_ADD("core.online_cp.candidates_evaluated", eval.size());
+  NFVM_OBS_ONLY(if (rec) {
+    rec->fast_path = true;
+    rec->servers_eligible = eval.size();
+    rec->classify_us = phase_watch.elapsed_us();
+  })
 
   if (eval.empty()) {
     decision.reject_reason = std::string(reject.reason());
@@ -123,11 +136,13 @@ AdmissionDecision OnlineCp::try_admit_fast(const nfv::Request& request) {
   sources.insert(sources.end(), request.destinations.begin(),
                  request.destinations.end());
   sources.insert(sources.end(), eval.begin(), eval.end());
+  NFVM_OBS_ONLY(phase_watch.reset();)
   const auto trees = view_->trees_for(state_, sources, b);
   TerminalTables tables(topo_->graph.num_vertices());
   for (std::size_t i = 0; i < sources.size(); ++i) {
     tables.set(sources[i], trees[i]);
   }
+  NFVM_OBS_ONLY(if (rec) rec->closure_us = phase_watch.elapsed_us();)
   const std::function<const graph::ShortestPaths&(graph::VertexId)> table_for =
       [&tables](graph::VertexId v) -> const graph::ShortestPaths& {
     return tables.from(v);
@@ -141,6 +156,7 @@ AdmissionDecision OnlineCp::try_admit_fast(const nfv::Request& request) {
   std::vector<CpCandidateSlot> slots(eval.size());
   {
     NFVM_SPAN("online_cp/server_scan");
+    NFVM_OBS_ONLY(phase_watch.reset();)
     util::ThreadPool::global().parallel_for(eval.size(), [&](std::size_t i) {
       const graph::VertexId v = eval[i];
       CpCandidateSlot& slot = slots[i];
@@ -172,8 +188,13 @@ AdmissionDecision OnlineCp::try_admit_fast(const nfv::Request& request) {
       const graph::VertexId meet = rooted.lca(lca_args);
       const double w_back = rooted.path_weight(v, meet);
       slot.cost = st.weight + eval_wv[i] + w_back;
+      slot.steiner_weight = st.weight;
       slot.edges = std::move(st.edges);
     });
+    NFVM_OBS_ONLY(if (rec) {
+      rec->servers_evaluated = eval.size();
+      rec->eval_us = phase_watch.elapsed_us();
+    })
   }
 
   // Phase D: sequential replay in true server order — identical branch
@@ -188,6 +209,7 @@ AdmissionDecision OnlineCp::try_admit_fast(const nfv::Request& request) {
     nfv::Footprint footprint;
   };
   std::optional<Candidate> best;
+  NFVM_OBS_ONLY(phase_watch.reset();)
   for (std::size_t i = 0; i < eval.size(); ++i) {
     CpCandidateSlot& slot = slots[i];
     const graph::VertexId v = eval[i];
@@ -195,15 +217,20 @@ AdmissionDecision OnlineCp::try_admit_fast(const nfv::Request& request) {
       reject.update(RejectTracker::kRankCandidate,
                     "source, server and destinations are disconnected at b_k",
                     RejectCause::kBandwidth);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_disconnected;)
       continue;
     }
     if (slot.over_sigma_e) {
       reject.update(RejectTracker::kRankCandidate,
                     "every candidate tree exceeds the bandwidth threshold",
                     RejectCause::kThreshold);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_sigma_e;)
       continue;
     }
-    if (best.has_value() && slot.cost >= best->cost) continue;
+    if (best.has_value() && slot.cost >= best->cost) {
+      NFVM_OBS_ONLY(if (rec) ++rec->cost_pruned;)
+      continue;
+    }
 
     const graph::RootedTree rooted(view_->graph(), slot.edges, request.source);
     std::vector<graph::VertexId> lca_args;
@@ -239,6 +266,7 @@ AdmissionDecision OnlineCp::try_admit_fast(const nfv::Request& request) {
       reject.update(RejectTracker::kRankCandidate,
                     "no candidate tree meets the delay bound",
                     RejectCause::kDelay);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_delay;)
       continue;
     }
     cand.footprint = cand.tree.footprint(request, topo_->graph);
@@ -248,10 +276,20 @@ AdmissionDecision OnlineCp::try_admit_fast(const nfv::Request& request) {
       reject.update(RejectTracker::kRankCandidate,
                     "backhaul multiplicities exceed residual bandwidth",
                     RejectCause::kBandwidth);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_capacity;)
       continue;
     }
+    NFVM_OBS_ONLY(if (rec) {
+      ++rec->candidates_feasible;
+      rec->chosen_server = static_cast<std::int64_t>(v);
+      rec->cost_total = slot.cost;
+      rec->cost_steiner = slot.steiner_weight;
+      rec->cost_server = eval_wv[i];
+      rec->cost_backhaul = slot.cost - slot.steiner_weight - eval_wv[i];
+    })
     best = std::move(cand);
   }
+  NFVM_OBS_ONLY(if (rec) rec->realize_us = phase_watch.elapsed_us();)
 
   if (!best.has_value()) {
     decision.reject_reason = std::string(reject.reason());
@@ -269,6 +307,9 @@ AdmissionDecision OnlineCp::try_admit_rebuild(const nfv::Request& request) {
   const double b = request.bandwidth_mbps;
   const double demand = request.compute_demand_mhz();
 
+  NFVM_OBS_ONLY(RequestRecord* const rec = active_record();
+                util::Stopwatch phase_watch;)
+
   // Step 5 of Algorithm 2: the weighted graph G_k, restricted to links that
   // can still carry b_k.
   graph::Subgraph sub = [&] {
@@ -282,6 +323,8 @@ AdmissionDecision OnlineCp::try_admit_rebuild(const nfv::Request& request) {
     }
     return filtered;
   }();
+  NFVM_OBS_ONLY(if (rec) rec->classify_us = phase_watch.elapsed_us();
+                phase_watch.reset();)
 
   struct Candidate {
     double cost = 0.0;
@@ -296,12 +339,16 @@ AdmissionDecision OnlineCp::try_admit_rebuild(const nfv::Request& request) {
 
   NFVM_SPAN("online_cp/server_scan");
   for (graph::VertexId v : topo_->servers) {
-    if (state_.residual_compute(v) < demand) continue;
+    if (state_.residual_compute(v) < demand) {
+      NFVM_OBS_ONLY(if (rec) ++rec->skipped_compute;)
+      continue;
+    }
     const double wv = server_weight(v);
     if (wv >= sigma_v_) {
       reject.update(RejectTracker::kRankThreshold,
                     "all candidate servers exceed the computing threshold",
                     RejectCause::kThreshold);
+      NFVM_OBS_ONLY(if (rec) ++rec->skipped_sigma_v;)
       continue;
     }
     NFVM_OBS_ONLY(++candidates_evaluated;)
@@ -319,12 +366,14 @@ AdmissionDecision OnlineCp::try_admit_rebuild(const nfv::Request& request) {
       reject.update(RejectTracker::kRankCandidate,
                     "source, server and destinations are disconnected at b_k",
                     RejectCause::kBandwidth);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_disconnected;)
       continue;
     }
     if (st.weight >= sigma_e_) {
       reject.update(RejectTracker::kRankCandidate,
                     "every candidate tree exceeds the bandwidth threshold",
                     RejectCause::kThreshold);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_sigma_e;)
       continue;
     }
 
@@ -338,7 +387,10 @@ AdmissionDecision OnlineCp::try_admit_rebuild(const nfv::Request& request) {
     const graph::VertexId meet = rooted.lca(lca_args);
     const double w_back = rooted.path_weight(v, meet);
     const double cost = st.weight + wv + w_back;
-    if (best.has_value() && cost >= best->cost) continue;
+    if (best.has_value() && cost >= best->cost) {
+      NFVM_OBS_ONLY(if (rec) ++rec->cost_pruned;)
+      continue;
+    }
 
     Candidate cand;
     cand.cost = cost;
@@ -372,6 +424,7 @@ AdmissionDecision OnlineCp::try_admit_rebuild(const nfv::Request& request) {
       reject.update(RejectTracker::kRankCandidate,
                     "no candidate tree meets the delay bound",
                     RejectCause::kDelay);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_delay;)
       continue;
     }
     cand.footprint = cand.tree.footprint(request, topo_->graph);
@@ -381,11 +434,25 @@ AdmissionDecision OnlineCp::try_admit_rebuild(const nfv::Request& request) {
       reject.update(RejectTracker::kRankCandidate,
                     "backhaul multiplicities exceed residual bandwidth",
                     RejectCause::kBandwidth);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_capacity;)
       continue;
     }
+    NFVM_OBS_ONLY(if (rec) {
+      ++rec->candidates_feasible;
+      rec->chosen_server = static_cast<std::int64_t>(v);
+      rec->cost_total = cost;
+      rec->cost_steiner = st.weight;
+      rec->cost_server = wv;
+      rec->cost_backhaul = w_back;
+    })
     best = std::move(cand);
   }
   NFVM_COUNTER_ADD("core.online_cp.candidates_evaluated", candidates_evaluated);
+  NFVM_OBS_ONLY(if (rec) {
+    rec->servers_eligible = candidates_evaluated;
+    rec->servers_evaluated = candidates_evaluated;
+    rec->eval_us = phase_watch.elapsed_us();
+  })
 
   if (!best.has_value()) {
     decision.reject_reason = std::string(reject.reason());

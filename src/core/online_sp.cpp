@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace nfvm::core {
 
@@ -59,14 +60,24 @@ AdmissionDecision OnlineSp::try_admit_fast(const nfv::Request& request) {
 
   RejectTracker reject("no server has sufficient residual computing",
                        RejectCause::kCompute);
+  NFVM_OBS_ONLY(RequestRecord* const rec = active_record();
+                util::Stopwatch phase_watch;)
 
   // Phase A: the compute gate (the only resource pruning done per server
   // before path evaluation).
   std::vector<graph::VertexId> eval;
   for (graph::VertexId v : topo_->servers) {
-    if (state_.residual_compute(v) < demand) continue;
+    if (state_.residual_compute(v) < demand) {
+      NFVM_OBS_ONLY(if (rec) ++rec->skipped_compute;)
+      continue;
+    }
     eval.push_back(v);
   }
+  NFVM_OBS_ONLY(if (rec) {
+    rec->fast_path = true;
+    rec->servers_eligible = eval.size();
+    rec->classify_us = phase_watch.elapsed_us();
+  })
   if (eval.empty()) {
     decision.reject_reason = std::string(reject.reason());
     decision.reject_cause = reject.cause();
@@ -80,8 +91,11 @@ AdmissionDecision OnlineSp::try_admit_fast(const nfv::Request& request) {
   sources.reserve(1 + eval.size());
   sources.push_back(request.source);
   sources.insert(sources.end(), eval.begin(), eval.end());
+  NFVM_OBS_ONLY(phase_watch.reset();)
   const auto trees = view_->trees_for(state_, sources, b);
   const graph::ShortestPaths& from_source = *trees[0];
+  NFVM_OBS_ONLY(if (rec) rec->closure_us = phase_watch.elapsed_us();
+                phase_watch.reset();)
 
   // Phase C: evaluate candidates in parallel, each writing only its slot.
   std::vector<SpCandidateSlot> slots(eval.size());
@@ -108,6 +122,10 @@ AdmissionDecision OnlineSp::try_admit_fast(const nfv::Request& request) {
     slot.tree.cost = static_cast<double>(slot.tree.total_link_traversals());
     slot.cost = slot.tree.cost;
   });
+  NFVM_OBS_ONLY(if (rec) {
+    rec->servers_evaluated = eval.size();
+    rec->eval_us = phase_watch.elapsed_us();
+  } phase_watch.reset();)
 
   // Phase D: sequential replay — the same branch ladder as the rebuild scan
   // (note the cost prune sits BEFORE the delay check, silently). Delay and
@@ -124,19 +142,25 @@ AdmissionDecision OnlineSp::try_admit_fast(const nfv::Request& request) {
       reject.update(RejectTracker::kRankCandidate,
                     "server unreachable at the demanded bandwidth",
                     RejectCause::kBandwidth);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_disconnected;)
       continue;
     }
     if (!slot.dests_reachable) {
       reject.update(RejectTracker::kRankCandidate,
                     "a destination is unreachable at the demanded bandwidth",
                     RejectCause::kBandwidth);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_disconnected;)
       continue;
     }
-    if (best.has_value() && slot.cost >= best->cost) continue;
+    if (best.has_value() && slot.cost >= best->cost) {
+      NFVM_OBS_ONLY(if (rec) ++rec->cost_pruned;)
+      continue;
+    }
     if (!meets_delay_bound(*topo_, request, slot.tree)) {
       reject.update(RejectTracker::kRankCandidate,
                     "no candidate tree meets the delay bound",
                     RejectCause::kDelay);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_delay;)
       continue;
     }
     nfv::Footprint footprint = slot.tree.footprint(request, topo_->graph);
@@ -144,10 +168,17 @@ AdmissionDecision OnlineSp::try_admit_fast(const nfv::Request& request) {
       reject.update(RejectTracker::kRankCandidate,
                     "path overlaps exceed residual bandwidth",
                     RejectCause::kBandwidth);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_capacity;)
       continue;
     }
+    NFVM_OBS_ONLY(if (rec) {
+      ++rec->candidates_feasible;
+      rec->chosen_server = static_cast<std::int64_t>(eval[i]);
+      rec->cost_total = slot.cost;
+    })
     best = Candidate{slot.cost, std::move(slot.tree), std::move(footprint)};
   }
+  NFVM_OBS_ONLY(if (rec) rec->realize_us = phase_watch.elapsed_us();)
 
   if (!best.has_value()) {
     decision.reject_reason = std::string(reject.reason());
@@ -165,6 +196,9 @@ AdmissionDecision OnlineSp::try_admit_rebuild(const nfv::Request& request) {
   const double b = request.bandwidth_mbps;
   const double demand = request.compute_demand_mhz();
 
+  NFVM_OBS_ONLY(RequestRecord* const rec = active_record();
+                util::Stopwatch phase_watch;)
+
   // Remove links and servers without enough available resources; all
   // remaining links weigh 1.
   const graph::Subgraph sub = graph::filter_edges(topo_->graph, [&](graph::EdgeId e) {
@@ -172,6 +206,8 @@ AdmissionDecision OnlineSp::try_admit_rebuild(const nfv::Request& request) {
   });
 
   const graph::ShortestPaths from_source = graph::dijkstra(sub.graph, request.source);
+  NFVM_OBS_ONLY(if (rec) rec->classify_us = phase_watch.elapsed_us();
+                phase_watch.reset();)
 
   struct Candidate {
     double cost = 0.0;
@@ -183,14 +219,20 @@ AdmissionDecision OnlineSp::try_admit_rebuild(const nfv::Request& request) {
                        RejectCause::kCompute);
 
   for (graph::VertexId v : topo_->servers) {
-    if (state_.residual_compute(v) < demand) continue;
+    if (state_.residual_compute(v) < demand) {
+      NFVM_OBS_ONLY(if (rec) ++rec->skipped_compute;)
+      continue;
+    }
+    NFVM_OBS_ONLY(if (rec) ++rec->servers_eligible;)
     if (!from_source.reachable(v)) {
       reject.update(RejectTracker::kRankCandidate,
                     "server unreachable at the demanded bandwidth",
                     RejectCause::kBandwidth);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_disconnected;)
       continue;
     }
     const graph::ShortestPaths from_server = graph::dijkstra(sub.graph, v);
+    NFVM_OBS_ONLY(if (rec) ++rec->servers_evaluated;)
     bool all_reachable = true;
     for (graph::VertexId d : request.destinations) {
       if (!from_server.reachable(d)) {
@@ -202,6 +244,7 @@ AdmissionDecision OnlineSp::try_admit_rebuild(const nfv::Request& request) {
       reject.update(RejectTracker::kRankCandidate,
                     "a destination is unreachable at the demanded bandwidth",
                     RejectCause::kBandwidth);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_disconnected;)
       continue;
     }
 
@@ -209,11 +252,15 @@ AdmissionDecision OnlineSp::try_admit_rebuild(const nfv::Request& request) {
         request, v, from_source, from_server, &sub.original_edge, /*cost=*/0.0);
     // Cost = number of link traversals (unit weights on links).
     tree.cost = static_cast<double>(tree.total_link_traversals());
-    if (best.has_value() && tree.cost >= best->cost) continue;
+    if (best.has_value() && tree.cost >= best->cost) {
+      NFVM_OBS_ONLY(if (rec) ++rec->cost_pruned;)
+      continue;
+    }
     if (!meets_delay_bound(*topo_, request, tree)) {
       reject.update(RejectTracker::kRankCandidate,
                     "no candidate tree meets the delay bound",
                     RejectCause::kDelay);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_delay;)
       continue;
     }
 
@@ -222,10 +269,17 @@ AdmissionDecision OnlineSp::try_admit_rebuild(const nfv::Request& request) {
       reject.update(RejectTracker::kRankCandidate,
                     "path overlaps exceed residual bandwidth",
                     RejectCause::kBandwidth);
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_capacity;)
       continue;
     }
+    NFVM_OBS_ONLY(if (rec) {
+      ++rec->candidates_feasible;
+      rec->chosen_server = static_cast<std::int64_t>(v);
+      rec->cost_total = tree.cost;
+    })
     best = Candidate{tree.cost, std::move(tree), std::move(footprint)};
   }
+  NFVM_OBS_ONLY(if (rec) rec->eval_us = phase_watch.elapsed_us();)
 
   if (!best.has_value()) {
     decision.reject_reason = std::string(reject.reason());

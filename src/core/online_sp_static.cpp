@@ -1,6 +1,8 @@
 #include "core/online_sp_static.h"
 
 #include "core/delay.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
 
 namespace nfvm::core {
 
@@ -26,16 +28,24 @@ AdmissionDecision OnlineSpStatic::try_admit(const nfv::Request& request) {
   std::optional<Candidate> best;
   std::string_view reason = "no server has sufficient residual computing";
   RejectCause cause = RejectCause::kCompute;
+  NFVM_OBS_ONLY(RequestRecord* const rec = active_record();
+                util::Stopwatch phase_watch;)
 
   for (graph::VertexId v : topo_->servers) {
-    if (state_.residual_compute(v) < demand) continue;
+    if (state_.residual_compute(v) < demand) {
+      NFVM_OBS_ONLY(if (rec) ++rec->skipped_compute;)
+      continue;
+    }
+    NFVM_OBS_ONLY(if (rec) ++rec->servers_eligible;)
     if (!from_source.reachable(v)) {
       reason = "server disconnected from the source";
       cause = RejectCause::kBandwidth;
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_disconnected;)
       continue;
     }
     const auto from_server_tree = paths_from(v);
     const graph::ShortestPaths& from_server = *from_server_tree;
+    NFVM_OBS_ONLY(if (rec) ++rec->servers_evaluated;)
     bool all_reachable = true;
     for (graph::VertexId d : request.destinations) {
       if (!from_server.reachable(d)) {
@@ -46,6 +56,7 @@ AdmissionDecision OnlineSpStatic::try_admit(const nfv::Request& request) {
     if (!all_reachable) {
       reason = "a destination is disconnected";
       cause = RejectCause::kBandwidth;
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_disconnected;)
       continue;
     }
 
@@ -53,10 +64,14 @@ AdmissionDecision OnlineSpStatic::try_admit(const nfv::Request& request) {
         request, v, from_source, from_server, /*to_physical=*/nullptr,
         /*cost=*/0.0);
     tree.cost = static_cast<double>(tree.total_link_traversals());
-    if (best.has_value() && tree.cost >= best->cost) continue;
+    if (best.has_value() && tree.cost >= best->cost) {
+      NFVM_OBS_ONLY(if (rec) ++rec->cost_pruned;)
+      continue;
+    }
     if (!meets_delay_bound(*topo_, request, tree)) {
       reason = "no candidate tree meets the delay bound";
       cause = RejectCause::kDelay;
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_delay;)
       continue;
     }
 
@@ -65,10 +80,17 @@ AdmissionDecision OnlineSpStatic::try_admit(const nfv::Request& request) {
       // The fixed route no longer fits; a static policy does not reroute.
       reason = "fixed route exceeds residual bandwidth";
       cause = RejectCause::kBandwidth;
+      NFVM_OBS_ONLY(if (rec) ++rec->failed_capacity;)
       continue;
     }
+    NFVM_OBS_ONLY(if (rec) {
+      ++rec->candidates_feasible;
+      rec->chosen_server = static_cast<std::int64_t>(v);
+      rec->cost_total = tree.cost;
+    })
     best = Candidate{tree.cost, std::move(tree), std::move(footprint)};
   }
+  NFVM_OBS_ONLY(if (rec) rec->eval_us = phase_watch.elapsed_us();)
 
   if (!best.has_value()) {
     decision.reject_reason = std::string(reason);

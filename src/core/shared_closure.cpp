@@ -4,7 +4,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/hdr_histogram.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/timer.h"
 
 namespace nfvm::core {
 
@@ -19,6 +22,7 @@ const graph::ShortestPaths& TerminalTables::from(graph::VertexId v) const {
 SharedOracle build_shared_oracle(const WorkContext& ctx,
                                  const nfv::Request& request) {
   NFVM_SPAN("appro_multi/build_shared_oracle");
+  NFVM_OBS_ONLY(util::Stopwatch oracle_watch;)
   SharedOracle oracle;
   oracle.ctx = &ctx;
   oracle.request = &request;
@@ -36,6 +40,7 @@ SharedOracle build_shared_oracle(const WorkContext& ctx,
   // Registered last so the source always resolves to ctx.sp_source, even
   // when it doubles as a destination or an eligible server.
   oracle.tables.set_unowned(request.source, &ctx.sp_source);
+  NFVM_HDR_OBSERVE("core.shared_closure.oracle_us", oracle_watch.elapsed_us());
   return oracle;
 }
 

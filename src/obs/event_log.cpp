@@ -60,8 +60,17 @@ bool EventLog::open(const std::string& path) {
 void EventLog::write(const JsonLine& line) {
   const std::lock_guard<std::mutex> lock(mu_);
   if (sink_ == nullptr) return;
-  *sink_ << line.str() << "\n";
+  if (stamp_.empty() || line.body().empty()) {
+    *sink_ << "{" << stamp_ << line.body() << "}\n";
+  } else {
+    *sink_ << "{" << stamp_ << "," << line.body() << "}\n";
+  }
   ++lines_;
+}
+
+void EventLog::set_stamp(const JsonLine& stamp) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stamp_ = stamp.body();
 }
 
 void EventLog::close() {

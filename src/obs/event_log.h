@@ -39,6 +39,10 @@ class JsonLine {
   /// The finished object, e.g. {"event":"request","admitted":true}.
   std::string str() const { return "{" + body_ + "}"; }
 
+  /// The fields without the surrounding braces - used by EventLog to splice
+  /// the per-run stamp in front of each line's own fields.
+  const std::string& body() const { return body_; }
+
  private:
   JsonLine& field_uint(std::string_view key, std::uint64_t value);
   JsonLine& field_int(std::string_view key, std::int64_t value);
@@ -62,6 +66,11 @@ class EventLog {
   void write(const JsonLine& line);
   std::size_t lines_written() const { return lines_; }
 
+  /// Run-identification fields (schema tag, config hash, seed) prepended to
+  /// every subsequently written line, so each JSONL line is self-describing
+  /// even when cut out of its bundle. Call before the first write.
+  void set_stamp(const JsonLine& stamp);
+
   /// Flushes and closes the sink.
   void close();
 
@@ -70,6 +79,7 @@ class EventLog {
   std::ofstream out_;
   std::ostream* sink_ = nullptr;  // &out_, or std::cout for "-"
   std::size_t lines_ = 0;
+  std::string stamp_;  // pre-serialized fields, no braces; may be empty
 };
 
 }  // namespace nfvm::obs

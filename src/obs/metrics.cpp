@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/hdr_histogram.h"
 #include "obs/json.h"
 
 namespace nfvm::obs {
@@ -109,6 +110,10 @@ double estimate_quantile(const Histogram& histogram, double q) {
 
 // --- Registry ---------------------------------------------------------------
 
+// Out-of-line so HdrHistogram can stay forward-declared in the header.
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
 Registry& Registry::global() {
   // Intentionally leaked: instrumented code and at-exit exporters may touch
   // the registry during static destruction, so it must never be destroyed.
@@ -140,11 +145,20 @@ Histogram* Registry::histogram(std::string_view name) {
       .first->second.get();
 }
 
+HdrHistogram* Registry::hdr_histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = hdr_histograms_.find(name);
+  if (it != hdr_histograms_.end()) return it->second.get();
+  return hdr_histograms_.emplace(std::string(name), std::make_unique<HdrHistogram>())
+      .first->second.get();
+}
+
 void Registry::reset_values() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, h] : hdr_histograms_) h->reset();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_snapshot() const {
@@ -171,10 +185,65 @@ std::vector<std::string> Registry::counter_names() const {
   return out;
 }
 
+namespace {
+
+/// Body shared by both histogram kinds: stats, estimated percentiles (always
+/// exported when count > 0, so readers never re-derive them from buckets)
+/// and the dense bucket list up to the highest non-empty one.
+void write_histogram_body(JsonWriter& w, std::string_view kind,
+                          std::uint64_t count, double sum, double min_value,
+                          double max_value,
+                          const std::vector<HistogramBucket>& buckets) {
+  w.key("kind").value(kind);
+  w.key("count").value(count);
+  w.key("sum").value(sum);
+  if (count > 0) {
+    w.key("min").value(min_value);
+    w.key("max").value(max_value);
+    // Estimated within the containing bucket; see estimate_quantile for the
+    // log2 error bound and obs/hdr_histogram.h for the <= 1% hdr bound.
+    w.key("p50").value(estimate_quantile(buckets, 0.50, min_value, max_value));
+    w.key("p90").value(estimate_quantile(buckets, 0.90, min_value, max_value));
+    w.key("p99").value(estimate_quantile(buckets, 0.99, min_value, max_value));
+  }
+  w.key("buckets").begin_array();
+  for (const HistogramBucket& bucket : buckets) {
+    w.begin_object();
+    if (std::isfinite(bucket.le)) {
+      w.key("le").value(bucket.le);
+    } else {
+      w.key("le").value("+Inf");
+    }
+    w.key("count").value(bucket.count);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::vector<HistogramBucket> log2_snapshot_buckets(const Histogram& h) {
+  std::size_t highest = 0;
+  bool any = false;
+  for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (h.bucket_count(b) > 0) {
+      highest = b;
+      any = true;
+    }
+  }
+  std::vector<HistogramBucket> buckets;
+  if (!any) return buckets;
+  for (std::size_t b = 0; b <= highest; ++b) {
+    buckets.push_back({Histogram::bucket_upper_bound(b), h.bucket_count(b)});
+  }
+  return buckets;
+}
+
+}  // namespace
+
 void Registry::write_json(std::ostream& out) const {
   const std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w(out);
   w.begin_object();
+  w.key("schema").value(kMetricsSchema);
 
   w.key("counters").begin_object();
   for (const auto& [name, c] : counters_) {
@@ -188,40 +257,29 @@ void Registry::write_json(std::ostream& out) const {
   }
   w.end_object();
 
+  // Both kinds share the "histograms" section, merged in name order.
   w.key("histograms").begin_object();
-  for (const auto& [name, h] : histograms_) {
-    w.key(name).begin_object();
-    w.key("count").value(h->count());
-    w.key("sum").value(h->sum());
-    if (h->count() > 0) {
-      w.key("min").value(h->min());
-      w.key("max").value(h->max());
-      // Estimated within the containing log2 bucket; see estimate_quantile
-      // for the error bound.
-      w.key("p50").value(estimate_quantile(*h, 0.50));
-      w.key("p90").value(estimate_quantile(*h, 0.90));
-      w.key("p99").value(estimate_quantile(*h, 0.99));
+  auto log2_it = histograms_.begin();
+  auto hdr_it = hdr_histograms_.begin();
+  while (log2_it != histograms_.end() || hdr_it != hdr_histograms_.end()) {
+    const bool take_log2 =
+        hdr_it == hdr_histograms_.end() ||
+        (log2_it != histograms_.end() && log2_it->first <= hdr_it->first);
+    if (take_log2) {
+      const Histogram& h = *log2_it->second;
+      w.key(log2_it->first).begin_object();
+      write_histogram_body(w, "log2", h.count(), h.sum(), h.min(), h.max(),
+                           log2_snapshot_buckets(h));
+      w.end_object();
+      ++log2_it;
+    } else {
+      const HdrHistogram& h = *hdr_it->second;
+      w.key(hdr_it->first).begin_object();
+      write_histogram_body(w, "hdr", h.count(), h.sum(), h.min(), h.max(),
+                           h.snapshot_buckets());
+      w.end_object();
+      ++hdr_it;
     }
-    w.key("buckets").begin_array();
-    std::size_t highest = 0;
-    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
-      if (h->bucket_count(b) > 0) highest = b;
-    }
-    if (h->count() > 0) {
-      for (std::size_t b = 0; b <= highest; ++b) {
-        const double le = Histogram::bucket_upper_bound(b);
-        w.begin_object();
-        if (std::isfinite(le)) {
-          w.key("le").value(le);
-        } else {
-          w.key("le").value("+Inf");
-        }
-        w.key("count").value(h->bucket_count(b));
-        w.end_object();
-      }
-    }
-    w.end_array();
-    w.end_object();
   }
   w.end_object();
 

@@ -120,11 +120,14 @@ double estimate_quantile(const std::vector<HistogramBucket>& buckets, double q,
 /// Convenience overload sampling a live histogram (uses its min/max).
 double estimate_quantile(const Histogram& histogram, double q);
 
+class HdrHistogram;  // obs/hdr_histogram.h
+
 /// Name -> instrument map. Lookups are mutex-guarded; use the macros (or
 /// cache the returned pointer) on hot paths.
 class Registry {
  public:
-  Registry() = default;
+  Registry();
+  ~Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
@@ -136,6 +139,10 @@ class Registry {
   Counter* counter(std::string_view name);
   Gauge* gauge(std::string_view name);
   Histogram* histogram(std::string_view name);
+  /// Tight-error latency instrument (obs/hdr_histogram.h). Lives in the
+  /// same "histograms" JSON section, tagged "kind": "hdr"; names must not
+  /// collide with log2 histograms.
+  HdrHistogram* hdr_histogram(std::string_view name);
 
   /// Zeroes every instrument's value. Never removes instruments, so
   /// pointers cached by call sites stay valid. Use between runs.
@@ -147,12 +154,18 @@ class Registry {
   /// Names of all registered instruments of each kind (sorted).
   std::vector<std::string> counter_names() const;
 
-  /// Writes the whole registry as one JSON object:
-  ///   {"counters": {name: value, ...},
+  /// Writes the whole registry as one JSON object ("nfvm-metrics-v2"):
+  ///   {"schema": "nfvm-metrics-v2",
+  ///    "counters": {name: value, ...},
   ///    "gauges":   {name: value, ...},
-  ///    "histograms": {name: {"count": n, "sum": s, "min": m, "max": M,
+  ///    "histograms": {name: {"kind": "log2"|"hdr", "count": n, "sum": s,
+  ///                          "min": m, "max": M, "p50": ..., "p90": ...,
+  ///                          "p99": ...,
   ///                          "buckets": [{"le": bound, "count": n}, ...]}}}
-  /// Histogram buckets are emitted up to the highest non-empty one.
+  /// Histogram buckets are emitted up to the highest non-empty one. v1
+  /// readers (which detect metrics by the counters/gauges/histograms shape
+  /// and never re-derive percentiles when p50/p90/p99 are present) read v2
+  /// documents unchanged; the "schema" and "kind" tags are additive.
   void write_json(std::ostream& out) const;
   std::string to_json() const;
 
@@ -161,7 +174,11 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<HdrHistogram>, std::less<>> hdr_histograms_;
 };
+
+/// Schema tag written by Registry::write_json.
+inline constexpr std::string_view kMetricsSchema = "nfvm-metrics-v2";
 
 }  // namespace nfvm::obs
 
@@ -200,6 +217,15 @@ class Registry {
     nfvm_obs_histogram_->observe(static_cast<double>(sample));       \
   } while (0)
 
+/// Records into a tight-error HDR histogram (obs/hdr_histogram.h must be
+/// included by the call site's translation unit for observe()).
+#define NFVM_HDR_OBSERVE(name, sample)                               \
+  do {                                                               \
+    static ::nfvm::obs::HdrHistogram* const nfvm_obs_hdr_ =          \
+        ::nfvm::obs::Registry::global().hdr_histogram(name);         \
+    nfvm_obs_hdr_->observe(static_cast<double>(sample));             \
+  } while (0)
+
 #else  // !NFVM_OBS
 
 #define NFVM_OBS_ONLY(...)
@@ -207,5 +233,6 @@ class Registry {
 #define NFVM_COUNTER_INC(name) ((void)0)
 #define NFVM_GAUGE_SET(name, sample) ((void)0)
 #define NFVM_HISTOGRAM_OBSERVE(name, sample) ((void)0)
+#define NFVM_HDR_OBSERVE(name, sample) ((void)0)
 
 #endif  // NFVM_OBS

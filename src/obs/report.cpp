@@ -50,6 +50,12 @@ std::string validate_metrics(const JsonValue& doc) {
   }
   for (const auto& [name, hist] : doc.at("histograms").object) {
     if (!hist.is_object()) return "metrics: histogram \"" + name + "\" is not an object";
+    // "kind" is new in nfvm-metrics-v2; v1 documents omit it.
+    if (hist.has("kind") &&
+        (!hist.at("kind").is_string() ||
+         (hist.at("kind").string != "log2" && hist.at("kind").string != "hdr"))) {
+      return "metrics: histogram \"" + name + "\" has unknown \"kind\"";
+    }
     for (const char* key : {"count", "sum"}) {
       if (!hist.has(key) || !hist.at(key).is_number()) {
         return "metrics: histogram \"" + name + "\" lacks numeric \"" + key + "\"";
@@ -231,7 +237,15 @@ std::string validate_document(const JsonValue& doc) {
   if (!doc.is_object()) return "artifact is not a JSON object";
   if (is_kind(doc, "nfvm-bench-v1")) return validate_bench(doc);
   if (is_kind(doc, "nfvm-run-manifest-v1")) return validate_manifest(doc);
-  if (looks_like_metrics(doc)) return validate_metrics(doc);
+  // Metrics are matched by shape so untagged v1 documents stay readable; a
+  // tagged document must carry the schema string this reader knows.
+  if (looks_like_metrics(doc)) {
+    if (doc.has("schema") && !is_kind(doc, kMetricsSchema)) {
+      return "metrics: unknown schema (expected \"" + std::string(kMetricsSchema) +
+             "\")";
+    }
+    return validate_metrics(doc);
+  }
   return "unrecognized artifact (expected metrics, nfvm-bench-v1 or "
          "nfvm-run-manifest-v1)";
 }

@@ -1,0 +1,107 @@
+// Request-event loading and aggregation - the library behind the
+// `nfvm-report latency`, `nfvm-report explain` and `nfvm-report decisions`
+// subcommands (tools/nfvm_report.cpp).
+//
+// The simulator's JSONL event log ("nfvm-events-v2", see
+// docs/observability.md) emits one "request" object per admission decision;
+// when provenance recording is on, each line also carries the RequestRecord
+// fields (phase_*_us timings, scan counts, cost breakdown, reject context).
+// This header parses those lines back (obs/json.h), aggregates phase
+// latencies into per-algorithm HDR percentile tables (<= 1% relative
+// error), and projects the decision stream into a canonical, timing-free
+// text form that must be byte-identical across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace nfvm::obs::report {
+
+/// Schema tag stamped into every event-log line by nfvm-sim. v1 lines (no
+/// stamp, no provenance fields) still load; the stamp fields are optional.
+inline constexpr std::string_view kEventsSchema = "nfvm-events-v2";
+
+/// One parsed "request" event. `raw` keeps the full line object so explain
+/// can print fields this struct does not model.
+struct RequestEvent {
+  std::string algorithm;
+  std::uint64_t index = 0;
+  std::uint64_t request_id = 0;
+  bool admitted = false;
+  std::string reject_cause;   // empty when admitted
+  std::string reject_reason;  // empty when admitted
+  /// Simulator-observed decision latency (around process()).
+  double decision_us = 0.0;
+  /// Line-header stamp (empty / has_seed=false on v1 logs).
+  std::string schema;
+  std::string config_hash;
+  std::uint64_t seed = 0;
+  bool has_seed = false;
+  /// True when the line carries RequestRecord provenance fields.
+  bool has_provenance = false;
+  JsonValue raw;
+};
+
+/// Loads every "request" event from a .jsonl file or a run-dir bundle
+/// (reads <dir>/events.jsonl). Non-request lines (run headers, summaries)
+/// are skipped. Throws std::runtime_error on I/O or parse errors.
+std::vector<RequestEvent> load_request_events(const std::string& path);
+
+/// One aggregated (algorithm, phase) cell of the latency table.
+struct LatencyRow {
+  std::string algorithm;
+  std::string phase;  // classify, closure, eval, realize, view_patch,
+                      // total, decision
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+  /// This phase's share of the algorithm's summed total_us (NaN for the
+  /// total/decision rows and when no total was recorded).
+  double share = 0.0;
+};
+
+struct LatencyReport {
+  std::vector<LatencyRow> rows;  // grouped by algorithm, phases in order
+  std::size_t num_events = 0;
+  std::size_t num_with_provenance = 0;
+};
+
+/// Aggregates phase latencies per algorithm through HdrHistogram, so every
+/// reported percentile carries the <= 1% relative-error bound.
+LatencyReport aggregate_latency(const std::vector<RequestEvent>& events);
+
+void write_latency_text(std::ostream& out, const LatencyReport& report);
+void write_latency_markdown(std::ostream& out, const LatencyReport& report);
+/// "nfvm-latency-v1" JSON document.
+void write_latency_json(std::ostream& out, const LatencyReport& report);
+
+/// Event-stream invariants for CI (`nfvm-report latency --check`): at least
+/// one request event, finite non-negative timings, phases bounded by the
+/// total, admitted/rejected field consistency, and a single (config_hash,
+/// seed) stamp across the log. Returns "" when all hold, else the first
+/// violation.
+std::string check_events(const std::vector<RequestEvent>& events);
+
+/// Finds the event for `selector`: first as a request_id match, then (when
+/// no id matches and the selector is numeric) as a stream index. Returns
+/// nullptr when neither resolves.
+const RequestEvent* find_request(const std::vector<RequestEvent>& events,
+                                 const std::string& selector);
+
+/// Prints one request's full provenance (`nfvm-report explain`).
+void write_explain(std::ostream& out, const RequestEvent& event);
+
+/// Canonical, timing-free projection of the decision stream - one line per
+/// request, byte-identical across thread counts for the same run config
+/// (`nfvm-report decisions`; diffed by the CI observability smoke).
+void write_decisions(std::ostream& out, const std::vector<RequestEvent>& events);
+
+}  // namespace nfvm::obs::report

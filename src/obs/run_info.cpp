@@ -65,6 +65,20 @@ std::uint64_t peak_rss_kb() {
 #endif
 }
 
+std::string config_hash_hex(std::string_view text) {
+  // FNV-1a 64-bit: tiny, dependency-free, and stable across platforms. Not
+  // cryptographic - this only needs to distinguish run configurations.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
 std::string iso8601_utc_now() {
   const std::time_t now =
       std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());

@@ -8,6 +8,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace nfvm::obs {
@@ -32,6 +33,11 @@ std::uint64_t peak_rss_kb();
 
 /// Current wall-clock time as ISO 8601 UTC, e.g. "2026-08-06T12:34:56Z".
 std::string iso8601_utc_now();
+
+/// FNV-1a 64-bit hash of `text` as 16 lowercase hex digits. Used to stamp a
+/// digest of the run configuration into every event-log line and the
+/// manifest, so mixed-run logs are detectable without diffing full configs.
+std::string config_hash_hex(std::string_view text);
 
 /// Everything a run bundle records about how it was produced. The caller
 /// fills argv/config/timing; write_manifest adds build info and peak RSS.

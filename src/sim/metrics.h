@@ -26,6 +26,14 @@ struct SimulationMetrics {
   util::SampleSet admitted_costs;
   /// Per-request decision latency, seconds.
   util::SampleSet decision_seconds;
+  /// Summed per-phase wall-clock across all requests, microseconds (see the
+  /// phase contract in core/request_record.h). All zero unless the run had
+  /// SimulatorOptions::record_provenance set and NFVM_OBS compiled in.
+  double phase_classify_us = 0.0;
+  double phase_closure_us = 0.0;
+  double phase_eval_us = 0.0;
+  double phase_realize_us = 0.0;
+  double phase_view_patch_us = 0.0;
   /// Final resource utilization.
   double final_bandwidth_utilization = 0.0;
   double final_compute_utilization = 0.0;

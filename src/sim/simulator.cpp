@@ -4,6 +4,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/hdr_histogram.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -12,7 +13,9 @@
 namespace nfvm::sim {
 namespace {
 
-/// One JSONL record per processed request (schema: docs/observability.md).
+/// One JSONL record per processed request (schema "nfvm-events-v2", see
+/// docs/observability.md). When the decision carries a RequestRecord, its
+/// provenance fields ride on the same line.
 void emit_request_event(obs::EventLog* log, const core::OnlineAlgorithm& algorithm,
                         std::size_t index, const nfv::Request& request,
                         const core::AdmissionDecision& decision,
@@ -36,7 +39,48 @@ void emit_request_event(obs::EventLog* log, const core::OnlineAlgorithm& algorit
   }
   line.field("decision_us", decision_seconds * 1e6);
   if (arrival_time >= 0.0) line.field("arrival_time", arrival_time);
+  if (const core::RequestRecord* rec = decision.record.get()) {
+    line.field("fast_path", rec->fast_path)
+        .field("total_us", rec->total_us)
+        .field("phase_classify_us", rec->classify_us)
+        .field("phase_closure_us", rec->closure_us)
+        .field("phase_eval_us", rec->eval_us)
+        .field("phase_realize_us", rec->realize_us)
+        .field("phase_view_patch_us", rec->view_patch_us)
+        .field("servers_total", rec->servers_total)
+        .field("servers_eligible", rec->servers_eligible)
+        .field("servers_evaluated", rec->servers_evaluated)
+        .field("candidates_feasible", rec->candidates_feasible);
+    if (decision.admitted) {
+      line.field("chosen_server", rec->chosen_server)
+          .field("cost_total", rec->cost_total)
+          .field("cost_steiner", rec->cost_steiner)
+          .field("cost_server", rec->cost_server)
+          .field("cost_backhaul", rec->cost_backhaul);
+    }
+    line.field("spcache_hits", rec->spcache_hits)
+        .field("spcache_misses", rec->spcache_misses)
+        .field("skip_compute", rec->skipped_compute)
+        .field("skip_sigma_v", rec->skipped_sigma_v)
+        .field("fail_disconnected", rec->failed_disconnected)
+        .field("fail_sigma_e", rec->failed_sigma_e)
+        .field("fail_delay", rec->failed_delay)
+        .field("fail_capacity", rec->failed_capacity)
+        .field("cost_pruned", rec->cost_pruned);
+  }
   log->write(line);
+}
+
+/// Accumulates a decision's phase timings into the run-level sums.
+void accumulate_phases(SimulationMetrics& metrics,
+                       const core::AdmissionDecision& decision) {
+  if (const core::RequestRecord* rec = decision.record.get()) {
+    metrics.phase_classify_us += rec->classify_us;
+    metrics.phase_closure_us += rec->closure_us;
+    metrics.phase_eval_us += rec->eval_us;
+    metrics.phase_realize_us += rec->realize_us;
+    metrics.phase_view_patch_us += rec->view_patch_us;
+  }
 }
 
 }  // namespace
@@ -49,6 +93,7 @@ SimulationMetrics run_online(core::OnlineAlgorithm& algorithm,
   metrics.num_requests = requests.size();
   metrics.decisions.reserve(requests.size());
   metrics.cumulative_admitted.reserve(requests.size());
+  algorithm.set_record_provenance(options.record_provenance);
 
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const nfv::Request& request = requests[i];
@@ -56,7 +101,8 @@ SimulationMetrics run_online(core::OnlineAlgorithm& algorithm,
     const core::AdmissionDecision decision = algorithm.process(request);
     const double seconds = watch.elapsed_seconds();
     metrics.decision_seconds.add(seconds);
-    NFVM_HISTOGRAM_OBSERVE("online.decision_us", seconds * 1e6);
+    NFVM_HDR_OBSERVE("online.decision_us", seconds * 1e6);
+    accumulate_phases(metrics, decision);
 
     if (decision.admitted) {
       if (options.validate_trees) {
@@ -143,6 +189,7 @@ DynamicMetrics run_online_dynamic(core::OnlineAlgorithm& algorithm,
 
   DynamicMetrics metrics;
   metrics.num_requests = requests.size();
+  algorithm.set_record_provenance(options.record_provenance);
 
   // Departure queue: (departure_time, footprint). Earliest departure first.
   struct Departure {
@@ -164,7 +211,7 @@ DynamicMetrics run_online_dynamic(core::OnlineAlgorithm& algorithm,
     util::Stopwatch watch;
     const core::AdmissionDecision decision = algorithm.process(tr.request);
     const double seconds = watch.elapsed_seconds();
-    NFVM_HISTOGRAM_OBSERVE("online.decision_us", seconds * 1e6);
+    NFVM_HDR_OBSERVE("online.decision_us", seconds * 1e6);
     if (decision.admitted) {
       if (options.validate_trees) {
         std::string error;

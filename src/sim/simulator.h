@@ -20,6 +20,11 @@ struct SimulatorOptions {
   /// When non-null and open, one JSONL event is written per processed
   /// request (see docs/observability.md for the schema). Not owned.
   obs::EventLog* event_log = nullptr;
+  /// Record per-request decision provenance (core::RequestRecord): phase
+  /// timings, candidate-scan counts, cost breakdown, reject context. The
+  /// fields ride on each request event and feed `nfvm-report latency` /
+  /// `explain`. Requires NFVM_OBS; decisions are unaffected either way.
+  bool record_provenance = false;
 };
 
 /// Runs the full sequence through `algorithm` (which carries resource state

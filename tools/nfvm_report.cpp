@@ -11,6 +11,18 @@
 //   nfvm-report --validate FILE...
 //       Schema-validate artifacts (JSON documents or .jsonl logs); exit 1
 //       on the first invalid file.
+//   nfvm-report latency ARTIFACT [--md|--json] [--check]
+//       Per-phase admission-latency table (p50/p90/p99, HDR, <= 1% relative
+//       error) aggregated from an events.jsonl or a run-dir bundle. --check
+//       additionally verifies event-stream invariants and exits 1 on a
+//       violation - the CI observability gate.
+//   nfvm-report explain ARTIFACT REQUEST
+//       Print one request's full decision provenance (phase timings, scan
+//       counts, cost breakdown, reject context). REQUEST is a request id,
+//       falling back to the stream index.
+//   nfvm-report decisions ARTIFACT
+//       Canonical timing-free projection of the decision stream, one line
+//       per request - byte-identical across thread counts.
 //
 // Options (diff / --check):
 //   --threshold X     relative-change gate, default 0.10 (= 10%)
@@ -27,6 +39,7 @@
 #include <vector>
 
 #include "obs/report.h"
+#include "obs/request_events.h"
 
 namespace {
 
@@ -42,8 +55,12 @@ using nfvm::obs::report::CompareReport;
          "                   [--ignore SUBSTR]... [--md FILE|-] [--json FILE|-]\n"
          "       nfvm-report --check BASELINE CANDIDATE [diff options]\n"
          "       nfvm-report --validate FILE...\n"
+         "       nfvm-report latency EVENTS [--md|--json] [--check]\n"
+         "       nfvm-report explain EVENTS REQUEST\n"
+         "       nfvm-report decisions EVENTS\n"
          "an ARTIFACT is a metrics JSON, a BENCH_*.json, a manifest.json or\n"
-         "an nfvm-sim --run-dir directory (see docs/observability.md)\n";
+         "an nfvm-sim --run-dir directory; EVENTS is an events.jsonl or a\n"
+         "run-dir bundle (see docs/observability.md)\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -114,6 +131,61 @@ int run_diff(const std::string& baseline_path, const std::string& candidate_path
   return 0;
 }
 
+std::vector<nfvm::obs::report::RequestEvent> load_events_or_die(
+    const std::string& path) {
+  try {
+    return nfvm::obs::report::load_request_events(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << path << ": " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
+int run_latency(const std::vector<std::string>& args) {
+  std::string path;
+  bool md = false;
+  bool json = false;
+  bool check = false;
+  for (const std::string& arg : args) {
+    if (arg == "--md") md = true;
+    else if (arg == "--json") json = true;
+    else if (arg == "--check") check = true;
+    else if (!arg.empty() && arg[0] == '-') usage("unknown option \"" + arg + "\"");
+    else if (path.empty()) path = arg;
+    else usage("latency takes exactly one events artifact");
+  }
+  if (path.empty()) usage("latency needs an events artifact");
+  if (md && json) usage("latency: pick one of --md / --json");
+
+  const auto events = load_events_or_die(path);
+  if (check) {
+    const std::string error = nfvm::obs::report::check_events(events);
+    if (!error.empty()) {
+      std::cerr << "nfvm-report latency --check: " << path << ": " << error
+                << "\n";
+      return 1;
+    }
+  }
+  const auto report = nfvm::obs::report::aggregate_latency(events);
+  if (json) nfvm::obs::report::write_latency_json(std::cout, report);
+  else if (md) nfvm::obs::report::write_latency_markdown(std::cout, report);
+  else nfvm::obs::report::write_latency_text(std::cout, report);
+  return 0;
+}
+
+int run_explain(const std::string& path, const std::string& selector) {
+  const auto events = load_events_or_die(path);
+  const nfvm::obs::report::RequestEvent* event =
+      nfvm::obs::report::find_request(events, selector);
+  if (event == nullptr) {
+    std::cerr << "error: no request \"" << selector << "\" in " << path
+              << " (" << events.size() << " request events)\n";
+    return 2;
+  }
+  nfvm::obs::report::write_explain(std::cout, *event);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,6 +208,22 @@ int main(int argc, char** argv) {
     if (args.size() != 2) usage("summary takes exactly one artifact");
     const Artifact artifact = load_or_die(args[1]);
     nfvm::obs::report::write_summary(std::cout, artifact);
+    return 0;
+  }
+
+  if (command == "latency") {
+    return run_latency({args.begin() + 1, args.end()});
+  }
+
+  if (command == "explain") {
+    if (args.size() != 3) usage("explain takes an events artifact and a request");
+    return run_explain(args[1], args[2]);
+  }
+
+  if (command == "decisions") {
+    if (args.size() != 2) usage("decisions takes exactly one events artifact");
+    const auto events = load_events_or_die(args[1]);
+    nfvm::obs::report::write_decisions(std::cout, events);
     return 0;
   }
 

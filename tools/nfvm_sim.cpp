@@ -23,7 +23,10 @@
 //                            histograms) as JSON at exit; "-" writes to stdout
 //     --trace <file>         record tracing spans; Chrome trace_event JSON,
 //                            loadable in chrome://tracing or Perfetto
-//     --events <file>        JSONL event log, one line per processed request;
+//     --events <file>        JSONL event log ("nfvm-events-v2"), one line per
+//                            processed request, stamped with the config hash
+//                            and seed and carrying full decision provenance
+//                            (phase timings, scan counts, reject context);
 //                            "-" writes to stdout
 //     --log-level <level>    error|warn|info|debug (default warn)
 //     --run-dir <dir>        write a self-describing artifact bundle:
@@ -55,6 +58,7 @@
 #include "obs/event_log.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/request_events.h"
 #include "obs/run_info.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
@@ -166,6 +170,11 @@ void validate_options(Options& opts) {
     if (opts.events_file.empty()) opts.events_file = in_dir("events.jsonl");
     if (opts.trace_file.empty()) opts.trace_file = in_dir("trace.json");
   }
+  // Two JSON artifacts interleaved on one stream are unparseable; catch the
+  // conflict at parse time, not after the run.
+  if (opts.events_file == "-" && opts.metrics_json == "-") {
+    usage("--events and --metrics-json cannot both write to stdout (\"-\")");
+  }
   // "-" (stdout) is supported for the line- and object-oriented artifacts
   // only; a Chrome trace or dot dump interleaved with the table is useless.
   for (const auto& [flag, path] :
@@ -252,6 +261,7 @@ struct RunContext {
   obs::TimeseriesSampler sampler;
   std::vector<std::string> argv;
   std::string start_time;
+  std::string config_hash;
   util::Stopwatch wall;
 };
 
@@ -274,6 +284,20 @@ std::map<std::string, std::string> manifest_config(const Options& opts) {
   }
   config["threads"] = std::to_string(util::ThreadPool::global().num_threads());
   return config;
+}
+
+/// Digest of the manifest config echo. Stamped into every event-log line and
+/// the manifest, so logs from different runs cannot be mixed up silently.
+/// Call after the thread pool is sized (the echo records the thread count).
+std::string config_digest(const Options& opts) {
+  std::string text;
+  for (const auto& [key, value] : manifest_config(opts)) {
+    text += key;
+    text += '=';
+    text += value;
+    text += ';';
+  }
+  return obs::config_hash_hex(text);
 }
 
 /// Flushes the requested artifacts at the end of the run (and on the offline
@@ -314,6 +338,7 @@ void write_artifacts(const Options& opts, const obs::EventLog& events,
     manifest.end_time = obs::iso8601_utc_now();
     manifest.wall_time_s = ctx.wall.elapsed_seconds();
     manifest.config = manifest_config(opts);
+    manifest.config["config_hash"] = ctx.config_hash;
     for (const auto& [flag, path] :
          {std::pair<const char*, const std::string&>{"metrics", opts.metrics_json},
           {"events", opts.events_file},
@@ -341,11 +366,17 @@ int main(int argc, char** argv) {
   RunContext ctx;
   ctx.argv.assign(argv, argv + argc);
   ctx.start_time = obs::iso8601_utc_now();
+  ctx.config_hash = config_digest(opts);
 
   if (!opts.trace_file.empty()) obs::Tracer::global().start();
   obs::EventLog events;
-  if (!opts.events_file.empty() && !events.open(opts.events_file)) {
-    usage("cannot open " + opts.events_file);
+  if (!opts.events_file.empty()) {
+    if (!events.open(opts.events_file)) usage("cannot open " + opts.events_file);
+    obs::JsonLine stamp;
+    stamp.field("schema", obs::report::kEventsSchema)
+        .field("config_hash", ctx.config_hash)
+        .field("seed", opts.seed);
+    events.set_stamp(stamp);
   }
   if (!opts.timeseries_file.empty() &&
       !ctx.sampler.start(obs::Registry::global(), opts.timeseries_file,
@@ -435,6 +466,9 @@ int main(int argc, char** argv) {
 
   sim::SimulatorOptions sim_opts;
   sim_opts.event_log = events.is_open() ? &events : nullptr;
+  // Provenance recording is tied to the event log: the fields only leave the
+  // process through it, and it never changes any decision.
+  sim_opts.record_provenance = events.is_open();
 
   util::Table table({"algorithm", "requests", "admitted", "acceptance",
                      "mean_cost", "rej_bw", "rej_cpu", "rej_thr", "rej_dly",
