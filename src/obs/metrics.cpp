@@ -6,6 +6,7 @@
 
 #include "obs/hdr_histogram.h"
 #include "obs/json.h"
+#include "obs/window.h"
 
 namespace nfvm::obs {
 
@@ -153,12 +154,38 @@ HdrHistogram* Registry::hdr_histogram(std::string_view name) {
       .first->second.get();
 }
 
+WindowedHistogram* Registry::windowed_histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = windowed_.find(name);
+  if (it != windowed_.end()) return it->second.get();
+  return windowed_
+      .emplace(std::string(name),
+               std::make_unique<WindowedHistogram>(
+                   window_options_ ? *window_options_ : WindowOptions{}))
+      .first->second.get();
+}
+
+void Registry::set_window_options(const WindowOptions& options) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  window_options_ = std::make_unique<WindowOptions>(options);
+}
+
+std::vector<std::pair<std::string, WindowedHistogram*>>
+Registry::windowed_instruments() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, WindowedHistogram*>> out;
+  out.reserve(windowed_.size());
+  for (const auto& [name, w] : windowed_) out.emplace_back(name, w.get());
+  return out;
+}
+
 void Registry::reset_values() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
   for (auto& [name, h] : hdr_histograms_) h->reset();
+  for (auto& [name, w] : windowed_) w->reset();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_snapshot() const {

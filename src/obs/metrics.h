@@ -120,7 +120,9 @@ double estimate_quantile(const std::vector<HistogramBucket>& buckets, double q,
 /// Convenience overload sampling a live histogram (uses its min/max).
 double estimate_quantile(const Histogram& histogram, double q);
 
-class HdrHistogram;  // obs/hdr_histogram.h
+class HdrHistogram;        // obs/hdr_histogram.h
+class WindowedHistogram;   // obs/window.h
+struct WindowOptions;      // obs/window.h
 
 /// Name -> instrument map. Lookups are mutex-guarded; use the macros (or
 /// cache the returned pointer) on hot paths.
@@ -143,6 +145,21 @@ class Registry {
   /// same "histograms" JSON section, tagged "kind": "hdr"; names must not
   /// collide with log2 histograms.
   HdrHistogram* hdr_histogram(std::string_view name);
+  /// Time-aware instrument (obs/window.h): sliding-window + decaying views
+  /// of one sample stream. Created with the registry's default WindowOptions
+  /// (set_window_options); never part of write_json - windowed state is
+  /// emitted per tick in the nfvm-timeseries-v2 "windows" section instead.
+  WindowedHistogram* windowed_histogram(std::string_view name);
+
+  /// Options applied to windowed instruments created after this call
+  /// (existing instruments keep theirs) - call before the first
+  /// NFVM_WINDOW_OBSERVE executes to change the process-wide defaults.
+  void set_window_options(const WindowOptions& options);
+
+  /// Name -> instrument pointers of every windowed histogram (sorted by
+  /// name; pointers are registry-lifetime stable). The sampler snapshots
+  /// these outside the registry lock.
+  std::vector<std::pair<std::string, WindowedHistogram*>> windowed_instruments() const;
 
   /// Zeroes every instrument's value. Never removes instruments, so
   /// pointers cached by call sites stay valid. Use between runs.
@@ -175,6 +192,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::map<std::string, std::unique_ptr<HdrHistogram>, std::less<>> hdr_histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>> windowed_;
+  std::unique_ptr<WindowOptions> window_options_;  // null = library defaults
 };
 
 /// Schema tag written by Registry::write_json.
@@ -226,6 +245,17 @@ inline constexpr std::string_view kMetricsSchema = "nfvm-metrics-v2";
     nfvm_obs_hdr_->observe(static_cast<double>(sample));             \
   } while (0)
 
+/// Records into a windowed (sliding + decaying) histogram stamped with
+/// window_now_ms(). obs/window.h must be included by the call site's
+/// translation unit for observe() and the clock.
+#define NFVM_WINDOW_OBSERVE(name, sample)                            \
+  do {                                                               \
+    static ::nfvm::obs::WindowedHistogram* const nfvm_obs_window_ =  \
+        ::nfvm::obs::Registry::global().windowed_histogram(name);    \
+    nfvm_obs_window_->observe(static_cast<double>(sample),           \
+                              ::nfvm::obs::window_now_ms());         \
+  } while (0)
+
 #else  // !NFVM_OBS
 
 #define NFVM_OBS_ONLY(...)
@@ -234,5 +264,6 @@ inline constexpr std::string_view kMetricsSchema = "nfvm-metrics-v2";
 #define NFVM_GAUGE_SET(name, sample) ((void)0)
 #define NFVM_HISTOGRAM_OBSERVE(name, sample) ((void)0)
 #define NFVM_HDR_OBSERVE(name, sample) ((void)0)
+#define NFVM_WINDOW_OBSERVE(name, sample) ((void)0)
 
 #endif  // NFVM_OBS

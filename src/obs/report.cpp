@@ -9,6 +9,8 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/sampler.h"  // kTimeseriesSchema
+#include "obs/slo.h"      // kSloSchema
 
 namespace nfvm::obs::report {
 
@@ -102,6 +104,60 @@ std::string validate_bench(const JsonValue& doc) {
   }
   if (!doc.has("metrics")) return "bench: missing \"metrics\" snapshot";
   if (std::string err = validate_metrics(doc.at("metrics")); !err.empty()) return err;
+  return "";
+}
+
+std::string validate_slo(const JsonValue& doc) {
+  if (!doc.has("pass") || !doc.at("pass").is_bool()) return "slo: missing bool \"pass\"";
+  if (!doc.has("objectives") || !doc.at("objectives").is_array()) {
+    return "slo: missing \"objectives\" array";
+  }
+  for (const JsonValue& objective : doc.at("objectives").array) {
+    if (!objective.is_object()) return "slo: non-object objective";
+    if (!objective.has("slo") || !objective.at("slo").is_string()) {
+      return "slo: objective lacks string \"slo\"";
+    }
+    if (!objective.has("pass") || !objective.at("pass").is_bool()) {
+      return "slo: objective lacks bool \"pass\"";
+    }
+    for (const char* key : {"threshold", "window_ms", "budget",
+                            "windows_evaluated", "windows_breached",
+                            "windows_skipped", "breach_fraction", "burn_rate"}) {
+      if (!objective.has(key) || !objective.at(key).is_number()) {
+        return std::string("slo: objective lacks numeric \"") + key + "\"";
+      }
+    }
+    if (!objective.has("breaches") || !objective.at("breaches").is_array()) {
+      return "slo: objective lacks \"breaches\" array";
+    }
+    for (const JsonValue& breach : objective.at("breaches").array) {
+      for (const char* key : {"window_start_ms", "window_end_ms", "observed"}) {
+        if (!breach.is_object() || !breach.has(key) || !breach.at(key).is_number()) {
+          return std::string("slo: breach lacks numeric \"") + key + "\"";
+        }
+      }
+    }
+  }
+  return "";
+}
+
+/// Per-line shape check for tagged "nfvm-timeseries-v2" samples; v1 lines
+/// (no schema tag) only need to be JSON objects.
+std::string validate_timeseries_line(const JsonValue& doc) {
+  if (!doc.has("t_ms") || !doc.at("t_ms").is_number()) {
+    return "timeseries: missing numeric \"t_ms\"";
+  }
+  for (const char* section : {"counters", "gauges", "windows"}) {
+    if (!doc.has(section) || !doc.at(section).is_object()) {
+      return std::string("timeseries: missing object \"") + section + "\"";
+    }
+  }
+  for (const auto& [name, window] : doc.at("windows").object) {
+    if (!window.is_object() || !window.has("count") ||
+        !window.at("count").is_number()) {
+      return "timeseries: window \"" + name + "\" lacks numeric \"count\"";
+    }
+  }
   return "";
 }
 
@@ -229,6 +285,7 @@ std::string_view kind_name(ArtifactKind kind) {
     case ArtifactKind::kManifest: return "manifest";
     case ArtifactKind::kTimeseries: return "timeseries";
     case ArtifactKind::kRunDir: return "run-dir";
+    case ArtifactKind::kSlo: return "slo";
   }
   return "unknown";
 }
@@ -237,6 +294,7 @@ std::string validate_document(const JsonValue& doc) {
   if (!doc.is_object()) return "artifact is not a JSON object";
   if (is_kind(doc, "nfvm-bench-v1")) return validate_bench(doc);
   if (is_kind(doc, "nfvm-run-manifest-v1")) return validate_manifest(doc);
+  if (is_kind(doc, "nfvm-slo-v1")) return validate_slo(doc);
   // Metrics are matched by shape so untagged v1 documents stay readable; a
   // tagged document must carry the schema string this reader knows.
   if (looks_like_metrics(doc)) {
@@ -246,8 +304,8 @@ std::string validate_document(const JsonValue& doc) {
     }
     return validate_metrics(doc);
   }
-  return "unrecognized artifact (expected metrics, nfvm-bench-v1 or "
-         "nfvm-run-manifest-v1)";
+  return "unrecognized artifact (expected metrics, nfvm-bench-v1, "
+         "nfvm-run-manifest-v1 or nfvm-slo-v1)";
 }
 
 std::string validate_file(const std::string& path) {
@@ -265,8 +323,14 @@ std::string validate_file(const std::string& path) {
       ++lineno;
       if (line.empty()) continue;
       try {
-        if (!parse_json(line).is_object()) {
+        const JsonValue doc = parse_json(line);
+        if (!doc.is_object()) {
           return path + ":" + std::to_string(lineno) + ": not a JSON object";
+        }
+        if (is_kind(doc, kTimeseriesSchema)) {
+          if (std::string err = validate_timeseries_line(doc); !err.empty()) {
+            return path + ":" + std::to_string(lineno) + ": " + err;
+          }
         }
       } catch (const std::exception& e) {
         return path + ":" + std::to_string(lineno) + ": " + e.what();
@@ -322,6 +386,18 @@ Artifact load_artifact(const std::string& path) {
     artifact.name = "manifest";
     artifact.scalars["run.wall_time_s"] = artifact.doc.at("wall_time_s").number;
     artifact.scalars["run.peak_rss_kb"] = artifact.doc.at("peak_rss_kb").number;
+  } else if (is_kind(artifact.doc, kSloSchema)) {
+    artifact.kind = ArtifactKind::kSlo;
+    artifact.name = "slo";
+    artifact.scalars["slo.pass"] = artifact.doc.at("pass").boolean ? 1.0 : 0.0;
+    const auto& objectives = artifact.doc.at("objectives").array;
+    for (std::size_t i = 0; i < objectives.size(); ++i) {
+      const std::string base = "slo[" + std::to_string(i) + "].";
+      for (const char* key : {"windows_evaluated", "windows_breached",
+                              "windows_skipped", "breach_fraction", "burn_rate"}) {
+        artifact.scalars[base + key] = objectives[i].at(key).number;
+      }
+    }
   } else {
     artifact.kind = ArtifactKind::kMetrics;
     artifact.name = fs::path(path).stem().string();
@@ -389,9 +465,129 @@ void write_summary(std::ostream& out, const Artifact& artifact) {
           << (value.is_string() ? value.string : format_value(value.number)) << "\n";
     }
   }
+  // Histograms grouped on one line each - sample count next to the
+  // quantiles, so "p99 = 12" cannot be mistaken for a healthy signal when
+  // it came from three samples. Driven by the flattened scalars, so it
+  // covers bare metrics files, bench artifacts and run-dir bundles alike.
+  std::map<std::string, std::map<std::string, double>> histograms;
+  for (const auto& [key, value] : artifact.scalars) {
+    const std::size_t at = key.find("histograms.");
+    if (at != 0 && (at == std::string::npos ||
+                    key.compare(0, at, "metrics.") != 0)) {
+      continue;
+    }
+    const std::size_t dot = key.rfind('.');
+    const std::string stat = key.substr(dot + 1);
+    if (stat != "count" && stat != "sum" && stat != "p50" && stat != "p90" &&
+        stat != "p99") {
+      continue;
+    }
+    histograms[key.substr(at + std::string_view("histograms.").size(),
+                          dot - at - std::string_view("histograms.").size())]
+              [stat] = value;
+  }
+  if (!histograms.empty()) {
+    out << "# histograms (count | p50 / p90 / p99)\n";
+    for (const auto& [name, stats] : histograms) {
+      const auto count_it = stats.find("count");
+      const auto count = static_cast<std::uint64_t>(
+          count_it == stats.end() ? 0.0 : count_it->second);
+      out << "#   " << name << ": " << count << " samples";
+      if (count > 0) {
+        out << " | ";
+        const char* sep = "";
+        for (const char* key : {"p50", "p90", "p99"}) {
+          const auto it = stats.find(key);
+          if (it == stats.end()) out << sep << "?";
+          else out << sep << format_value(it->second);
+          sep = " / ";
+        }
+      }
+      out << "\n";
+    }
+  }
   out << artifact.scalars.size() << " comparable values\n";
   for (const auto& [key, value] : artifact.scalars) {
     out << "  " << key << " = " << format_value(value) << "\n";
+  }
+}
+
+SloArtifact load_slo_artifact(const std::string& path) {
+  SloArtifact artifact;
+  artifact.path = path;
+  std::string slo_path = path;
+  std::string timeseries_path;
+  if (fs::is_directory(fs::path(path))) {
+    slo_path = (fs::path(path) / "slo.json").string();
+    timeseries_path = (fs::path(path) / "timeseries.jsonl").string();
+  }
+  artifact.doc = parse_json(read_file(slo_path));
+  if (!is_kind(artifact.doc, kSloSchema)) {
+    throw std::runtime_error(slo_path + ": not an \"" + std::string(kSloSchema) +
+                             "\" document");
+  }
+  if (std::string err = validate_slo(artifact.doc); !err.empty()) {
+    throw std::runtime_error(slo_path + ": " + err);
+  }
+  if (!timeseries_path.empty() && fs::exists(fs::path(timeseries_path))) {
+    std::istringstream lines(read_file(timeseries_path));
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      JsonValue doc = parse_json(line);
+      if (is_kind(doc, kTimeseriesSchema)) {
+        artifact.timeseries.push_back(std::move(doc));
+      }
+    }
+  }
+  return artifact;
+}
+
+bool slo_pass(const JsonValue& doc) { return doc.at("pass").boolean; }
+
+void write_slo_text(std::ostream& out, const SloArtifact& artifact) {
+  const JsonValue& doc = artifact.doc;
+  out << "# slo: " << artifact.path << " -> "
+      << (slo_pass(doc) ? "PASS" : "FAIL") << "\n";
+  for (const JsonValue& o : doc.at("objectives").array) {
+    const auto evaluated = static_cast<std::uint64_t>(o.at("windows_evaluated").number);
+    const auto breached = static_cast<std::uint64_t>(o.at("windows_breached").number);
+    const auto skipped = static_cast<std::uint64_t>(o.at("windows_skipped").number);
+    out << (o.at("pass").boolean ? "ok    " : "BREACH") << "  " << o.at("slo").string
+        << "\n";
+    out << "        windows " << evaluated << " evaluated, " << breached
+        << " breached, " << skipped << " skipped";
+    const double budget = o.at("budget").number;
+    out << " | budget " << format_value(budget * 100.0) << "% | burn "
+        << format_value(o.at("burn_rate").number);
+    if (o.has("worst")) out << " | worst " << format_value(o.at("worst").number);
+    if (o.has("last")) out << " | last " << format_value(o.at("last").number);
+    out << "\n";
+    for (const JsonValue& b : o.at("breaches").array) {
+      out << "        breach [" << format_value(b.at("window_start_ms").number)
+          << " ms, " << format_value(b.at("window_end_ms").number)
+          << " ms]: observed " << format_value(b.at("observed").number) << "\n";
+    }
+  }
+  if (artifact.timeseries.empty()) return;
+
+  // Per-window quantile evolution, one row per sample per instrument.
+  out << "# windows (t_ms: instrument count | p50 / p90 / p99)\n";
+  for (const JsonValue& sample : artifact.timeseries) {
+    for (const auto& [name, window] : sample.at("windows").object) {
+      const auto count = static_cast<std::uint64_t>(window.at("count").number);
+      out << "  " << format_value(sample.at("t_ms").number) << ": " << name
+          << " " << count;
+      if (count > 0) {
+        out << " | ";
+        const char* sep = "";
+        for (const char* key : {"p50", "p90", "p99"}) {
+          out << sep << (window.has(key) ? format_value(window.at(key).number) : "?");
+          sep = " / ";
+        }
+      }
+      out << "\n";
+    }
   }
 }
 

@@ -21,7 +21,7 @@
 
 namespace nfvm::obs::report {
 
-enum class ArtifactKind { kMetrics, kBench, kManifest, kTimeseries, kRunDir };
+enum class ArtifactKind { kMetrics, kBench, kManifest, kTimeseries, kRunDir, kSlo };
 
 /// Human-readable kind tag ("metrics", "bench", ...).
 std::string_view kind_name(ArtifactKind kind);
@@ -86,6 +86,28 @@ CompareReport compare_artifacts(const Artifact& baseline,
 
 /// One-artifact overview: counts, counters, histogram percentiles.
 void write_summary(std::ostream& out, const Artifact& artifact);
+
+/// An SLO outcome ("nfvm-slo-v1", written by nfvm-sim --slo) plus the run's
+/// timeseries lines when they travelled in the same bundle - the source for
+/// the per-window quantile table `nfvm-report slo` renders.
+struct SloArtifact {
+  std::string path;
+  JsonValue doc;
+  /// Parsed "nfvm-timeseries-v2" lines; empty for a bare slo.json.
+  std::vector<JsonValue> timeseries;
+};
+
+/// Loads a slo.json file or a run directory (slo.json + timeseries.jsonl).
+/// Throws std::runtime_error on I/O, parse or schema failure.
+SloArtifact load_slo_artifact(const std::string& path);
+
+/// Whether the outcome document's top-level verdict is a pass.
+bool slo_pass(const JsonValue& doc);
+
+/// Renders the objective table (windows evaluated/breached/skipped, error
+/// budget, burn rate, worst/last), breach records, and - when timeseries
+/// lines are present - the per-window quantile evolution.
+void write_slo_text(std::ostream& out, const SloArtifact& artifact);
 
 /// Markdown diff: header, regression table, changed-key table, totals.
 void write_report_markdown(std::ostream& out, const Artifact& baseline,

@@ -391,11 +391,11 @@ void write_decisions(std::ostream& out,
   for (const RequestEvent& ev : events) {
     out << ev.algorithm << " #" << ev.index << " id=" << ev.request_id << " ";
     if (ev.admitted) {
+      // Only fields every build emits: provenance extras (chosen_server,
+      // ...) depend on NFVM_OBS and --provenance, and this projection is
+      // the cross-build byte-identity witness. `explain` shows the rest.
       out << "admit cost=" << format_exact(number_or(ev.raw, "cost", 0))
           << " servers=" << format_exact(number_or(ev.raw, "servers", 0));
-      if (ev.raw.has("chosen_server")) {
-        out << " server=" << format_exact(number_or(ev.raw, "chosen_server", -1));
-      }
     } else {
       out << "reject cause=" << ev.reject_cause << " reason=\""
           << ev.reject_reason << "\"";

@@ -99,9 +99,10 @@ const RequestEvent* find_request(const std::vector<RequestEvent>& events,
 /// Prints one request's full provenance (`nfvm-report explain`).
 void write_explain(std::ostream& out, const RequestEvent& event);
 
-/// Canonical, timing-free projection of the decision stream - one line per
-/// request, byte-identical across thread counts for the same run config
-/// (`nfvm-report decisions`; diffed by the CI observability smoke).
+/// Canonical, timing- and provenance-free projection of the decision stream
+/// - one line per request, byte-identical across thread counts AND across
+/// NFVM_OBS=0/1 builds for the same run config (`nfvm-report decisions`;
+/// diffed by the CI observability and soak smokes).
 void write_decisions(std::ostream& out, const std::vector<RequestEvent>& events);
 
 }  // namespace nfvm::obs::report

@@ -10,6 +10,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 // CMake passes these as escaped string defines on the nfvm_obs target; keep
@@ -60,6 +61,27 @@ std::uint64_t peak_rss_kb() {
 #else
   return static_cast<std::uint64_t>(usage.ru_maxrss);
 #endif
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t current_rss_kb() {
+#if defined(__linux__)
+  // statm field 2 is the resident page count; no allocation on this path
+  // beyond the stdio buffer, so it is safe to call from the sampler tick.
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long long size_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int matched =
+      std::fscanf(statm, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(statm);
+  if (matched != 2) return 0;
+  const long page_size = sysconf(_SC_PAGESIZE);
+  if (page_size <= 0) return 0;
+  return static_cast<std::uint64_t>(resident_pages) *
+         static_cast<std::uint64_t>(page_size) / 1024;
 #else
   return 0;
 #endif

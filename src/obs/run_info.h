@@ -31,6 +31,12 @@ BuildInfo build_info();
 /// 0 on platforms without rusage support.
 std::uint64_t peak_rss_kb();
 
+/// Current resident set size in kilobytes (/proc/self/statm); 0 where no
+/// equivalent exists. Unlike the monotone peak, this can shrink - sampled
+/// per tick into the timeseries stream so soak runs expose memory growth
+/// (and release) over time, not just the high-water mark at exit.
+std::uint64_t current_rss_kb();
+
 /// Current wall-clock time as ISO 8601 UTC, e.g. "2026-08-06T12:34:56Z".
 std::string iso8601_utc_now();
 

@@ -1,28 +1,51 @@
 // Opt-in periodic metrics sampler for long online runs: a background thread
-// snapshots the registry's counters and gauges plus the process RSS into a
-// JSONL timeseries (one object per sample). Wired to `nfvm-sim --timeseries
-// FILE --sample-interval-ms N`; idle (no thread, no file) unless started.
+// snapshots the registry's counters, gauges and windowed instruments plus
+// the process RSS into a JSONL timeseries (one "nfvm-timeseries-v2" object
+// per sample). Wired to `nfvm-sim --timeseries FILE --sample-interval-ms N`;
+// idle (no thread, no file) unless started. The same tick also drives the
+// SLO tracker (obs/slo.h) when one is attached, so `--slo` works with or
+// without a timeseries file.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 
 namespace nfvm::obs {
 
 class Registry;
+class SloTracker;
+
+/// Schema tag stamped into every timeseries line. v1 lines (no tag) carried
+/// only t_ms / rss_kb / counters / gauges; v2 adds current_rss_kb, the
+/// per-window quantile section ("windows") and per-interval rates.
+inline constexpr std::string_view kTimeseriesSchema = "nfvm-timeseries-v2";
 
 /// Samples `registry` every `interval` until stop() (or destruction). Each
-/// line is {"t_ms": <ms since start>, "rss_kb": N, "counters": {...},
-/// "gauges": {...}}. A final sample is always written on stop so short runs
-/// still produce at least one line. Sampling takes the registry mutex for
-/// the duration of one snapshot - microseconds - so the hot paths it
-/// observes are effectively undisturbed.
+/// line is one JSON object:
+///   {"schema": "nfvm-timeseries-v2", "t_ms": <ms since start>,
+///    "rss_kb": <peak>, "current_rss_kb": <now>,
+///    "counters": {...}, "gauges": {...},
+///    "windows": {name: {count, sum, min, max, mean, p50, p90, p99,
+///                       decayed_count, decayed_p50, decayed_p90,
+///                       decayed_p99}},
+///    "rates": {"req_s": ..., "admit_rate": ..., "reject_s": ...,
+///              "reject.<cause>_s": ...}}
+/// Quantile fields of an empty window are omitted (they would be NaN);
+/// consumers must check "count". The "rates" section holds per-interval
+/// deltas of the online.* admission counters and is omitted from the first
+/// sample (no previous snapshot to difference against). A final sample is
+/// always written on stop so short runs still produce at least one line.
+/// Sampling takes the registry mutex for the duration of one snapshot -
+/// microseconds - so the hot paths it observes are effectively undisturbed.
 class TimeseriesSampler {
  public:
   TimeseriesSampler() = default;
@@ -30,27 +53,42 @@ class TimeseriesSampler {
   TimeseriesSampler(const TimeseriesSampler&) = delete;
   TimeseriesSampler& operator=(const TimeseriesSampler&) = delete;
 
-  /// Opens (truncates) `path` and starts the sampling thread. Returns false
-  /// (and stays idle) when the file cannot be opened or sampling is already
-  /// running. A non-positive interval is clamped to 1ms.
+  /// Opens (truncates) `path` and starts the sampling thread. An empty
+  /// `path` starts the thread without a file - ticks still feed the SLO
+  /// tracker. Returns false (and stays idle) when the file cannot be opened
+  /// or sampling is already running. A non-positive interval is clamped to
+  /// 1ms (the CLI rejects it eagerly; this is the library-level backstop).
   bool start(Registry& registry, const std::string& path,
              std::chrono::milliseconds interval);
 
-  /// Writes one final sample, joins the thread and closes the file. Safe to
-  /// call when not running.
+  /// Attach an SLO tracker (not owned); every sample tick offers it the
+  /// flattened value map, and stop() finishes it. Call before start().
+  void set_slo_tracker(SloTracker* tracker) { slo_ = tracker; }
+
+  /// Writes one final sample, finishes the SLO tracker, joins the thread
+  /// and closes the file. Safe to call when not running.
   void stop();
 
   bool running() const { return thread_.joinable(); }
   std::size_t samples_written() const { return samples_; }
+  /// The effective (clamped) interval - observable so tests can pin the
+  /// library-level backstop without reaching into private state.
+  std::chrono::milliseconds interval() const { return interval_; }
 
  private:
   void run_loop();
-  void write_sample();
+  void write_sample(bool final_sample);
 
   Registry* registry_ = nullptr;
+  SloTracker* slo_ = nullptr;
   std::ofstream out_;
+  bool to_file_ = false;
   std::chrono::milliseconds interval_{1000};
   std::chrono::steady_clock::time_point epoch_{};
+  /// Counter values at the previous sample - the base for "rates".
+  std::map<std::string, std::uint64_t> prev_counters_;
+  double prev_t_ms_ = 0.0;
+  bool have_prev_ = false;
   std::thread thread_;
   std::mutex mu_;
   std::condition_variable cv_;

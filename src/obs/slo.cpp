@@ -1,0 +1,459 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/event_log.h"
+#include "obs/json.h"
+
+namespace nfvm::obs {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+bool compare(SloOp op, double observed, double threshold) {
+  switch (op) {
+    case SloOp::kLt:
+      return observed < threshold;
+    case SloOp::kLe:
+      return observed <= threshold;
+    case SloOp::kGt:
+      return observed > threshold;
+    case SloOp::kGe:
+      return observed >= threshold;
+  }
+  return false;
+}
+
+/// How far `observed` sits on the bad side of `threshold`; negative when the
+/// objective holds. Used to keep the single most-violating sample as "worst".
+double violation(SloOp op, double observed, double threshold) {
+  switch (op) {
+    case SloOp::kLt:
+    case SloOp::kLe:
+      return observed - threshold;
+    case SloOp::kGt:
+    case SloOp::kGe:
+      return threshold - observed;
+  }
+  return 0.0;
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool is_stat_token(const std::string& token) {
+  static const char* kStats[] = {"p50",         "p90",         "p99",
+                                 "mean",        "min",         "max",
+                                 "count",       "sum",         "rate",
+                                 "delta",       "decayed_p50", "decayed_p90",
+                                 "decayed_p99", "decayed_count"};
+  return std::find_if(std::begin(kStats), std::end(kStats),
+                      [&](const char* s) { return token == s; }) !=
+         std::end(kStats);
+}
+
+std::optional<SloOp> parse_op(const std::string& token) {
+  if (token == "<") return SloOp::kLt;
+  if (token == "<=") return SloOp::kLe;
+  if (token == ">") return SloOp::kGt;
+  if (token == ">=") return SloOp::kGe;
+  return std::nullopt;
+}
+
+double parse_number(const std::string& token, const char* what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("slo: bad ") + what + " '" +
+                                token + "'");
+  }
+  if (consumed != token.size()) {
+    throw std::invalid_argument(std::string("slo: bad ") + what + " '" +
+                                token + "'");
+  }
+  return value;
+}
+
+std::int64_t parse_duration_ms(const std::string& token) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  const std::string unit = token.substr(consumed);
+  double scale = 0.0;
+  if (unit == "ms") {
+    scale = 1.0;
+  } else if (unit == "s") {
+    scale = 1000.0;
+  } else if (unit == "m") {
+    scale = 60'000.0;
+  } else if (unit == "h") {
+    scale = 3'600'000.0;
+  }
+  if (consumed == 0 || scale == 0.0 || value <= 0.0) {
+    throw std::invalid_argument("slo: bad duration '" + token +
+                                "' (want e.g. 500ms, 10s, 2m, 1h)");
+  }
+  return static_cast<std::int64_t>(value * scale);
+}
+
+}  // namespace
+
+std::string_view to_string(SloOp op) {
+  switch (op) {
+    case SloOp::kLt:
+      return "<";
+    case SloOp::kLe:
+      return "<=";
+    case SloOp::kGt:
+      return ">";
+    case SloOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::optional<SloSpec> parse_slo_line(std::string_view line) {
+  const auto hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty()) return std::nullopt;
+
+  SloSpec spec;
+  std::size_t i = 0;
+  spec.target = tokens[i++];
+  if (i < tokens.size() && is_stat_token(tokens[i])) spec.stat = tokens[i++];
+
+  if (i >= tokens.size()) {
+    throw std::invalid_argument("slo: missing comparison in '" +
+                                std::string(line) + "'");
+  }
+  const auto op = parse_op(tokens[i]);
+  if (!op) {
+    throw std::invalid_argument("slo: bad operator '" + tokens[i] +
+                                "' (want < <= > >=)");
+  }
+  spec.op = *op;
+  ++i;
+
+  if (i >= tokens.size()) {
+    throw std::invalid_argument("slo: missing threshold in '" +
+                                std::string(line) + "'");
+  }
+  spec.threshold = parse_number(tokens[i++], "threshold");
+
+  if (i >= tokens.size() || tokens[i] != "over") {
+    throw std::invalid_argument("slo: expected 'over DURATION' in '" +
+                                std::string(line) + "'");
+  }
+  ++i;
+  if (i >= tokens.size()) {
+    throw std::invalid_argument("slo: missing duration after 'over'");
+  }
+  spec.window_ms = parse_duration_ms(tokens[i++]);
+
+  if (i < tokens.size()) {
+    if (tokens[i] != "budget") {
+      throw std::invalid_argument("slo: unexpected token '" + tokens[i] + "'");
+    }
+    ++i;
+    if (i >= tokens.size()) {
+      throw std::invalid_argument("slo: missing percentage after 'budget'");
+    }
+    std::string pct = tokens[i++];
+    if (pct.empty() || pct.back() != '%') {
+      throw std::invalid_argument("slo: budget wants a percentage, e.g. 5%");
+    }
+    pct.pop_back();
+    const double value = parse_number(pct, "budget");
+    if (value < 0.0 || value >= 100.0) {
+      throw std::invalid_argument("slo: budget must be in [0%, 100%)");
+    }
+    spec.budget = value / 100.0;
+  }
+  if (i < tokens.size()) {
+    throw std::invalid_argument("slo: trailing token '" + tokens[i] + "'");
+  }
+
+  // Canonical display form, independent of the source line's spacing.
+  std::ostringstream text;
+  text << spec.target;
+  if (!spec.stat.empty()) text << ' ' << spec.stat;
+  text << ' ' << to_string(spec.op) << ' ' << spec.threshold << " over "
+       << spec.window_ms << "ms";
+  if (spec.budget > 0.0) text << " budget " << spec.budget * 100.0 << '%';
+  spec.text = text.str();
+  return spec;
+}
+
+std::vector<SloSpec> parse_slo_specs(std::string_view text) {
+  std::vector<SloSpec> specs;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    ++line_no;
+    try {
+      if (auto spec = parse_slo_line(text.substr(pos, eol - pos))) {
+        specs.push_back(std::move(*spec));
+      }
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("line " + std::to_string(line_no) + ": " +
+                                  e.what());
+    }
+    pos = eol + 1;
+  }
+  return specs;
+}
+
+double SloObjective::breach_fraction() const {
+  if (windows_evaluated == 0) return 0.0;
+  return static_cast<double>(windows_breached) /
+         static_cast<double>(windows_evaluated);
+}
+
+double SloObjective::burn_rate() const {
+  if (windows_breached == 0) return 0.0;
+  if (spec.budget <= 0.0) return std::numeric_limits<double>::infinity();
+  return breach_fraction() / spec.budget;
+}
+
+bool SloObjective::pass() const { return breach_fraction() <= spec.budget; }
+
+SloTracker::SloTracker(std::vector<SloSpec> specs) {
+  objectives_.reserve(specs.size());
+  for (SloSpec& spec : specs) {
+    SloObjective objective;
+    objective.spec = std::move(spec);
+    objective.worst = kNaN;
+    objective.last = kNaN;
+    objectives_.push_back(std::move(objective));
+  }
+  states_.resize(objectives_.size());
+}
+
+double SloTracker::resolve(std::size_t index, std::int64_t now_ms,
+                           const std::map<std::string, double>& values) const {
+  const SloObjective& objective = objectives_[index];
+  const ObjectiveState& state = states_[index];
+  const SloSpec& spec = objective.spec;
+
+  const auto lookup = [&values](const std::string& key) -> double {
+    const auto it = values.find(key);
+    return it == values.end() ? kNaN : it->second;
+  };
+
+  // Counter rate/delta targets difference the counter over this objective's
+  // own window - accurate regardless of the sampler interval.
+  if (spec.stat == "rate" || spec.stat == "delta") {
+    const std::string key = spec.target.rfind("counters.", 0) == 0
+                                ? spec.target
+                                : "counters." + spec.target;
+    const double now_value = lookup(key);
+    if (!state.has_base || std::isnan(now_value)) return kNaN;
+    const auto it = state.base_values.find(key);
+    const double base = it == state.base_values.end() ? kNaN : it->second;
+    if (std::isnan(base)) return kNaN;
+    const double delta = std::max(now_value - base, 0.0);
+    if (spec.stat == "delta") return delta;
+    const double dt_s =
+        static_cast<double>(now_ms - state.window_start_ms) / 1000.0;
+    return dt_s > 0.0 ? delta / dt_s : kNaN;
+  }
+
+  // Built-in admission-rate targets, likewise differenced over the window.
+  if (spec.stat.empty() &&
+      (spec.target == "admit_rate" || spec.target == "req_s" ||
+       spec.target == "reject_s")) {
+    if (!state.has_base) return kNaN;
+    const auto window_delta = [&](const char* counter) -> double {
+      const std::string key = std::string("counters.") + counter;
+      const double now_value = lookup(key);
+      const auto it = state.base_values.find(key);
+      const double base = it == state.base_values.end() ? kNaN : it->second;
+      if (std::isnan(now_value) || std::isnan(base)) return kNaN;
+      return std::max(now_value - base, 0.0);
+    };
+    if (spec.target == "admit_rate") {
+      const double requests = window_delta("online.requests");
+      const double admitted = window_delta("online.admitted");
+      if (std::isnan(requests) || std::isnan(admitted) || requests <= 0.0) {
+        return kNaN;  // no traffic this window: skip, not breach
+      }
+      return admitted / requests;
+    }
+    const double delta = window_delta(
+        spec.target == "req_s" ? "online.requests" : "online.rejected");
+    const double dt_s =
+        static_cast<double>(now_ms - state.window_start_ms) / 1000.0;
+    if (std::isnan(delta) || dt_s <= 0.0) return kNaN;
+    return delta / dt_s;
+  }
+
+  // Point-in-time values: try the bare key, then the prefixed forms the
+  // sampler flattens to ("windows.NAME.STAT", "counters.", "gauges.").
+  if (!spec.stat.empty()) {
+    const double windowed = lookup("windows." + spec.target + "." + spec.stat);
+    if (!std::isnan(windowed)) return windowed;
+    return lookup(spec.target + "." + spec.stat);
+  }
+  const double bare = lookup(spec.target);
+  if (!std::isnan(bare)) return bare;
+  const double counter = lookup("counters." + spec.target);
+  if (!std::isnan(counter)) return counter;
+  return lookup("gauges." + spec.target);
+}
+
+void SloTracker::evaluate(std::size_t index, std::int64_t now_ms,
+                          const std::map<std::string, double>& values) {
+  SloObjective& objective = objectives_[index];
+  ObjectiveState& state = states_[index];
+
+  const double observed = resolve(index, now_ms, values);
+  if (std::isnan(observed)) {
+    ++objective.windows_skipped;
+  } else {
+    ++objective.windows_evaluated;
+    objective.last = observed;
+    if (std::isnan(objective.worst) ||
+        violation(objective.spec.op, observed, objective.spec.threshold) >
+            violation(objective.spec.op, objective.worst,
+                      objective.spec.threshold)) {
+      objective.worst = observed;
+    }
+    if (!compare(objective.spec.op, observed, objective.spec.threshold)) {
+      ++objective.windows_breached;
+      if (objective.breaches.size() < kMaxBreachRecords) {
+        objective.breaches.push_back(
+            SloBreach{state.window_start_ms, now_ms, observed});
+      }
+      if (event_log_ != nullptr) {
+        JsonLine line;
+        line.field("event", "slo_breach")
+            .field("slo", objective.spec.text)
+            .field("window_start_ms", state.window_start_ms)
+            .field("window_end_ms", now_ms)
+            .field("observed", observed)
+            .field("threshold", objective.spec.threshold);
+        event_log_->write(line);
+      }
+    }
+  }
+
+  state.window_start_ms = now_ms;
+  state.base_values = values;
+  state.has_base = true;
+}
+
+void SloTracker::offer(std::int64_t now_ms,
+                       const std::map<std::string, double>& values) {
+  if (finished_) return;
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    ObjectiveState& state = states_[i];
+    if (!state.has_base) {
+      // First offer anchors the window; nothing to evaluate yet.
+      state.window_start_ms = now_ms;
+      state.base_values = values;
+      state.has_base = true;
+      continue;
+    }
+    if (now_ms - state.window_start_ms >= objectives_[i].spec.window_ms) {
+      evaluate(i, now_ms, values);
+    }
+  }
+  last_values_ = values;
+  last_offer_ms_ = now_ms;
+}
+
+void SloTracker::finish(std::int64_t now_ms) {
+  if (finished_) return;
+  finished_ = true;
+  (void)now_ms;  // evaluation uses the last offer's own clock
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    // The trailing partial window still carries signal for short runs and
+    // run tails; evaluate it when any data arrived since the last full
+    // window. Point-in-time stats are unaffected by the shorter horizon;
+    // rates use the true elapsed dt so they stay unbiased.
+    if (states_[i].has_base && last_offer_ms_ > states_[i].window_start_ms) {
+      evaluate(i, last_offer_ms_, last_values_);
+    }
+  }
+}
+
+bool SloTracker::pass() const {
+  return std::all_of(objectives_.begin(), objectives_.end(),
+                     [](const SloObjective& o) { return o.pass(); });
+}
+
+std::size_t SloTracker::num_breached_windows() const {
+  std::size_t total = 0;
+  for (const SloObjective& o : objectives_) total += o.windows_breached;
+  return total;
+}
+
+void SloTracker::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("schema").value(kSloSchema);
+  w.key("pass").value(pass());
+  w.key("objectives").begin_array();
+  for (const SloObjective& o : objectives_) {
+    w.begin_object();
+    w.key("slo").value(o.spec.text);
+    w.key("target").value(o.spec.target);
+    if (!o.spec.stat.empty()) w.key("stat").value(o.spec.stat);
+    w.key("op").value(to_string(o.spec.op));
+    w.key("threshold").value(o.spec.threshold);
+    w.key("window_ms").value(o.spec.window_ms);
+    w.key("budget").value(o.spec.budget);
+    w.key("pass").value(o.pass());
+    w.key("windows_evaluated").value(o.windows_evaluated);
+    w.key("windows_breached").value(o.windows_breached);
+    w.key("windows_skipped").value(o.windows_skipped);
+    w.key("breach_fraction").value(o.breach_fraction());
+    const double burn = o.burn_rate();
+    // +inf is not valid JSON; clamp to a sentinel consumers can display.
+    w.key("burn_rate").value(std::isinf(burn) ? 1e9 : burn);
+    if (!std::isnan(o.last)) w.key("last").value(o.last);
+    if (!std::isnan(o.worst)) w.key("worst").value(o.worst);
+    w.key("breaches").begin_array();
+    for (const SloBreach& b : o.breaches) {
+      w.begin_object();
+      w.key("window_start_ms").value(b.window_start_ms);
+      w.key("window_end_ms").value(b.window_end_ms);
+      w.key("observed").value(b.observed);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace nfvm::obs

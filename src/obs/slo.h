@@ -1,0 +1,167 @@
+// Declarative SLO tracking over the windowed telemetry stream.
+//
+// A spec file is line-oriented (one objective per line, '#' comments):
+//
+//   online.decision_us p99 < 5000 over 10s budget 5%
+//   admit_rate >= 0.9 over 30s
+//   current_rss_kb max < 2097152 over 60s
+//   counters.online.requests rate >= 50 over 10s
+//
+// Grammar per line:  TARGET [STAT] OP VALUE over DURATION [budget PCT%]
+//   * TARGET   - a windowed instrument ("online.decision_us"), one of the
+//                built-in rate targets ("admit_rate", "req_s", "reject_s"),
+//                a counter/gauge key ("counters.x", "gauges.y"), or a bare
+//                sampler scalar ("rss_kb", "current_rss_kb").
+//   * STAT     - for windowed instruments: p50|p90|p99|mean|max|min|count|
+//                decayed_p50|decayed_p90|decayed_p99; for counters: rate
+//                (delta per second over the objective window) or delta;
+//                omitted for direct scalars and built-in rates.
+//   * OP       - < <= > >=
+//   * DURATION - evaluation window, e.g. 500ms, 10s, 2m, 1h.
+//   * budget   - error budget: the fraction of evaluated windows allowed to
+//                breach before the objective fails (default 0% - a single
+//                bad window fails). Burn rate is breach_fraction / budget.
+//
+// The tracker is driven by offers - (now_ms, flattened value map) pairs the
+// timeseries sampler produces each tick (obs/sampler.h) - so evaluation
+// needs no extra thread and unit tests inject synthetic clocks. Each
+// objective evaluates once per elapsed DURATION: a window is GOOD when the
+// condition holds, BREACHED when it does not, and SKIPPED when its value is
+// unavailable (e.g. an empty latency window - skipping beats failing a
+// quiet interval, and `nfvm-report summary` prints window counts so quiet
+// is visible). finish() evaluates the trailing partial window so short runs
+// still produce at least one verdict per objective.
+//
+// Breaches are appended to the JSONL event log ({"event": "slo_breach",
+// ...}) as they happen; the final state is written as an "nfvm-slo-v1"
+// document (slo.json in a --run-dir bundle) and summarized into
+// manifest.json. `nfvm-report slo [--check]` renders and gates it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nfvm::obs {
+
+class EventLog;
+
+inline constexpr std::string_view kSloSchema = "nfvm-slo-v1";
+
+enum class SloOp : std::uint8_t { kLt, kLe, kGt, kGe };
+
+std::string_view to_string(SloOp op);
+
+struct SloSpec {
+  /// The original (trimmed) spec line - canonical display form.
+  std::string text;
+  std::string target;
+  /// Stat selector; empty for direct scalars and built-in rates.
+  std::string stat;
+  SloOp op = SloOp::kLt;
+  double threshold = 0.0;
+  std::int64_t window_ms = 10'000;
+  /// Allowed breached-window fraction in [0, 1).
+  double budget = 0.0;
+};
+
+/// Parses one spec line. Returns std::nullopt for blank/comment lines;
+/// throws std::invalid_argument (message names the offending token) on a
+/// malformed objective.
+std::optional<SloSpec> parse_slo_line(std::string_view line);
+
+/// Parses a whole spec file's contents. Throws std::invalid_argument with
+/// the 1-based line number on the first malformed line.
+std::vector<SloSpec> parse_slo_specs(std::string_view text);
+
+struct SloBreach {
+  std::int64_t window_start_ms = 0;
+  std::int64_t window_end_ms = 0;
+  double observed = 0.0;
+};
+
+struct SloObjective {
+  SloSpec spec;
+  std::uint64_t windows_evaluated = 0;
+  std::uint64_t windows_breached = 0;
+  std::uint64_t windows_skipped = 0;
+  /// Most-violating observed value across all evaluations (NaN until one).
+  double worst = 0.0;
+  /// Last evaluated value (NaN until one).
+  double last = 0.0;
+  /// First kMaxBreachRecords breaches, in order.
+  std::vector<SloBreach> breaches;
+
+  double breach_fraction() const;
+  /// breach_fraction / budget; +inf when budget is 0 and any window
+  /// breached, 0 when nothing breached.
+  double burn_rate() const;
+  /// Breach fraction within budget. An objective that never evaluated a
+  /// window passes (and reports 0 windows - gate on that upstream if "no
+  /// data" must fail).
+  bool pass() const;
+};
+
+/// Evaluates a set of objectives against offered value maps. Single-writer:
+/// offers must come from one thread at a time (the sampler tick or a test).
+class SloTracker {
+ public:
+  /// Per-objective cap on stored breach records; breaches past the cap
+  /// still count, they just stop accumulating detail.
+  static constexpr std::size_t kMaxBreachRecords = 64;
+
+  explicit SloTracker(std::vector<SloSpec> specs);
+
+  /// Breach records are appended here as they are detected (not owned; may
+  /// be null). Lines carry the log's usual stamp.
+  void set_event_log(EventLog* log) { event_log_ = log; }
+
+  /// Offers the freshest values at `now_ms` (monotone non-decreasing).
+  /// Every objective whose evaluation window has fully elapsed evaluates
+  /// against these values.
+  void offer(std::int64_t now_ms, const std::map<std::string, double>& values);
+
+  /// Evaluates trailing partial windows (anything with >= 1ms of new data)
+  /// and freezes the tracker. Idempotent.
+  void finish(std::int64_t now_ms);
+
+  const std::vector<SloObjective>& objectives() const { return objectives_; }
+  bool pass() const;
+  std::size_t num_breached_windows() const;
+
+  /// Writes the "nfvm-slo-v1" document (pass flag + per-objective state).
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct ObjectiveState {
+    /// Window start: the offer time of the previous evaluation.
+    std::int64_t window_start_ms = 0;
+    /// Counter values at window start (targets with stat rate/delta and
+    /// the built-in rate targets difference against these).
+    std::map<std::string, double> base_values;
+    bool has_base = false;
+  };
+
+  void evaluate(std::size_t index, std::int64_t now_ms,
+                const std::map<std::string, double>& values);
+  /// Resolves the objective's observed value from the offered map; NaN when
+  /// unavailable this window.
+  double resolve(std::size_t index, std::int64_t now_ms,
+                 const std::map<std::string, double>& values) const;
+
+  std::vector<SloObjective> objectives_;
+  std::vector<ObjectiveState> states_;
+  /// Freshest offer, kept so finish() can evaluate trailing partial windows
+  /// against real end-of-window values (not the stale window-start base).
+  std::map<std::string, double> last_values_;
+  std::int64_t last_offer_ms_ = 0;
+  EventLog* event_log_ = nullptr;
+  bool finished_ = false;
+};
+
+}  // namespace nfvm::obs

@@ -8,10 +8,10 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "util/timer.h"
 
 namespace nfvm::sim {
-namespace {
 
 /// One JSONL record per processed request (schema "nfvm-events-v2", see
 /// docs/observability.md). When the decision carries a RequestRecord, its
@@ -19,7 +19,7 @@ namespace {
 void emit_request_event(obs::EventLog* log, const core::OnlineAlgorithm& algorithm,
                         std::size_t index, const nfv::Request& request,
                         const core::AdmissionDecision& decision,
-                        double decision_seconds, double arrival_time = -1.0) {
+                        double decision_seconds, double arrival_time) {
   if (log == nullptr || !log->is_open()) return;
   obs::JsonLine line;
   line.field("event", "request")
@@ -71,6 +71,8 @@ void emit_request_event(obs::EventLog* log, const core::OnlineAlgorithm& algorit
   log->write(line);
 }
 
+namespace {
+
 /// Accumulates a decision's phase timings into the run-level sums.
 void accumulate_phases(SimulationMetrics& metrics,
                        const core::AdmissionDecision& decision) {
@@ -102,6 +104,7 @@ SimulationMetrics run_online(core::OnlineAlgorithm& algorithm,
     const double seconds = watch.elapsed_seconds();
     metrics.decision_seconds.add(seconds);
     NFVM_HDR_OBSERVE("online.decision_us", seconds * 1e6);
+    NFVM_WINDOW_OBSERVE("online.decision_us", seconds * 1e6);
     accumulate_phases(metrics, decision);
 
     if (decision.admitted) {
@@ -212,6 +215,7 @@ DynamicMetrics run_online_dynamic(core::OnlineAlgorithm& algorithm,
     const core::AdmissionDecision decision = algorithm.process(tr.request);
     const double seconds = watch.elapsed_seconds();
     NFVM_HDR_OBSERVE("online.decision_us", seconds * 1e6);
+    NFVM_WINDOW_OBSERVE("online.decision_us", seconds * 1e6);
     if (decision.admitted) {
       if (options.validate_trees) {
         std::string error;

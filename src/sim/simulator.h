@@ -27,6 +27,16 @@ struct SimulatorOptions {
   bool record_provenance = false;
 };
 
+/// Writes one "nfvm-events-v2" request line to `log` (no-op when null or
+/// closed). Shared by run_online, run_online_dynamic and the soak harness
+/// (sim/soak.h) so all runners emit byte-identical event records. A negative
+/// `arrival_time` omits the field (static workloads).
+void emit_request_event(obs::EventLog* log,
+                        const core::OnlineAlgorithm& algorithm,
+                        std::size_t index, const nfv::Request& request,
+                        const core::AdmissionDecision& decision,
+                        double decision_seconds, double arrival_time = -1.0);
+
 /// Runs the full sequence through `algorithm` (which carries resource state
 /// across calls). Returns the aggregated metrics.
 SimulationMetrics run_online(core::OnlineAlgorithm& algorithm,

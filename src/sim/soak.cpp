@@ -1,0 +1,145 @@
+#include "sim/soak.h"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/hdr_histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/window.h"
+#include "util/timer.h"
+
+namespace nfvm::sim {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Next arrival instant after `clock`. Homogeneous draws at the peak rate
+/// are thinned down to the instantaneous rate (Lewis & Shedler); with zero
+/// amplitude every candidate is accepted and this reduces to the plain
+/// exponential gap.
+double next_arrival(util::Rng& rng, double clock, const SoakOptions& options) {
+  const double peak_rate = options.arrival_rate * (1.0 + options.diurnal_amplitude);
+  for (;;) {
+    clock += rng.exponential(peak_rate);
+    if (options.diurnal_amplitude == 0.0) return clock;
+    const double rate =
+        options.arrival_rate *
+        (1.0 + options.diurnal_amplitude *
+                   std::sin(kTwoPi * clock / options.diurnal_period));
+    if (rng.uniform01() * peak_rate < rate) return clock;
+  }
+}
+
+}  // namespace
+
+SoakMetrics run_soak(core::OnlineAlgorithm& algorithm,
+                     RequestGenerator& generator, util::Rng& rng,
+                     const SoakOptions& options) {
+  NFVM_SPAN("sim/run_soak");
+  if (!(options.arrival_rate > 0) || !(options.mean_duration > 0)) {
+    throw std::invalid_argument("run_soak: rates must be positive");
+  }
+  if (options.diurnal_amplitude < 0.0 || options.diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument("run_soak: diurnal amplitude must be in [0, 1)");
+  }
+  if (options.diurnal_amplitude > 0.0 && !(options.diurnal_period > 0.0)) {
+    throw std::invalid_argument("run_soak: diurnal period must be positive");
+  }
+
+  SoakMetrics metrics;
+  metrics.num_requests = options.num_requests;
+  algorithm.set_record_provenance(options.sim.record_provenance);
+
+  struct Departure {
+    double time;
+    nfv::Footprint footprint;
+  };
+  const auto later = [](const Departure& a, const Departure& b) {
+    return a.time > b.time;
+  };
+  std::priority_queue<Departure, std::vector<Departure>, decltype(later)>
+      active(later);
+
+  obs::HdrHistogram latency;
+  util::Stopwatch wall;
+  double clock = 0.0;
+  double active_sum = 0.0;
+  for (std::size_t i = 0; i < options.num_requests; ++i) {
+    clock = next_arrival(rng, clock, options);
+    // Draw the holding time before processing so the RNG stream does not
+    // depend on the admission outcome - rejected requests must consume the
+    // same draws as admitted ones for cross-build reproducibility.
+    const double duration = rng.exponential(1.0 / options.mean_duration);
+    nfv::Request request = generator.next();
+    request.max_delay_ms = options.max_delay_ms;
+
+    while (!active.empty() && active.top().time <= clock) {
+      algorithm.release(active.top().footprint);
+      active.pop();
+    }
+
+    util::Stopwatch watch;
+    const core::AdmissionDecision decision = algorithm.process(request);
+    const double seconds = watch.elapsed_seconds();
+    const double us = seconds * 1e6;
+    metrics.decision_us.add(us);
+    latency.observe(us);
+    NFVM_HDR_OBSERVE("online.decision_us", us);
+    NFVM_WINDOW_OBSERVE("online.decision_us", us);
+
+    if (decision.admitted) {
+      if (options.sim.validate_trees) {
+        std::string error;
+        if (!core::validate_pseudo_tree(algorithm.topology().graph, request,
+                                        decision.tree, &error)) {
+          throw std::logic_error("run_soak: invalid pseudo-multicast tree for " +
+                                 request.to_string() + ": " + error);
+        }
+      }
+      ++metrics.num_admitted;
+      active.push(Departure{clock + duration, decision.footprint});
+    } else {
+      ++metrics.num_rejected;
+      ++metrics.rejects_by_cause[static_cast<std::size_t>(decision.reject_cause)];
+    }
+    metrics.peak_active = std::max(metrics.peak_active, active.size());
+    active_sum += static_cast<double>(active.size());
+    emit_request_event(options.sim.event_log, algorithm, i, request, decision,
+                       seconds, clock);
+    if (options.progress_every != 0 && options.on_progress &&
+        (i + 1) % options.progress_every == 0) {
+      options.on_progress(i + 1);
+    }
+  }
+  metrics.wall_seconds = wall.elapsed_seconds();
+  metrics.sim_duration = clock;
+  metrics.mean_active =
+      options.num_requests == 0
+          ? 0.0
+          : active_sum / static_cast<double>(options.num_requests);
+  metrics.requests_per_s =
+      metrics.wall_seconds > 0.0
+          ? static_cast<double>(options.num_requests) / metrics.wall_seconds
+          : 0.0;
+  if (latency.count() > 0) {
+    metrics.p50_us = latency.quantile(0.50);
+    metrics.p90_us = latency.quantile(0.90);
+    metrics.p99_us = latency.quantile(0.99);
+  }
+  if (options.progress_every != 0 && options.on_progress &&
+      options.num_requests % options.progress_every != 0) {
+    options.on_progress(options.num_requests);
+  }
+  // Drain remaining departures so the algorithm's state returns to idle.
+  while (!active.empty()) {
+    algorithm.release(active.top().footprint);
+    active.pop();
+  }
+  return metrics;
+}
+
+}  // namespace nfvm::sim

@@ -1,0 +1,166 @@
+// TimeseriesSampler lifecycle and output-format tests. Ticks come from the
+// sampler's own thread, so tests that need more than the final stop()
+// snapshot poll samples_written() under a generous deadline instead of
+// assuming wall-clock timing.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/sampler.h"
+#include "obs/slo.h"
+#include "obs/window.h"
+
+namespace nfvm::obs {
+namespace {
+
+/// Spins until the sampler wrote at least `n` samples (deadline 10 s -
+/// far beyond any sane scheduling delay for a millisecond interval).
+bool wait_for_samples(const TimeseriesSampler& sampler, std::size_t n) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (sampler.samples_written() < n) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(TimeseriesSampler, LifecycleAndFinalSample) {
+  Registry registry;
+  TimeseriesSampler sampler;
+  const std::string path = "sampler_lifecycle.jsonl";
+  // Huge interval: the only guaranteed line is the final stop() snapshot.
+  ASSERT_TRUE(sampler.start(registry, path,
+                            std::chrono::milliseconds(60'000)));
+  EXPECT_TRUE(sampler.running());
+  EXPECT_FALSE(sampler.start(registry, path, std::chrono::milliseconds(1)))
+      << "start while running must refuse";
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.samples_written(), 1u);
+  sampler.stop();  // idempotent
+  EXPECT_EQ(read_lines(path).size(), sampler.samples_written());
+  std::remove(path.c_str());
+}
+
+TEST(TimeseriesSampler, RefusesUnopenablePath) {
+  Registry registry;
+  TimeseriesSampler sampler;
+  EXPECT_FALSE(sampler.start(registry, "/nonexistent_dir_nfvm/x.jsonl",
+                             std::chrono::milliseconds(10)));
+  EXPECT_FALSE(sampler.running());
+}
+
+TEST(TimeseriesSampler, NonPositiveIntervalClampsToOneMs) {
+  Registry registry;
+  TimeseriesSampler sampler;
+  ASSERT_TRUE(sampler.start(registry, "", std::chrono::milliseconds(0)));
+  EXPECT_EQ(sampler.interval(), std::chrono::milliseconds(1));
+  sampler.stop();
+  ASSERT_TRUE(sampler.start(registry, "", std::chrono::milliseconds(-5)));
+  EXPECT_EQ(sampler.interval(), std::chrono::milliseconds(1));
+  sampler.stop();
+  ASSERT_TRUE(sampler.start(registry, "", std::chrono::milliseconds(250)));
+  EXPECT_EQ(sampler.interval(), std::chrono::milliseconds(250));
+  sampler.stop();
+}
+
+TEST(TimeseriesSampler, EmitsValidV2Lines) {
+  Registry registry;
+  registry.counter("online.requests")->add(10);
+  registry.counter("online.admitted")->add(7);
+  registry.counter("online.rejected")->add(3);
+  registry.counter("online.reject.capacity")->add(3);
+  registry.gauge("config.nodes")->set(60.0);
+  registry.windowed_histogram("online.decision_us")
+      ->observe(123.0, window_now_ms());
+
+  TimeseriesSampler sampler;
+  const std::string path = "sampler_v2_lines.jsonl";
+  ASSERT_TRUE(sampler.start(registry, path, std::chrono::milliseconds(1)));
+  ASSERT_TRUE(wait_for_samples(sampler, 3));
+  registry.counter("online.requests")->add(5);
+  sampler.stop();
+
+  // Every line must pass the report validator (the .jsonl branch checks
+  // tagged nfvm-timeseries-v2 lines field-by-field).
+  EXPECT_EQ(report::validate_file(path), "");
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_GE(lines.size(), 3u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const JsonValue doc = parse_json(lines[i]);
+    EXPECT_EQ(doc.at("schema").string, kTimeseriesSchema);
+    EXPECT_TRUE(doc.has("t_ms"));
+    EXPECT_TRUE(doc.has("rss_kb"));
+    EXPECT_TRUE(doc.has("current_rss_kb"));
+    EXPECT_GT(doc.at("rss_kb").number, 0.0);
+    // The counter bump lands between sample 3 and the final stop snapshot;
+    // any given line saw either the old or the new value.
+    const double requests = doc.at("counters").at("online.requests").number;
+    EXPECT_TRUE(requests == 10.0 || requests == 15.0) << requests;
+    if (i == 0) {
+      EXPECT_DOUBLE_EQ(requests, 10.0);
+    }
+    if (i + 1 == lines.size()) {
+      EXPECT_DOUBLE_EQ(requests, 15.0);
+    }
+    EXPECT_DOUBLE_EQ(doc.at("gauges").at("config.nodes").number, 60.0);
+    // The windowed instrument appears on every line; quantiles only while
+    // the sliding window still holds the sample.
+    const JsonValue& window = doc.at("windows").at("online.decision_us");
+    EXPECT_TRUE(window.has("count"));
+    EXPECT_TRUE(window.has("decayed_count"));
+    if (window.at("count").number > 0) {
+      EXPECT_NEAR(window.at("p50").number, 123.0, 123.0 / 64);
+    }
+    // First sample has no previous snapshot to difference against.
+    EXPECT_EQ(doc.has("rates"), i != 0);
+    if (doc.has("rates")) {
+      EXPECT_TRUE(doc.at("rates").has("req_s"));
+      EXPECT_TRUE(doc.at("rates").has("reject_s"));
+      EXPECT_TRUE(doc.at("rates").has("reject.capacity_s"));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TimeseriesSampler, FilelessModeDrivesSloTracker) {
+  Registry registry;
+  registry.counter("online.requests")->add(1);
+  SloTracker tracker(parse_slo_specs("rss_kb >= 0 over 1ms"));
+  TimeseriesSampler sampler;
+  sampler.set_slo_tracker(&tracker);
+  // Empty path: no file, ticks only feed the tracker.
+  ASSERT_TRUE(sampler.start(registry, "", std::chrono::milliseconds(2)));
+  ASSERT_TRUE(wait_for_samples(sampler, 5));
+  sampler.stop();
+  const SloObjective& objective = tracker.objectives()[0];
+  EXPECT_GE(objective.windows_evaluated, 1u);
+  EXPECT_EQ(objective.windows_breached, 0u);
+  EXPECT_TRUE(tracker.pass());
+  // stop() finished the tracker: later offers are ignored.
+  tracker.offer(1 << 30, {{"rss_kb", -1.0}});
+  EXPECT_TRUE(tracker.pass());
+}
+
+}  // namespace
+}  // namespace nfvm::obs

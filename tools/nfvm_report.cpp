@@ -23,6 +23,12 @@
 //   nfvm-report decisions ARTIFACT
 //       Canonical timing-free projection of the decision stream, one line
 //       per request - byte-identical across thread counts.
+//   nfvm-report slo ARTIFACT [--check]
+//       Render an SLO outcome ("nfvm-slo-v1" slo.json, or a run-dir bundle
+//       containing one): per-objective windows, error-budget burn, breach
+//       records, and - when the bundle carries a timeseries - the
+//       per-window latency quantiles. --check exits 1 on a failed
+//       objective - the CI soak gate.
 //
 // Options (diff / --check):
 //   --threshold X     relative-change gate, default 0.10 (= 10%)
@@ -58,6 +64,7 @@ using nfvm::obs::report::CompareReport;
          "       nfvm-report latency EVENTS [--md|--json] [--check]\n"
          "       nfvm-report explain EVENTS REQUEST\n"
          "       nfvm-report decisions EVENTS\n"
+         "       nfvm-report slo ARTIFACT [--check]\n"
          "an ARTIFACT is a metrics JSON, a BENCH_*.json, a manifest.json or\n"
          "an nfvm-sim --run-dir directory; EVENTS is an events.jsonl or a\n"
          "run-dir bundle (see docs/observability.md)\n";
@@ -173,6 +180,32 @@ int run_latency(const std::vector<std::string>& args) {
   return 0;
 }
 
+int run_slo(const std::vector<std::string>& args) {
+  std::string path;
+  bool check = false;
+  for (const std::string& arg : args) {
+    if (arg == "--check") check = true;
+    else if (!arg.empty() && arg[0] == '-') usage("unknown option \"" + arg + "\"");
+    else if (path.empty()) path = arg;
+    else usage("slo takes exactly one artifact");
+  }
+  if (path.empty()) usage("slo needs a slo.json or run-dir artifact");
+
+  nfvm::obs::report::SloArtifact artifact;
+  try {
+    artifact = nfvm::obs::report::load_slo_artifact(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  nfvm::obs::report::write_slo_text(std::cout, artifact);
+  if (!nfvm::obs::report::slo_pass(artifact.doc)) {
+    std::cerr << "nfvm-report slo: objectives failed in " << path << "\n";
+    if (check) return 1;
+  }
+  return 0;
+}
+
 int run_explain(const std::string& path, const std::string& selector) {
   const auto events = load_events_or_die(path);
   const nfvm::obs::report::RequestEvent* event =
@@ -218,6 +251,10 @@ int main(int argc, char** argv) {
   if (command == "explain") {
     if (args.size() != 3) usage("explain takes an events artifact and a request");
     return run_explain(args[1], args[2]);
+  }
+
+  if (command == "slo") {
+    return run_slo({args.begin() + 1, args.end()});
   }
 
   if (command == "decisions") {

@@ -10,8 +10,17 @@
 //     --dest-ratio <x>       fix Dmax/|V| (default: U[0.05, 0.2])
 //     --max-delay <ms>       delay bound per request (assigns link delays)
 //     --dynamic              Poisson arrivals + exponential holding times
-//     --arrival-rate <x>     (dynamic only, default 1.0)
-//     --mean-duration <x>    (dynamic only, default 20.0)
+//     --arrival-rate <x>     (dynamic/soak, default 1.0)
+//     --mean-duration <x>    (dynamic/soak, default 20.0)
+//     --soak <n>             sustained-load run: stream n Poisson arrivals +
+//                            departures through one algorithm without
+//                            materializing the workload (requires a single
+//                            --algorithm); reports sustained req/s and
+//                            whole-run latency quantiles
+//     --diurnal-amplitude <a>  soak arrival-rate modulation in [0,1):
+//                            rate(t) = rate*(1 + a*sin(2*pi*t/period))
+//     --diurnal-period <p>   soak modulation period in sim-time units
+//                            (default 86400)
 //     --threads <n>          worker threads for the parallel fan-outs (APSP,
 //                            Steiner SSSP, Appro_Multi combinations, offline
 //                            batches). Default: NFVM_THREADS env var, else 1.
@@ -34,8 +43,17 @@
 //                            timings, peak RSS) plus metrics.json /
 //                            events.jsonl / trace.json defaults
 //     --timeseries <file>    periodic JSONL snapshots of the registry + RSS
-//                            from a background sampler thread
+//                            ("nfvm-timeseries-v2": counters, gauges, windowed
+//                            quantiles, per-interval rates) from a background
+//                            sampler thread
 //     --sample-interval-ms <n>  sampler period (default 1000)
+//     --slo <file>           declarative SLO spec (one objective per line,
+//                            see docs/observability.md); evaluated on the
+//                            sampler tick, breaches recorded in the event
+//                            log, verdict in manifest.json
+//     --slo-out <file>       write the "nfvm-slo-v1" outcome document
+//                            (default <run-dir>/slo.json, else stdout);
+//                            consumed by `nfvm-report slo [--check]`
 //
 // Prints one metrics row per algorithm; online rows include the
 // rejection-cause breakdown (rej_bw/rej_cpu/rej_thr/rej_dly/rej_other).
@@ -44,6 +62,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -61,9 +80,11 @@
 #include "obs/request_events.h"
 #include "obs/run_info.h"
 #include "obs/sampler.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "sim/offline_batch.h"
 #include "sim/simulator.h"
+#include "sim/soak.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "topology/geant.h"
@@ -94,6 +115,9 @@ struct Options {
   bool dynamic = false;
   double arrival_rate = 1.0;
   double mean_duration = 20.0;
+  std::size_t soak = 0;  // 0 = not a soak run
+  double diurnal_amplitude = 0.0;
+  double diurnal_period = 86'400.0;
   std::size_t threads = 0;  // 0 = keep the NFVM_THREADS / default sizing
   std::string dump_topology;
   std::string dump_dot;
@@ -103,6 +127,10 @@ struct Options {
   std::string run_dir;
   std::string timeseries_file;
   long sample_interval_ms = 1000;
+  std::string slo_file;
+  std::string slo_out;
+  /// Parsed eagerly from slo_file so a malformed spec fails at startup.
+  std::vector<obs::SloSpec> slo_specs;
 };
 
 [[noreturn]] void usage(const std::string& error) {
@@ -110,10 +138,12 @@ struct Options {
   std::cerr << "usage: nfvm_sim [--mode " << kModes << "] [--topology T] [--nodes N] [--seed S]\n"
                "                [--algorithm A] [--requests R] [--dest-ratio X]\n"
                "                [--max-delay MS] [--dynamic] [--arrival-rate X] [--mean-duration X]\n"
+               "                [--soak N] [--diurnal-amplitude A] [--diurnal-period P]\n"
                "                [--threads N]\n"
                "                [--dump-topology FILE] [--dump-dot FILE]\n"
                "                [--metrics-json FILE|-] [--trace FILE] [--events FILE|-]\n"
                "                [--run-dir DIR] [--timeseries FILE] [--sample-interval-ms N]\n"
+               "                [--slo FILE] [--slo-out FILE]\n"
                "                [--log-level " << kLogLevels << "]\n"
                "  topologies: " << kTopologies << "\n"
                "  algorithms: " << kAlgorithms << "\n";
@@ -157,6 +187,34 @@ void validate_options(Options& opts) {
   if (opts.sample_interval_ms <= 0) {
     usage("--sample-interval-ms must be positive");
   }
+  if (opts.soak > 0) {
+    if (opts.mode != "online") usage("--soak requires --mode online");
+    if (opts.algorithm == "all") {
+      usage("--soak streams one algorithm's telemetry; pick a single "
+            "--algorithm (e.g. online_cp)");
+    }
+    if (opts.dynamic) usage("--soak already implies a dynamic workload; drop --dynamic");
+  }
+  if (opts.diurnal_amplitude < 0.0 || opts.diurnal_amplitude >= 1.0) {
+    usage("--diurnal-amplitude must be in [0, 1)");
+  }
+  if (!(opts.diurnal_period > 0.0)) {
+    usage("--diurnal-period must be positive");
+  }
+  if (!opts.slo_file.empty()) {
+    std::ifstream in(opts.slo_file);
+    if (!in) usage("--slo: cannot read \"" + opts.slo_file + "\"");
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      opts.slo_specs = obs::parse_slo_specs(text.str());
+    } catch (const std::invalid_argument& e) {
+      usage("--slo " + opts.slo_file + ": " + e.what());
+    }
+    if (opts.slo_specs.empty()) {
+      usage("--slo " + opts.slo_file + ": no objectives found");
+    }
+  }
   if (!opts.run_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(opts.run_dir, ec);
@@ -169,6 +227,9 @@ void validate_options(Options& opts) {
     if (opts.metrics_json.empty()) opts.metrics_json = in_dir("metrics.json");
     if (opts.events_file.empty()) opts.events_file = in_dir("events.jsonl");
     if (opts.trace_file.empty()) opts.trace_file = in_dir("trace.json");
+    if (!opts.slo_file.empty() && opts.slo_out.empty()) {
+      opts.slo_out = in_dir("slo.json");
+    }
   }
   // Two JSON artifacts interleaved on one stream are unparseable; catch the
   // conflict at parse time, not after the run.
@@ -190,6 +251,8 @@ void validate_options(Options& opts) {
   validate_writable("--trace", opts.trace_file);
   validate_writable("--events", opts.events_file);
   validate_writable("--timeseries", opts.timeseries_file);
+  if (opts.slo_out == "-") usage("--slo-out does not support \"-\" (stdout is the default)");
+  validate_writable("--slo-out", opts.slo_out);
 }
 
 Options parse_args(int argc, char** argv) {
@@ -212,6 +275,9 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--dynamic") opts.dynamic = true;
     else if (arg == "--arrival-rate") opts.arrival_rate = std::stod(need_value(i));
     else if (arg == "--mean-duration") opts.mean_duration = std::stod(need_value(i));
+    else if (arg == "--soak") opts.soak = std::stoul(need_value(i));
+    else if (arg == "--diurnal-amplitude") opts.diurnal_amplitude = std::stod(need_value(i));
+    else if (arg == "--diurnal-period") opts.diurnal_period = std::stod(need_value(i));
     else if (arg == "--threads") opts.threads = std::stoul(need_value(i));
     else if (arg == "--dump-topology") opts.dump_topology = need_value(i);
     else if (arg == "--dump-dot") opts.dump_dot = need_value(i);
@@ -221,6 +287,8 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--run-dir") opts.run_dir = need_value(i);
     else if (arg == "--timeseries") opts.timeseries_file = need_value(i);
     else if (arg == "--sample-interval-ms") opts.sample_interval_ms = std::stol(need_value(i));
+    else if (arg == "--slo") opts.slo_file = need_value(i);
+    else if (arg == "--slo-out") opts.slo_out = need_value(i);
     else if (arg == "--log-level") {
       const std::string value = need_value(i);
       const auto level = obs::parse_log_level(value);
@@ -259,6 +327,8 @@ std::unique_ptr<core::OnlineAlgorithm> build_algorithm(const std::string& name,
 /// needs beyond the options (sampler thread, manifest bookkeeping).
 struct RunContext {
   obs::TimeseriesSampler sampler;
+  /// Present iff --slo was given; the sampler tick drives it.
+  std::unique_ptr<obs::SloTracker> slo;
   std::vector<std::string> argv;
   std::string start_time;
   std::string config_hash;
@@ -278,10 +348,16 @@ std::map<std::string, std::string> manifest_config(const Options& opts) {
   config["dest_ratio"] = util::format_double(opts.dest_ratio, 4);
   config["max_delay_ms"] = util::format_double(opts.max_delay_ms, 3);
   config["dynamic"] = opts.dynamic ? "true" : "false";
-  if (opts.dynamic) {
+  if (opts.dynamic || opts.soak > 0) {
     config["arrival_rate"] = util::format_double(opts.arrival_rate, 4);
     config["mean_duration"] = util::format_double(opts.mean_duration, 4);
   }
+  if (opts.soak > 0) {
+    config["soak"] = std::to_string(opts.soak);
+    config["diurnal_amplitude"] = util::format_double(opts.diurnal_amplitude, 4);
+    config["diurnal_period"] = util::format_double(opts.diurnal_period, 4);
+  }
+  if (!opts.slo_file.empty()) config["slo"] = opts.slo_file;
   config["threads"] = std::to_string(util::ThreadPool::global().num_threads());
   return config;
 }
@@ -305,10 +381,24 @@ std::string config_digest(const Options& opts) {
 /// run-dir manifest.
 void write_artifacts(const Options& opts, const obs::EventLog& events,
                      RunContext& ctx) {
-  ctx.sampler.stop();
+  ctx.sampler.stop();  // also finishes the SLO tracker (final partial window)
   if (!opts.timeseries_file.empty()) {
     obs::log_info(std::to_string(ctx.sampler.samples_written()) +
                   " timeseries samples written to " + opts.timeseries_file);
+  }
+  if (ctx.slo) {
+    if (opts.slo_out.empty()) {
+      ctx.slo->write_json(std::cout);
+    } else {
+      std::ofstream out(opts.slo_out);
+      if (!out) usage("cannot open " + opts.slo_out);
+      ctx.slo->write_json(out);
+      obs::log_info("slo outcome written to " + opts.slo_out);
+    }
+    if (!ctx.slo->pass()) {
+      std::cerr << "# SLO BREACH: " << ctx.slo->num_breached_windows()
+                << " bad window(s); see `nfvm-report slo`\n";
+    }
   }
   if (!opts.trace_file.empty()) {
     obs::Tracer::global().stop();
@@ -339,11 +429,15 @@ void write_artifacts(const Options& opts, const obs::EventLog& events,
     manifest.wall_time_s = ctx.wall.elapsed_seconds();
     manifest.config = manifest_config(opts);
     manifest.config["config_hash"] = ctx.config_hash;
+    // The SLO verdict rides in the manifest so a bundle answers "did this
+    // run meet its objectives" without opening slo.json.
+    if (ctx.slo) manifest.config["slo_pass"] = ctx.slo->pass() ? "true" : "false";
     for (const auto& [flag, path] :
          {std::pair<const char*, const std::string&>{"metrics", opts.metrics_json},
           {"events", opts.events_file},
           {"trace", opts.trace_file},
-          {"timeseries", opts.timeseries_file}}) {
+          {"timeseries", opts.timeseries_file},
+          {"slo", opts.slo_out}}) {
       (void)flag;
       if (path.empty() || path == "-") continue;
       manifest.artifacts.push_back(std::filesystem::path(path).filename().string());
@@ -378,7 +472,14 @@ int main(int argc, char** argv) {
         .field("seed", opts.seed);
     events.set_stamp(stamp);
   }
-  if (!opts.timeseries_file.empty() &&
+  if (!opts.slo_specs.empty()) {
+    ctx.slo = std::make_unique<obs::SloTracker>(opts.slo_specs);
+    if (events.is_open()) ctx.slo->set_event_log(&events);
+    ctx.sampler.set_slo_tracker(ctx.slo.get());
+  }
+  // The sampler runs with a file (--timeseries) or without one (--slo only:
+  // its tick still drives SLO evaluation).
+  if ((!opts.timeseries_file.empty() || ctx.slo != nullptr) &&
       !ctx.sampler.start(obs::Registry::global(), opts.timeseries_file,
                          std::chrono::milliseconds(opts.sample_interval_ms))) {
     usage("cannot open " + opts.timeseries_file);
@@ -469,6 +570,54 @@ int main(int argc, char** argv) {
   // Provenance recording is tied to the event log: the fields only leave the
   // process through it, and it never changes any decision.
   sim_opts.record_provenance = events.is_open();
+
+  if (opts.soak > 0) {
+    util::Rng workload(opts.seed + 1);
+    sim::RequestGenerator gen(topo, workload, gen_opts);
+    auto algo = build_algorithm(opts.algorithm, topo);
+    sim::SoakOptions soak;
+    soak.num_requests = opts.soak;
+    soak.arrival_rate = opts.arrival_rate;
+    soak.mean_duration = opts.mean_duration;
+    soak.diurnal_amplitude = opts.diurnal_amplitude;
+    soak.diurnal_period = opts.diurnal_period;
+    soak.max_delay_ms = opts.max_delay_ms;
+    soak.sim = sim_opts;
+    // Progress heartbeat at ~5% granularity (info level) so multi-hour
+    // soaks are observably alive from the console too.
+    soak.progress_every = std::max<std::size_t>(opts.soak / 20, 1);
+    soak.on_progress = [&](std::size_t processed) {
+      obs::log_info("soak: " + std::to_string(processed) + "/" +
+                    std::to_string(opts.soak) + " requests");
+    };
+    obs::log_info("soak run: " + std::string(algo->name()) + ", " +
+                  std::to_string(opts.soak) + " requests");
+    const sim::SoakMetrics m = sim::run_soak(*algo, gen, workload, soak);
+    util::Table soak_table({"algorithm", "requests", "admitted", "acceptance",
+                            "rej_bw", "rej_cpu", "rej_thr", "rej_dly",
+                            "rej_other", "peak_active", "wall_s", "req_s",
+                            "p50_us", "p90_us", "p99_us"});
+    soak_table.begin_row()
+        .add(std::string(algo->name()))
+        .add(m.num_requests)
+        .add(m.num_admitted)
+        .add(m.acceptance_ratio(), 3)
+        .add(m.rejected_because(core::RejectCause::kBandwidth))
+        .add(m.rejected_because(core::RejectCause::kCompute))
+        .add(m.rejected_because(core::RejectCause::kThreshold))
+        .add(m.rejected_because(core::RejectCause::kDelay))
+        .add(m.rejected_because(core::RejectCause::kOther) +
+             m.rejected_because(core::RejectCause::kNone))
+        .add(m.peak_active)
+        .add(m.wall_seconds, 1)
+        .add(m.requests_per_s, 1)
+        .add(m.p50_us, 1)
+        .add(m.p90_us, 1)
+        .add(m.p99_us, 1);
+    soak_table.print(std::cout);
+    write_artifacts(opts, events, ctx);
+    return 0;
+  }
 
   util::Table table({"algorithm", "requests", "admitted", "acceptance",
                      "mean_cost", "rej_bw", "rej_cpu", "rej_thr", "rej_dly",
