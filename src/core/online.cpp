@@ -117,7 +117,13 @@ void OnlineAlgorithm::release(const nfv::Footprint& footprint) {
   after_release(footprint);
 }
 
+void OnlineAlgorithm::restore_resources(const nfv::ResourceResiduals& residuals) {
+  state_.restore_residuals(residuals);
+  after_restore();
+}
+
 void OnlineAlgorithm::after_allocate(const nfv::Footprint& /*footprint*/) {}
 void OnlineAlgorithm::after_release(const nfv::Footprint& /*footprint*/) {}
+void OnlineAlgorithm::after_restore() {}
 
 }  // namespace nfvm::core

@@ -112,6 +112,24 @@ class OnlineAlgorithm {
   /// Releases a previously admitted request's resources (departures).
   void release(const nfv::Footprint& footprint);
 
+  /// Snapshot-restore support (serve/snapshot.h): installs the residual
+  /// vectors recorded in a snapshot bit-for-bit and rebuilds
+  /// residual-derived state (after_restore hook; e.g. OnlineCp's weighted
+  /// view, whose weights are a pure function of the residuals). Replaying
+  /// the active footprints instead would reassociate the floating-point
+  /// accumulation and drift from the uninterrupted run by an ulp - carrying
+  /// the residual doubles themselves is what makes the subsequent decision
+  /// stream byte-identical. Throws std::runtime_error on a shape or range
+  /// mismatch (snapshot from a different network).
+  void restore_resources(const nfv::ResourceResiduals& residuals);
+
+  /// Restores the lifetime admitted/rejected counters recorded in a
+  /// snapshot (restore_admitted deliberately does not count).
+  void restore_counts(std::size_t admitted, std::size_t rejected) noexcept {
+    num_admitted_ = admitted;
+    num_rejected_ = rejected;
+  }
+
   /// When enabled, every process() call attaches a RequestRecord (phase
   /// timings, scan provenance, reject context) to the returned decision.
   /// Costs a few clock reads and one small allocation per request; under
@@ -142,6 +160,12 @@ class OnlineAlgorithm {
   /// (e.g. OnlineCp's weighted working view) patch it here.
   virtual void after_allocate(const nfv::Footprint& footprint);
   virtual void after_release(const nfv::Footprint& footprint);
+
+  /// Called by restore_resources() after the residual vectors were
+  /// installed. Algorithms maintaining residual-derived state rebuild it
+  /// from scratch here (incremental patching has nothing to patch from -
+  /// the residuals just changed wholesale). Default: no-op.
+  virtual void after_restore();
 
   /// The record the current process() call is populating, or null when
   /// recording is off. try_admit implementations fill scan provenance

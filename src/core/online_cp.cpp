@@ -57,6 +57,13 @@ void OnlineCp::after_release(const nfv::Footprint& footprint) {
   if (view_.has_value()) view_->apply_release(footprint);
 }
 
+void OnlineCp::after_restore() {
+  // Every weight is a pure function of its residual, so a full rebuild from
+  // the restored residuals reproduces the uninterrupted run's view exactly;
+  // the dropped tree cache and era counter never influence decisions.
+  if (view_.has_value()) view_->rebuild();
+}
+
 AdmissionDecision OnlineCp::try_admit(const nfv::Request& request) {
   NFVM_SPAN("online_cp/try_admit");
   if (view_.has_value()) return try_admit_fast(request);

@@ -62,6 +62,7 @@ class OnlineCp final : public OnlineAlgorithm {
   AdmissionDecision try_admit(const nfv::Request& request) override;
   void after_allocate(const nfv::Footprint& footprint) override;
   void after_release(const nfv::Footprint& footprint) override;
+  void after_restore() override;
 
  private:
   /// Legacy path: rebuild the filtered weighted subgraph per request and run

@@ -19,6 +19,7 @@ OnlineWeightedView::OnlineWeightedView(const topo::Topology& topo,
     const graph::Edge& ed = topo_->graph.edge(e);
     view_.add_edge(ed.u, ed.v, edge_weight_(e));
   }
+  ++era_;
   NFVM_COUNTER_INC("core.online.view_rebuilds");
 }
 
@@ -30,6 +31,7 @@ void OnlineWeightedView::rebuild() {
   }
   cache_.clear();
   built_at_b_.clear();
+  ++era_;
   NFVM_COUNTER_INC("core.online.view_rebuilds");
 }
 
@@ -44,6 +46,7 @@ void OnlineWeightedView::apply_allocate(const nfv::Footprint& footprint) {
       changed.push_back(e);
     }
   }
+  ++patches_applied_;
   NFVM_COUNTER_INC("core.online.view_patches");
   if (changed.empty()) return;  // no weight moved: cached trees stay exact
   std::sort(changed.begin(), changed.end());
@@ -71,6 +74,7 @@ void OnlineWeightedView::apply_release(const nfv::Footprint& footprint) {
   // on shorter paths, which per-edge validation cannot detect. New era.
   cache_.clear();
   built_at_b_.clear();
+  ++era_;
   NFVM_COUNTER_INC("core.online.view_rebuilds");
 }
 

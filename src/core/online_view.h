@@ -81,6 +81,21 @@ class OnlineWeightedView {
       const nfv::ResourceState& state, std::span<const graph::VertexId> sources,
       double b);
 
+  // --- State export (serve snapshot/restore + tests) ------------------------
+  // The view's *decision-relevant* state is entirely derivable from the
+  // residuals (weights are a pure function of them); the era counter and
+  // tree cache are performance state only. These accessors exist so
+  // snapshot round-trip tests can assert exactly that: after a restore the
+  // weights must match the uninterrupted run edge-for-edge, while era/cache
+  // may legitimately differ without perturbing a single decision.
+
+  /// Eras completed: construction + every rebuild() / apply_release().
+  std::uint64_t era() const noexcept { return era_; }
+  /// Cached shortest-path trees currently held.
+  std::size_t cached_trees() const noexcept { return cache_.size(); }
+  /// Patched-weight applications since construction (apply_allocate calls).
+  std::uint64_t patches_applied() const noexcept { return patches_applied_; }
+
  private:
   bool tree_valid(const nfv::ResourceState& state, graph::VertexId source,
                   const graph::ShortestPaths& tree, double b) const;
@@ -93,6 +108,8 @@ class OnlineWeightedView {
   /// at. Stale entries for evicted sources are harmless (overwritten on the
   /// next insert, ignored when try_get misses).
   std::unordered_map<graph::VertexId, double> built_at_b_;
+  std::uint64_t era_ = 0;
+  std::uint64_t patches_applied_ = 0;
 };
 
 }  // namespace nfvm::core

@@ -153,6 +153,39 @@ void ResourceState::release(const Footprint& fp) {
   }
 }
 
+namespace {
+void check_residuals(const char* what, const std::vector<double>& values,
+                     const std::vector<double>& capacity) {
+  if (values.size() != capacity.size()) {
+    throw std::runtime_error(std::string("restore_residuals: ") + what +
+                             " has " + std::to_string(values.size()) +
+                             " entries, topology has " +
+                             std::to_string(capacity.size()));
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!(values[i] >= 0.0) || values[i] > capacity[i] + kSlack) {
+      throw std::runtime_error(std::string("restore_residuals: ") + what +
+                               "[" + std::to_string(i) +
+                               "] outside [0, capacity]");
+    }
+  }
+}
+}  // namespace
+
+ResourceResiduals ResourceState::export_residuals() const {
+  return ResourceResiduals{residual_bandwidth_, residual_compute_,
+                           residual_table_};
+}
+
+void ResourceState::restore_residuals(const ResourceResiduals& residuals) {
+  check_residuals("bandwidth", residuals.bandwidth, bandwidth_capacity_);
+  check_residuals("compute", residuals.compute, compute_capacity_);
+  check_residuals("table", residuals.table, table_capacity_);
+  residual_bandwidth_ = residuals.bandwidth;
+  residual_compute_ = residuals.compute;
+  residual_table_ = residuals.table;
+}
+
 double ResourceState::total_allocated_bandwidth() const {
   double total = 0.0;
   for (std::size_t e = 0; e < residual_bandwidth_.size(); ++e) {

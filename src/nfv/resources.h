@@ -32,6 +32,18 @@ struct Footprint {
   }
 };
 
+/// The raw residual vectors, exported for snapshot/restore. Residuals are
+/// accumulated doubles (allocate subtracts, release adds back), so they can
+/// only be reproduced bit-exactly by carrying the values themselves -
+/// replaying footprints in any order other than the original interleaved
+/// allocate/release history reassociates the floating-point sums and drifts
+/// by an ulp.
+struct ResourceResiduals {
+  std::vector<double> bandwidth;  ///< per-link residual Mbps
+  std::vector<double> compute;    ///< per-server residual MHz
+  std::vector<double> table;      ///< per-switch residual entries; empty when not tracked
+};
+
 class ResourceState {
  public:
   /// Initializes residuals to the topology's full capacities.
@@ -67,6 +79,15 @@ class ResourceState {
   /// release would exceed the capacity (double release), leaving the state
   /// unchanged.
   void release(const Footprint& fp);
+
+  /// Copies of the residual vectors, bit-exact.
+  ResourceResiduals export_residuals() const;
+
+  /// Installs previously exported residuals verbatim. Throws
+  /// std::runtime_error if the shapes do not match this topology or any
+  /// value lies outside [0, capacity] - a snapshot taken on a different
+  /// network must fail loudly, not restore garbage.
+  void restore_residuals(const ResourceResiduals& residuals);
 
   /// Sum of allocated bandwidth over all links (Mbps).
   double total_allocated_bandwidth() const;

@@ -168,7 +168,8 @@ namespace {
 
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  explicit JsonParser(std::string_view text, std::uint64_t base_offset = 0)
+      : text_(text), base_offset_(base_offset) {}
 
   JsonValue parse() {
     JsonValue value = parse_value();
@@ -179,8 +180,8 @@ class JsonParser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("JSON error at byte " + std::to_string(pos_) +
-                             ": " + what);
+    throw std::runtime_error("JSON error at byte " +
+                             std::to_string(base_offset_ + pos_) + ": " + what);
   }
 
   void skip_ws() {
@@ -378,10 +379,65 @@ class JsonParser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::uint64_t base_offset_ = 0;
 };
 
 }  // namespace
 
 JsonValue parse_json(std::string_view text) { return JsonParser(text).parse(); }
+
+JsonValue parse_json(std::string_view text, std::uint64_t base_offset) {
+  return JsonParser(text, base_offset).parse();
+}
+
+bool JsonlCursor::next(Record& record) {
+  while (pos_ < text_.size()) {
+    const std::uint64_t start = pos_;
+    const std::size_t nl = text_.find('\n', pos_);
+    std::string_view line;
+    bool unterminated = false;
+    if (nl == std::string_view::npos) {
+      line = text_.substr(pos_);
+      pos_ = text_.size();
+      unterminated = true;
+    } else {
+      line = text_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+    }
+    ++lineno_;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    record.line = line;
+    record.offset = start;
+    record.number = lineno_;
+    record.unterminated = unterminated;
+    return true;
+  }
+  return false;
+}
+
+JsonValue parse_jsonl_record(const JsonlCursor::Record& record) {
+  JsonValue doc;
+  try {
+    doc = parse_json(record.line, record.offset);
+  } catch (const std::exception& e) {
+    if (record.unterminated) {
+      // No trailing newline and unparseable: the classic partially-written
+      // tail of a crashed writer. Name it as such - consumers routinely
+      // choose to tolerate exactly this case and nothing else.
+      throw std::runtime_error(
+          "truncated JSONL record at line " + std::to_string(record.number) +
+          " (byte " + std::to_string(record.offset) + "): " + e.what());
+    }
+    throw std::runtime_error("line " + std::to_string(record.number) + ": " +
+                             e.what());
+  }
+  if (!doc.is_object()) {
+    throw std::runtime_error("line " + std::to_string(record.number) +
+                             " (byte " + std::to_string(record.offset) +
+                             "): not a JSON object");
+  }
+  return doc;
+}
 
 }  // namespace nfvm::obs

@@ -111,4 +111,48 @@ struct JsonValue {
 /// pairs.
 JsonValue parse_json(std::string_view text);
 
+/// As parse_json, but error byte offsets are reported relative to
+/// `base_offset` + the position inside `text`. Used by JSONL consumers so a
+/// malformed record names its absolute position in the enclosing stream,
+/// not a line-local one.
+JsonValue parse_json(std::string_view text, std::uint64_t base_offset);
+
+/// Record iterator over a JSONL buffer that tracks absolute byte offsets -
+/// the shared substrate for every consumer that must survive truncated or
+/// partially-written files (a process killed mid-write leaves a final
+/// record with no trailing newline and, usually, an unparseable prefix).
+/// Blank lines are skipped; the cursor itself never throws.
+class JsonlCursor {
+ public:
+  struct Record {
+    /// The record's bytes, newline excluded.
+    std::string_view line;
+    /// Byte offset of the record's first byte in the buffer.
+    std::uint64_t offset = 0;
+    /// 1-based line number.
+    std::size_t number = 0;
+    /// True when the buffer ended without a newline after this record - the
+    /// signature of a write cut short. Such a record may still parse (the
+    /// kill landed between the payload and the '\n'); callers decide
+    /// whether a parseable unterminated tail is acceptable.
+    bool unterminated = false;
+  };
+
+  explicit JsonlCursor(std::string_view text) : text_(text) {}
+
+  /// Advances to the next non-blank record. Returns false at end of buffer.
+  bool next(Record& record);
+
+ private:
+  std::string_view text_;
+  std::uint64_t pos_ = 0;
+  std::size_t lineno_ = 0;
+};
+
+/// Parses one cursor record as a JSON object. Throws std::runtime_error
+/// naming the line number and the absolute byte offset on malformed input
+/// or a non-object record; a record flagged `unterminated` that also fails
+/// to parse is reported as a truncated record.
+JsonValue parse_jsonl_record(const JsonlCursor::Record& record);
+
 }  // namespace nfvm::obs

@@ -316,24 +316,21 @@ std::string validate_file(const std::string& path) {
     return e.what();
   }
   if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
-    std::istringstream lines(text);
-    std::string line;
-    std::size_t lineno = 0;
-    while (std::getline(lines, line)) {
-      ++lineno;
-      if (line.empty()) continue;
+    // Cursor-driven walk so a truncated / partially-written stream (writer
+    // killed mid-record) reports a structured error with the absolute byte
+    // offset instead of a line-local one.
+    JsonlCursor cursor(text);
+    JsonlCursor::Record record;
+    while (cursor.next(record)) {
       try {
-        const JsonValue doc = parse_json(line);
-        if (!doc.is_object()) {
-          return path + ":" + std::to_string(lineno) + ": not a JSON object";
-        }
+        const JsonValue doc = parse_jsonl_record(record);
         if (is_kind(doc, kTimeseriesSchema)) {
           if (std::string err = validate_timeseries_line(doc); !err.empty()) {
-            return path + ":" + std::to_string(lineno) + ": " + err;
+            return path + ":" + std::to_string(record.number) + ": " + err;
           }
         }
       } catch (const std::exception& e) {
-        return path + ":" + std::to_string(lineno) + ": " + e.what();
+        return path + ": " + e.what();
       }
     }
     return "";
@@ -530,11 +527,16 @@ SloArtifact load_slo_artifact(const std::string& path) {
     throw std::runtime_error(slo_path + ": " + err);
   }
   if (!timeseries_path.empty() && fs::exists(fs::path(timeseries_path))) {
-    std::istringstream lines(read_file(timeseries_path));
-    std::string line;
-    while (std::getline(lines, line)) {
-      if (line.empty()) continue;
-      JsonValue doc = parse_json(line);
+    const std::string text = read_file(timeseries_path);
+    JsonlCursor cursor(text);
+    JsonlCursor::Record record;
+    while (cursor.next(record)) {
+      JsonValue doc;
+      try {
+        doc = parse_jsonl_record(record);
+      } catch (const std::exception& e) {
+        throw std::runtime_error(timeseries_path + ": " + e.what());
+      }
       if (is_kind(doc, kTimeseriesSchema)) {
         artifact.timeseries.push_back(std::move(doc));
       }

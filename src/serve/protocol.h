@@ -1,0 +1,104 @@
+// JSONL wire protocol for the nfvm-serve admission daemon.
+//
+// The daemon reads one command object per line (stdin or a Unix socket) and
+// answers every line - including malformed ones - with exactly one reply
+// line. That one-reply-per-line invariant is what makes the crash-recovery
+// gate a plain `head -n lines_consumed | diff`: a snapshot taken after N
+// consumed lines covers exactly the first N reply lines.
+//
+// Command grammar (see docs/serving.md for the full contract):
+//   {"cmd":"arrive","id":1,"source":4,"destinations":[7,9],
+//    "bandwidth_mbps":120.5,"chain":["NAT","Firewall"],"max_delay_ms":0}
+//   {"cmd":"depart","id":1}
+//   {"cmd":"snapshot"}          write a snapshot now (needs --snapshot)
+//   {"cmd":"stats"}             counters + latency quantiles reply
+//   {"cmd":"drain"}             graceful shutdown after the reply
+//
+// Replies are flat JSON objects with "ok" first. Decision replies carry only
+// deterministic fields (no timings), so reply streams are byte-identical
+// across thread counts, NFVM_OBS settings, and crash/restore boundaries;
+// latency lives in the stats reply and the metrics registry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/online.h"
+#include "nfv/request.h"
+
+namespace nfvm::serve {
+
+enum class CommandKind : std::uint8_t {
+  kArrive,
+  kDepart,
+  kSnapshot,
+  kStats,
+  kDrain,
+};
+
+struct Command {
+  CommandKind kind = CommandKind::kArrive;
+  /// Filled for kArrive (the full request) and kDepart (id only).
+  nfv::Request request;
+};
+
+/// Where a command line sits in the input stream - stamped into error
+/// replies so a bad line in a multi-gigabyte trace is findable.
+struct LinePosition {
+  std::uint64_t offset = 0;  ///< byte offset of the line start
+  std::size_t number = 0;    ///< 1-based line number
+};
+
+/// Why a command line was refused: `reply` is the complete structured reply
+/// line ({"ok":false,"error":"parse"|"invalid",...,"line":N,"offset":B,...});
+/// `malformed_json` distinguishes unparseable bytes ("parse") from
+/// well-formed JSON with bad shape or semantics ("invalid").
+struct ParseFailure {
+  std::string reply;
+  bool malformed_json = false;
+};
+
+/// Parses one command line. On success returns the command; on malformed
+/// JSON or an invalid command shape/semantics (unknown cmd, bad vertex ids,
+/// non-positive bandwidth, unknown NF name, ...) returns std::nullopt and
+/// fills `failure`.
+/// Graph-level request validation (vertices in range, destinations distinct)
+/// runs here too, so OnlineAlgorithm::process never throws on daemon input.
+std::optional<Command> parse_command(std::string_view line,
+                                     const LinePosition& position,
+                                     const graph::Graph& graph,
+                                     ParseFailure& failure);
+
+// --- Reply builders ---------------------------------------------------------
+
+/// Admission decision reply for an arrive command. `active` is the number of
+/// in-flight admitted requests after the decision.
+std::string arrive_reply(std::uint64_t id,
+                         const core::AdmissionDecision& decision,
+                         std::size_t active);
+
+/// Overload-shed reply: the request was never evaluated
+/// (reject_cause "overload", "shed":true).
+std::string shed_reply(std::uint64_t id);
+
+/// Depart reply. `released` is false when the id belonged to a rejected
+/// (never-admitted) arrival - a no-op, not an error.
+std::string depart_reply(std::uint64_t id, bool released, std::size_t active);
+
+std::string snapshot_reply(std::uint64_t seq, std::string_view path,
+                           std::size_t active);
+
+/// Structured error reply. `code` is "parse" or "invalid".
+std::string error_reply(std::string_view code, std::string_view detail,
+                        const LinePosition& position);
+
+// --- Trace emission (nfvm-serve-client) -------------------------------------
+
+/// One arrive command line for `request` (no trailing newline).
+std::string arrive_line(const nfv::Request& request);
+/// One depart command line (no trailing newline).
+std::string depart_line(std::uint64_t id);
+
+}  // namespace nfvm::serve

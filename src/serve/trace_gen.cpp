@@ -1,0 +1,99 @@
+#include "serve/trace_gen.h"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace nfvm::serve {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Next arrival instant after `clock` - run_soak's thinned-Poisson draw,
+/// duplicated rather than shared so the two RNG consumption orders can never
+/// drift apart silently (each is pinned by its own determinism test).
+double next_arrival(util::Rng& rng, double clock,
+                    const TraceGenOptions& options) {
+  const double peak_rate =
+      options.arrival_rate * (1.0 + options.diurnal_amplitude);
+  for (;;) {
+    clock += rng.exponential(peak_rate);
+    if (options.diurnal_amplitude == 0.0) return clock;
+    const double rate =
+        options.arrival_rate *
+        (1.0 + options.diurnal_amplitude *
+                   std::sin(kTwoPi * clock / options.diurnal_period));
+    if (rng.uniform01() * peak_rate < rate) return clock;
+  }
+}
+
+}  // namespace
+
+TraceSummary write_serve_trace(std::ostream& out, const topo::Topology& topo,
+                               util::Rng& rng,
+                               const TraceGenOptions& options) {
+  if (!(options.arrival_rate > 0) || !(options.mean_duration > 0)) {
+    throw std::invalid_argument("write_serve_trace: rates must be positive");
+  }
+  if (options.diurnal_amplitude < 0.0 || options.diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument(
+        "write_serve_trace: diurnal amplitude must be in [0, 1)");
+  }
+  if (options.diurnal_amplitude > 0.0 && !(options.diurnal_period > 0.0)) {
+    throw std::invalid_argument(
+        "write_serve_trace: diurnal period must be positive");
+  }
+
+  sim::RequestGenerator generator(topo, rng, options.request_gen);
+  struct Departure {
+    double time;
+    std::uint64_t id;
+  };
+  const auto later = [](const Departure& a, const Departure& b) {
+    return a.time > b.time;
+  };
+  std::priority_queue<Departure, std::vector<Departure>, decltype(later)>
+      pending(later);
+
+  TraceSummary summary;
+  const auto emit = [&](const std::string& line) {
+    out << line << '\n';
+    ++summary.total_lines;
+  };
+
+  double clock = 0.0;
+  for (std::size_t i = 0; i < options.num_requests; ++i) {
+    clock = next_arrival(rng, clock, options);
+    const double duration = rng.exponential(1.0 / options.mean_duration);
+    nfv::Request request = generator.next();
+    request.max_delay_ms = options.max_delay_ms;
+
+    while (!pending.empty() && pending.top().time <= clock) {
+      emit(depart_line(pending.top().id));
+      ++summary.depart_lines;
+      pending.pop();
+    }
+    emit(arrive_line(request));
+    ++summary.arrive_lines;
+    pending.push(Departure{clock + duration, request.id});
+
+    if (options.snapshot_every != 0 &&
+        (i + 1) % options.snapshot_every == 0) {
+      emit("{\"cmd\":\"snapshot\"}");
+      ++summary.snapshot_lines;
+    }
+  }
+  while (!pending.empty()) {
+    emit(depart_line(pending.top().id));
+    ++summary.depart_lines;
+    pending.pop();
+  }
+  if (options.final_stats) emit("{\"cmd\":\"stats\"}");
+  return summary;
+}
+
+}  // namespace nfvm::serve

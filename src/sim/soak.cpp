@@ -68,7 +68,13 @@ SoakMetrics run_soak(core::OnlineAlgorithm& algorithm,
   util::Stopwatch wall;
   double clock = 0.0;
   double active_sum = 0.0;
+  std::size_t processed = 0;
   for (std::size_t i = 0; i < options.num_requests; ++i) {
+    if (options.stop != nullptr &&
+        options.stop->load(std::memory_order_relaxed)) {
+      metrics.clean_shutdown = false;
+      break;
+    }
     clock = next_arrival(rng, clock, options);
     // Draw the holding time before processing so the RNG stream does not
     // depend on the admission outcome - rejected requests must consume the
@@ -108,6 +114,7 @@ SoakMetrics run_soak(core::OnlineAlgorithm& algorithm,
     }
     metrics.peak_active = std::max(metrics.peak_active, active.size());
     active_sum += static_cast<double>(active.size());
+    processed = i + 1;
     emit_request_event(options.sim.event_log, algorithm, i, request, decision,
                        seconds, clock);
     if (options.progress_every != 0 && options.on_progress &&
@@ -115,15 +122,16 @@ SoakMetrics run_soak(core::OnlineAlgorithm& algorithm,
       options.on_progress(i + 1);
     }
   }
+  // All rollups cover the arrivals actually processed, so an interrupted run
+  // still writes internally consistent artifacts.
+  metrics.num_requests = processed;
   metrics.wall_seconds = wall.elapsed_seconds();
   metrics.sim_duration = clock;
   metrics.mean_active =
-      options.num_requests == 0
-          ? 0.0
-          : active_sum / static_cast<double>(options.num_requests);
+      processed == 0 ? 0.0 : active_sum / static_cast<double>(processed);
   metrics.requests_per_s =
       metrics.wall_seconds > 0.0
-          ? static_cast<double>(options.num_requests) / metrics.wall_seconds
+          ? static_cast<double>(processed) / metrics.wall_seconds
           : 0.0;
   if (latency.count() > 0) {
     metrics.p50_us = latency.quantile(0.50);
@@ -131,8 +139,8 @@ SoakMetrics run_soak(core::OnlineAlgorithm& algorithm,
     metrics.p99_us = latency.quantile(0.99);
   }
   if (options.progress_every != 0 && options.on_progress &&
-      options.num_requests % options.progress_every != 0) {
-    options.on_progress(options.num_requests);
+      processed % options.progress_every != 0) {
+    options.on_progress(processed);
   }
   // Drain remaining departures so the algorithm's state returns to idle.
   while (!active.empty()) {

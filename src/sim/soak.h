@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <functional>
 
@@ -48,12 +49,24 @@ struct SoakOptions {
   /// it cheap.
   std::size_t progress_every = 0;
   std::function<void(std::size_t processed)> on_progress;
+  /// Cooperative early-stop flag (typically flipped by a SIGINT/SIGTERM
+  /// handler): checked before each arrival; when true the run winds down
+  /// cleanly - departures drained, metrics finalized over the requests
+  /// actually processed - and SoakMetrics.clean_shutdown reports false.
+  /// Null disables the check.
+  const std::atomic<bool>* stop = nullptr;
   /// Validation / event-log / provenance switches, as for run_online.
   SimulatorOptions sim;
 };
 
 struct SoakMetrics {
+  /// Arrivals actually processed - equals the configured count unless the
+  /// stop flag ended the run early.
   std::size_t num_requests = 0;
+  /// False when the stop flag interrupted the run; artifacts from such a run
+  /// are still internally consistent (partial counts, drained departures)
+  /// but cover fewer arrivals than configured.
+  bool clean_shutdown = true;
   std::size_t num_admitted = 0;
   std::size_t num_rejected = 0;
   std::array<std::size_t, core::kNumRejectCauses> rejects_by_cause{};

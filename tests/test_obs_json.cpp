@@ -126,5 +126,62 @@ TEST(JsonRoundTrip, WriterOutputParsesBack) {
   EXPECT_TRUE(v.at("values").array[2].is_null());
 }
 
+// ---------------------------------------------------------------------------
+// JsonlCursor: the truncated-file-safe record iterator
+// ---------------------------------------------------------------------------
+
+TEST(JsonlCursor, TracksOffsetsAndLineNumbers) {
+  JsonlCursor cursor("{\"a\":1}\n\n{\"b\":2}\n");
+  JsonlCursor::Record record;
+  ASSERT_TRUE(cursor.next(record));
+  EXPECT_EQ(record.line, "{\"a\":1}");
+  EXPECT_EQ(record.offset, 0u);
+  EXPECT_EQ(record.number, 1u);
+  EXPECT_FALSE(record.unterminated);
+  // The blank line is skipped but still counted.
+  ASSERT_TRUE(cursor.next(record));
+  EXPECT_EQ(record.line, "{\"b\":2}");
+  EXPECT_EQ(record.offset, 9u);
+  EXPECT_EQ(record.number, 3u);
+  EXPECT_FALSE(cursor.next(record));
+}
+
+TEST(JsonlCursor, FlagsUnterminatedTail) {
+  JsonlCursor cursor("{\"a\":1}\n{\"b\":");
+  JsonlCursor::Record record;
+  ASSERT_TRUE(cursor.next(record));
+  EXPECT_FALSE(record.unterminated);
+  ASSERT_TRUE(cursor.next(record));
+  EXPECT_TRUE(record.unterminated);
+  EXPECT_EQ(record.line, "{\"b\":");
+  // The cut record fails to parse, named as a truncation with its absolute
+  // byte position.
+  try {
+    parse_jsonl_record(record);
+    FAIL() << "truncated record parsed";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte"), std::string::npos) << what;
+  }
+}
+
+TEST(JsonlCursor, ParseableUnterminatedTailStillParses) {
+  // Kill landed between the payload and the '\n': flagged, but usable.
+  JsonlCursor cursor("{\"a\":1}");
+  JsonlCursor::Record record;
+  ASSERT_TRUE(cursor.next(record));
+  EXPECT_TRUE(record.unterminated);
+  EXPECT_EQ(parse_jsonl_record(record).at("a").number, 1.0);
+}
+
+TEST(JsonlCursor, EmptyBufferYieldsNothing) {
+  JsonlCursor empty("");
+  JsonlCursor blank("\n\n\n");
+  JsonlCursor::Record record;
+  EXPECT_FALSE(empty.next(record));
+  EXPECT_FALSE(blank.next(record));
+}
+
 }  // namespace
 }  // namespace nfvm::obs

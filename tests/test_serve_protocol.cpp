@@ -1,0 +1,156 @@
+// serve/protocol.h: command parsing (valid, malformed, invalid), the
+// structured error replies with line/offset provenance, reply builder
+// shapes, and the arrive/depart trace-line round trip.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "nfv/network_function.h"
+#include "serve/protocol.h"
+#include "topology/waxman.h"
+#include "util/rng.h"
+
+namespace nfvm::serve {
+namespace {
+
+topo::Topology make_topo() {
+  util::Rng rng(17);
+  return topo::make_waxman(30, rng);
+}
+
+nfv::Request make_request() {
+  nfv::Request request;
+  request.id = 42;
+  request.source = 3;
+  request.destinations = {7, 11, 19};
+  request.bandwidth_mbps = 120.5;
+  request.chain = nfv::ServiceChain(
+      {nfv::NetworkFunction::kNat, nfv::NetworkFunction::kFirewall});
+  request.max_delay_ms = 0.0;
+  return request;
+}
+
+std::optional<Command> parse(const topo::Topology& topo, std::string_view line,
+                             ParseFailure& failure,
+                             const LinePosition& position = {0, 1}) {
+  return parse_command(line, position, topo.graph, failure);
+}
+
+TEST(ServeProtocol, ArriveLineRoundTrips) {
+  const topo::Topology topo = make_topo();
+  const nfv::Request request = make_request();
+  ParseFailure failure;
+  const auto command = parse(topo, arrive_line(request), failure);
+  ASSERT_TRUE(command.has_value()) << failure.reply;
+  EXPECT_EQ(command->kind, CommandKind::kArrive);
+  EXPECT_EQ(command->request.id, request.id);
+  EXPECT_EQ(command->request.source, request.source);
+  EXPECT_EQ(command->request.destinations, request.destinations);
+  EXPECT_EQ(command->request.bandwidth_mbps, request.bandwidth_mbps);
+  EXPECT_EQ(command->request.chain.functions(), request.chain.functions());
+  EXPECT_EQ(command->request.max_delay_ms, request.max_delay_ms);
+}
+
+TEST(ServeProtocol, DepartLineRoundTrips) {
+  const topo::Topology topo = make_topo();
+  ParseFailure failure;
+  const auto command = parse(topo, depart_line(42), failure);
+  ASSERT_TRUE(command.has_value()) << failure.reply;
+  EXPECT_EQ(command->kind, CommandKind::kDepart);
+  EXPECT_EQ(command->request.id, 42u);
+}
+
+TEST(ServeProtocol, ControlCommandsParse) {
+  const topo::Topology topo = make_topo();
+  ParseFailure failure;
+  EXPECT_EQ(parse(topo, R"({"cmd":"snapshot"})", failure)->kind,
+            CommandKind::kSnapshot);
+  EXPECT_EQ(parse(topo, R"({"cmd":"stats"})", failure)->kind,
+            CommandKind::kStats);
+  EXPECT_EQ(parse(topo, R"({"cmd":"drain"})", failure)->kind,
+            CommandKind::kDrain);
+}
+
+TEST(ServeProtocol, MalformedJsonYieldsParseErrorWithPosition) {
+  const topo::Topology topo = make_topo();
+  ParseFailure failure;
+  const LinePosition position{1234, 57};
+  EXPECT_FALSE(parse(topo, "}garbage{{", failure, position).has_value());
+  EXPECT_TRUE(failure.malformed_json);
+  EXPECT_NE(failure.reply.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(failure.reply.find("\"error\":\"parse\""), std::string::npos);
+  EXPECT_NE(failure.reply.find("\"line\":57"), std::string::npos);
+  EXPECT_NE(failure.reply.find("\"offset\":1234"), std::string::npos);
+}
+
+TEST(ServeProtocol, UnknownCommandIsInvalidNotParse) {
+  const topo::Topology topo = make_topo();
+  ParseFailure failure;
+  EXPECT_FALSE(parse(topo, R"({"cmd":"explode"})", failure).has_value());
+  EXPECT_FALSE(failure.malformed_json);
+  EXPECT_NE(failure.reply.find("\"error\":\"invalid\""), std::string::npos);
+}
+
+TEST(ServeProtocol, SemanticValidationRunsAtParseTime) {
+  const topo::Topology topo = make_topo();
+  ParseFailure failure;
+  // Vertex out of range.
+  EXPECT_FALSE(parse(topo,
+                     R"({"cmd":"arrive","id":1,"source":999,"destinations":[2],)"
+                     R"("bandwidth_mbps":10,"chain":["NAT"]})",
+                     failure)
+                   .has_value());
+  EXPECT_FALSE(failure.malformed_json);
+  // Non-positive bandwidth.
+  EXPECT_FALSE(parse(topo,
+                     R"({"cmd":"arrive","id":1,"source":1,"destinations":[2],)"
+                     R"("bandwidth_mbps":0,"chain":["NAT"]})",
+                     failure)
+                   .has_value());
+  // Unknown network function.
+  EXPECT_FALSE(parse(topo,
+                     R"({"cmd":"arrive","id":1,"source":1,"destinations":[2],)"
+                     R"("bandwidth_mbps":10,"chain":["Teleporter"]})",
+                     failure)
+                   .has_value());
+  // Destination equal to source.
+  EXPECT_FALSE(parse(topo,
+                     R"({"cmd":"arrive","id":1,"source":1,"destinations":[1],)"
+                     R"("bandwidth_mbps":10,"chain":["NAT"]})",
+                     failure)
+                   .has_value());
+}
+
+TEST(ServeProtocol, ReplyBuildersCarryTheContractFields) {
+  core::AdmissionDecision admitted;
+  admitted.admitted = true;
+  admitted.tree.cost = 12.5;
+  const std::string a = arrive_reply(7, admitted, 3);
+  EXPECT_NE(a.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(a.find("\"admitted\":true"), std::string::npos);
+  EXPECT_NE(a.find("\"active\":3"), std::string::npos);
+
+  core::AdmissionDecision rejected;
+  rejected.admitted = false;
+  rejected.reject_reason = "no feasible server";
+  rejected.reject_cause = core::RejectCause::kCompute;
+  const std::string r = arrive_reply(8, rejected, 3);
+  EXPECT_NE(r.find("\"admitted\":false"), std::string::npos);
+  EXPECT_NE(r.find("\"reject_cause\":\"compute\""), std::string::npos);
+
+  const std::string s = shed_reply(9);
+  EXPECT_NE(s.find("\"reject_cause\":\"overload\""), std::string::npos);
+  EXPECT_NE(s.find("\"shed\":true"), std::string::npos);
+
+  const std::string d = depart_reply(7, /*released=*/true, 2);
+  EXPECT_NE(d.find("\"released\":true"), std::string::npos);
+
+  const std::string e = error_reply("invalid", "unknown id", {99, 4});
+  EXPECT_NE(e.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(e.find("\"line\":4"), std::string::npos);
+  EXPECT_NE(e.find("\"offset\":99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfvm::serve

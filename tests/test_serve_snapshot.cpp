@@ -1,0 +1,262 @@
+// serve/snapshot.h + serve/daemon.h: snapshot serialization round trip
+// (bit-exact residual doubles), atomic write/load, truncated-file rejection
+// with byte-offset provenance, and the tentpole guarantee - a daemon
+// restored from a mid-stream snapshot continues the reply stream
+// byte-identically to an uninterrupted run, with departures interleaved, at
+// thread counts 1 and 4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/online_cp.h"
+#include "core/online_view.h"
+#include "serve/daemon.h"
+#include "serve/snapshot.h"
+#include "serve/trace_gen.h"
+#include "topology/waxman.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace nfvm::serve {
+namespace {
+
+topo::Topology make_topo() {
+  util::Rng rng(11);
+  return topo::make_waxman(40, rng);
+}
+
+std::map<std::string, std::string> test_config() {
+  return {{"topology", "waxman"}, {"nodes", "40"}, {"seed", "11"}};
+}
+
+std::string make_trace(const topo::Topology& topo, std::size_t requests) {
+  std::ostringstream out;
+  util::Rng rng(23);
+  TraceGenOptions options;
+  options.num_requests = requests;
+  options.arrival_rate = 20.0;   // high load so rejections occur too
+  options.mean_duration = 40.0;
+  write_serve_trace(out, topo, rng, options);
+  return out.str();
+}
+
+/// First `lines` lines of `text` (trailing newlines included).
+std::string head_lines(const std::string& text, std::size_t lines) {
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < lines; ++i) {
+    pos = text.find('\n', pos);
+    if (pos == std::string::npos) return text;
+    ++pos;
+  }
+  return text.substr(0, pos);
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t n = 0;
+  for (char c : text) n += c == '\n';
+  return n;
+}
+
+std::string run_daemon(core::OnlineAlgorithm& algorithm,
+                       const std::string& input, const DaemonOptions& options,
+                       const Snapshot* restore_from = nullptr) {
+  Daemon daemon(algorithm, test_config(), options);
+  if (restore_from != nullptr) daemon.restore(*restore_from);
+  std::istringstream in(input);
+  IstreamLineSource source(in);
+  std::ostringstream out;
+  daemon.run(source, out);
+  return out.str();
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization round trip
+// ---------------------------------------------------------------------------
+
+TEST(ServeSnapshot, RoundTripIsBitExact) {
+  Snapshot snapshot;
+  snapshot.seq = 7;
+  snapshot.algorithm = "Online_CP";
+  snapshot.config = {{"nodes", "40"}, {"topology", "waxman"}};
+  snapshot.lines_consumed = 123;
+  snapshot.bytes_consumed = 45678;
+  snapshot.replies_emitted = 123;
+  snapshot.num_admitted = 60;
+  snapshot.num_rejected = 3;
+  // Values with no short decimal representation - the round trip must
+  // reproduce every bit, not just a near value.
+  snapshot.residuals.bandwidth = {0.1 + 0.2, 1.0 / 3.0, 1e-300, 1000.0};
+  snapshot.residuals.compute = {2999.9999999999995, 0.0};
+  snapshot.residuals.table = {};
+  snapshot.counters.lines = 123;
+  snapshot.counters.admitted = 60;
+  snapshot.counters.rejected = 3;
+  snapshot.counters.departed = 20;
+  ActiveEntry entry;
+  entry.id = 41;
+  entry.footprint.bandwidth = {{2, 120.5}, {5, 120.5}};
+  entry.footprint.compute = {{3, 301.25}};
+  entry.footprint.table_entries = {2, 3, 5};
+  snapshot.active.push_back(entry);
+  snapshot.rejected_pending = {40, 44};
+
+  const std::string path = temp_path("roundtrip.snap");
+  write_snapshot(path, snapshot);
+  const Snapshot loaded = load_snapshot(path);
+
+  EXPECT_EQ(loaded.seq, snapshot.seq);
+  EXPECT_EQ(loaded.algorithm, snapshot.algorithm);
+  EXPECT_EQ(loaded.config, snapshot.config);
+  EXPECT_EQ(loaded.lines_consumed, snapshot.lines_consumed);
+  EXPECT_EQ(loaded.bytes_consumed, snapshot.bytes_consumed);
+  EXPECT_EQ(loaded.replies_emitted, snapshot.replies_emitted);
+  EXPECT_EQ(loaded.num_admitted, snapshot.num_admitted);
+  EXPECT_EQ(loaded.num_rejected, snapshot.num_rejected);
+  // Bit-exact: == on doubles, deliberately.
+  EXPECT_EQ(loaded.residuals.bandwidth, snapshot.residuals.bandwidth);
+  EXPECT_EQ(loaded.residuals.compute, snapshot.residuals.compute);
+  EXPECT_EQ(loaded.residuals.table, snapshot.residuals.table);
+  EXPECT_EQ(loaded.counters.lines, snapshot.counters.lines);
+  EXPECT_EQ(loaded.counters.departed, snapshot.counters.departed);
+  ASSERT_EQ(loaded.active.size(), 1u);
+  EXPECT_EQ(loaded.active[0].id, entry.id);
+  EXPECT_EQ(loaded.active[0].footprint.bandwidth, entry.footprint.bandwidth);
+  EXPECT_EQ(loaded.active[0].footprint.compute, entry.footprint.compute);
+  EXPECT_EQ(loaded.active[0].footprint.table_entries,
+            entry.footprint.table_entries);
+  EXPECT_EQ(loaded.rejected_pending, snapshot.rejected_pending);
+  std::remove(path.c_str());
+}
+
+TEST(ServeSnapshot, TruncatedFileFailsWithPathAndOffset) {
+  const std::string path =
+      std::string(NFVM_SOURCE_DIR) + "/tests/data/snapshot_truncated.json";
+  try {
+    load_snapshot(path);
+    FAIL() << "truncated snapshot loaded without error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("snapshot_truncated.json"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte"), std::string::npos) << what;
+  }
+}
+
+TEST(ServeSnapshot, MissingFileFailsCleanly) {
+  EXPECT_THROW(load_snapshot(temp_path("does_not_exist.snap")),
+               std::runtime_error);
+}
+
+TEST(ServeSnapshot, RestoreRejectsWrongTopologyShape) {
+  const topo::Topology topo = make_topo();
+  core::OnlineCp algorithm(topo);
+  Snapshot snapshot;
+  snapshot.residuals.bandwidth = {1.0, 2.0};  // wrong link count
+  snapshot.residuals.compute.assign(40, 1000.0);
+  EXPECT_THROW(restore_into(algorithm, snapshot), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Crash/restore decision-stream equivalence
+// ---------------------------------------------------------------------------
+
+void expect_restore_equivalence(std::size_t threads) {
+  util::ThreadPool::set_global_threads(threads);
+  const topo::Topology topo = make_topo();
+  const std::string trace = make_trace(topo, 400);
+  const std::size_t total_lines = count_lines(trace);
+  const std::size_t cut = total_lines / 2;
+
+  // Reference: one uninterrupted run.
+  core::OnlineCp full_algo(topo);
+  const std::string full = run_daemon(full_algo, trace, DaemonOptions{});
+
+  // "Crashed" run: consume only the first half; the final snapshot at
+  // run() exit covers exactly those lines.
+  const std::string snap_path = temp_path("equiv.snap");
+  DaemonOptions snap_options;
+  snap_options.snapshot_path = snap_path;
+  core::OnlineCp crashed_algo(topo);
+  const std::string part1 =
+      run_daemon(crashed_algo, head_lines(trace, cut), snap_options);
+  ASSERT_EQ(count_lines(part1), cut);
+
+  // Restored run over the SAME full trace: the daemon skips the consumed
+  // prefix and must continue byte-identically.
+  const Snapshot snapshot = load_snapshot(snap_path);
+  ASSERT_EQ(snapshot.lines_consumed, cut);
+  core::OnlineCp restored_algo(topo);
+  const std::string part2 =
+      run_daemon(restored_algo, trace, DaemonOptions{}, &snapshot);
+
+  EXPECT_EQ(full, part1 + part2)
+      << "reply stream diverged across the restore boundary (threads="
+      << threads << ")";
+  std::remove(snap_path.c_str());
+}
+
+TEST(ServeSnapshot, RestoredStreamIsByteIdenticalSingleThread) {
+  expect_restore_equivalence(1);
+}
+
+TEST(ServeSnapshot, RestoredStreamIsByteIdenticalFourThreads) {
+  expect_restore_equivalence(4);
+}
+
+TEST(ServeSnapshot, ViewWeightsAreAPureFunctionOfRestoredResiduals) {
+  // The snapshot deliberately does NOT serialize OnlineWeightedView state:
+  // its weights are a pure function of the residuals, so rebuilding from
+  // bit-exact restored residuals must reproduce them edge-for-edge, while
+  // the era counter and patch count - performance state only - may differ.
+  const topo::Topology topo = make_topo();
+  nfv::ResourceState live(topo);
+  const auto weight_against = [&topo](const nfv::ResourceState& state) {
+    return [&topo, &state](graph::EdgeId e) {
+      return std::pow(2.0, 1.0 - state.residual_bandwidth(e) /
+                               state.bandwidth_capacity(e)) -
+             1.0;
+    };
+  };
+  core::OnlineWeightedView patched(topo, weight_against(live));
+  for (std::uint32_t i = 0; i + 3 < topo.graph.num_edges(); i += 7) {
+    nfv::Footprint fp;
+    fp.bandwidth = {{i, 55.5}, {i + 3, 27.25}};
+    live.allocate(fp);
+    patched.apply_allocate(fp);
+  }
+  ASSERT_GT(patched.patches_applied(), 0u);
+
+  nfv::ResourceState restored(topo);
+  restored.restore_residuals(live.export_residuals());
+  core::OnlineWeightedView rebuilt(topo, weight_against(restored));
+
+  for (std::uint32_t e = 0; e < topo.graph.num_edges(); ++e) {
+    EXPECT_EQ(patched.graph().weight(e), rebuilt.graph().weight(e))  // bit-exact
+        << "edge " << e;
+  }
+  // The incremental and rebuilt views took different paths to that state.
+  EXPECT_EQ(rebuilt.patches_applied(), 0u);
+  EXPECT_NE(patched.patches_applied(), rebuilt.patches_applied());
+}
+
+TEST(ServeSnapshot, RestoreVerifiesConfigEcho) {
+  const topo::Topology topo = make_topo();
+  core::OnlineCp algorithm(topo);
+  Daemon daemon(algorithm, test_config(), DaemonOptions{});
+  Snapshot snapshot = daemon.make_snapshot(0, 0, 0);
+  snapshot.config["seed"] = "999";
+  core::OnlineCp other(topo);
+  Daemon fresh(other, test_config(), DaemonOptions{});
+  EXPECT_THROW(fresh.restore(snapshot), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nfvm::serve

@@ -1,0 +1,422 @@
+// nfvm_serve - crash-safe online-admission daemon.
+//
+//   nfvm-serve [options]
+//     --topology <waxman|transit-stub|geant|as1755|as4755>   (default waxman)
+//     --nodes <n>            switches for generated topologies (default 100)
+//     --seed <s>             RNG seed for the topology (default 1)
+//     --algorithm <online_cp|online_sp|online_sp_static>     (default online_cp)
+//     --max-delay <ms>       per-request delay bound support (assigns link
+//                            delays; must match the trace generator's flag)
+//     --socket <path>        serve a Unix stream socket instead of stdin;
+//                            connections are accepted one at a time and the
+//                            engine state persists across them
+//     --snapshot <file>      snapshot target; enables {"cmd":"snapshot"} and
+//                            the final drain snapshot (atomic tmp+fsync+rename)
+//     --snapshot-every <n>   also snapshot automatically every n processed
+//                            lines (requires --snapshot)
+//     --restore <file>       rebuild engine state from a snapshot and skip the
+//                            consumed input prefix; the subsequent reply
+//                            stream is byte-identical to an uninterrupted run
+//     --max-inflight <n>     bounded inflight queue capacity (default 1024);
+//                            a full queue blocks the reader (backpressure)
+//     --request-deadline-ms <x>  shed arrive commands that waited in the
+//                            queue longer than x ms (reject_cause overload);
+//                            0 disables (default; keep 0 for byte-reproducible
+//                            runs)
+//     --fault-plan <file>    deterministic fault injection ("nfvm-fault-plan-
+//                            v1": stalls, garbage lines, duplicate/unknown
+//                            departs, mid-stream kills) - see docs/serving.md
+//     --threads <n>          worker threads (default NFVM_THREADS env, else 1);
+//                            decisions are bit-identical for any thread count
+//     --metrics-json <file>  dump the metrics registry as JSON at exit
+//     --log-level <level>    error|warn|info|debug (default warn)
+//
+// Protocol: one JSON command per input line, exactly one JSON reply per line
+// on stdout (or the socket) - including structured {"ok":false,...} replies
+// with byte offsets for malformed lines. stdout carries nothing but replies;
+// diagnostics and the end-of-run summary go to stderr. SIGTERM/SIGINT drain
+// gracefully: the in-flight line finishes, a final snapshot and the summary
+// are written, exit status 0. Full contract: docs/serving.md.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/online_cp.h"
+#include "core/online_sp.h"
+#include "core/online_sp_static.h"
+#include "obs/event_log.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "serve/daemon.h"
+#include "serve/fault_plan.h"
+#include "serve/snapshot.h"
+#include "topology/geant.h"
+#include "topology/rocketfuel.h"
+#include "topology/transit_stub.h"
+#include "topology/waxman.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace nfvm;
+
+constexpr const char* kTopologies = "waxman|transit-stub|geant|as1755|as4755";
+constexpr const char* kAlgorithms = "online_cp|online_sp|online_sp_static";
+constexpr const char* kLogLevels = "error|warn|info|debug";
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+struct Options {
+  std::string topology = "waxman";
+  std::size_t nodes = 100;
+  std::uint64_t seed = 1;
+  std::string algorithm = "online_cp";
+  double max_delay_ms = 0.0;
+  std::string socket_path;
+  std::string snapshot_path;
+  std::size_t snapshot_every = 0;
+  std::string restore_path;
+  std::size_t max_inflight = 1024;
+  double request_deadline_ms = 0.0;
+  std::string fault_plan_path;
+  std::size_t threads = 0;
+  std::string metrics_json;
+  /// Loaded eagerly from restore_path / fault_plan_path so a missing,
+  /// truncated, or malformed file fails at startup, not after the engine
+  /// has been serving for an hour.
+  std::optional<serve::Snapshot> restore_snapshot;
+  serve::FaultPlan fault_plan;
+};
+
+[[noreturn]] void usage(const std::string& error) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n";
+  std::cerr << "usage: nfvm-serve [--topology T] [--nodes N] [--seed S] [--algorithm A]\n"
+               "                  [--max-delay MS] [--socket PATH]\n"
+               "                  [--snapshot FILE] [--snapshot-every N] [--restore FILE]\n"
+               "                  [--max-inflight N] [--request-deadline-ms X]\n"
+               "                  [--fault-plan FILE] [--threads N]\n"
+               "                  [--metrics-json FILE] [--log-level " << kLogLevels << "]\n"
+               "  topologies: " << kTopologies << "\n"
+               "  algorithms: " << kAlgorithms << "\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+bool one_of(const std::string& value, std::initializer_list<const char*> accepted) {
+  for (const char* a : accepted) {
+    if (value == a) return true;
+  }
+  return false;
+}
+
+void validate_writable(const char* flag, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    usage(std::string(flag) + ": cannot open \"" + path + "\" for writing");
+  }
+}
+
+std::string read_file_or_usage(const char* flag, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) usage(std::string(flag) + ": cannot read \"" + path + "\"");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Every flag value is proven usable here - enumerations, queue bounds,
+/// writable snapshot target, loadable restore snapshot and fault plan, a
+/// bindable socket directory - so a typo can never surface as a mid-serve
+/// failure with live clients attached.
+void validate_options(Options& opts) {
+  if (!one_of(opts.topology, {"waxman", "transit-stub", "geant", "as1755", "as4755"})) {
+    usage("--topology must be one of " + std::string(kTopologies) + " (got \"" +
+          opts.topology + "\")");
+  }
+  if (!one_of(opts.algorithm, {"online_cp", "online_sp", "online_sp_static"})) {
+    usage("--algorithm must be one of " + std::string(kAlgorithms) + " (got \"" +
+          opts.algorithm + "\")");
+  }
+  if (opts.max_inflight == 0) {
+    usage("--max-inflight must be positive (a zero-capacity queue can never "
+          "admit a line)");
+  }
+  if (opts.request_deadline_ms < 0.0) {
+    usage("--request-deadline-ms must be non-negative (0 disables shedding)");
+  }
+  if (opts.snapshot_every > 0 && opts.snapshot_path.empty()) {
+    usage("--snapshot-every requires --snapshot (a path to write to)");
+  }
+  validate_writable("--snapshot", opts.snapshot_path);
+  validate_writable("--metrics-json", opts.metrics_json);
+  if (!opts.socket_path.empty()) {
+    const auto parent = std::filesystem::path(opts.socket_path).parent_path();
+    if (!parent.empty() && !std::filesystem::is_directory(parent)) {
+      usage("--socket: directory \"" + parent.string() + "\" does not exist");
+    }
+  }
+  if (!opts.restore_path.empty()) {
+    try {
+      opts.restore_snapshot = serve::load_snapshot(opts.restore_path);
+    } catch (const std::exception& e) {
+      usage(std::string("--restore: ") + e.what());
+    }
+  }
+  if (!opts.fault_plan_path.empty()) {
+    const std::string text = read_file_or_usage("--fault-plan", opts.fault_plan_path);
+    try {
+      opts.fault_plan = serve::FaultPlan::parse(text);
+    } catch (const std::exception& e) {
+      usage("--fault-plan " + opts.fault_plan_path + ": " + e.what());
+    }
+  }
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage("");
+    else if (arg == "--topology") opts.topology = need_value(i);
+    else if (arg == "--nodes") opts.nodes = std::stoul(need_value(i));
+    else if (arg == "--seed") opts.seed = std::stoull(need_value(i));
+    else if (arg == "--algorithm") opts.algorithm = need_value(i);
+    else if (arg == "--max-delay") opts.max_delay_ms = std::stod(need_value(i));
+    else if (arg == "--socket") opts.socket_path = need_value(i);
+    else if (arg == "--snapshot") opts.snapshot_path = need_value(i);
+    else if (arg == "--snapshot-every") opts.snapshot_every = std::stoul(need_value(i));
+    else if (arg == "--restore") opts.restore_path = need_value(i);
+    else if (arg == "--max-inflight") {
+      const std::string value = need_value(i);
+      if (!value.empty() && value[0] == '-') usage("--max-inflight must be positive");
+      opts.max_inflight = std::stoul(value);
+    }
+    else if (arg == "--request-deadline-ms") opts.request_deadline_ms = std::stod(need_value(i));
+    else if (arg == "--fault-plan") opts.fault_plan_path = need_value(i);
+    else if (arg == "--threads") opts.threads = std::stoul(need_value(i));
+    else if (arg == "--metrics-json") opts.metrics_json = need_value(i);
+    else if (arg == "--log-level") {
+      const std::string value = need_value(i);
+      const auto level = obs::parse_log_level(value);
+      if (!level.has_value()) {
+        usage("--log-level must be one of " + std::string(kLogLevels) +
+              " (got \"" + value + "\")");
+      }
+      obs::set_log_level(*level);
+    }
+    else usage("unknown option " + arg);
+  }
+  validate_options(opts);
+  return opts;
+}
+
+topo::Topology build_topology(const Options& opts, util::Rng& rng) {
+  if (opts.topology == "waxman") {
+    topo::WaxmanOptions wo;
+    wo.target_mean_degree = 4.0;
+    return topo::make_waxman(opts.nodes, rng, wo);
+  }
+  if (opts.topology == "transit-stub") return topo::make_transit_stub(opts.nodes, rng);
+  if (opts.topology == "geant") return topo::make_geant(rng);
+  if (opts.topology == "as1755") return topo::make_as1755(rng);
+  return topo::make_as4755(rng);  // validated at parse time
+}
+
+std::unique_ptr<core::OnlineAlgorithm> build_algorithm(const std::string& name,
+                                                       const topo::Topology& topo) {
+  if (name == "online_cp") return std::make_unique<core::OnlineCp>(topo);
+  if (name == "online_sp") return std::make_unique<core::OnlineSp>(topo);
+  return std::make_unique<core::OnlineSpStatic>(topo);  // validated at parse time
+}
+
+/// The configuration echo stamped into snapshots and compared on restore:
+/// exactly the knobs that determine the engine's decision stream. Queue
+/// sizing, deadlines and fault plans are deliberately absent - they may
+/// legitimately differ across a crash/restore boundary.
+std::map<std::string, std::string> snapshot_config(const Options& opts) {
+  std::map<std::string, std::string> config;
+  config["topology"] = opts.topology;
+  config["nodes"] = std::to_string(opts.nodes);
+  config["seed"] = std::to_string(opts.seed);
+  // Only whether delays were assigned matters (it changes the topology RNG
+  // consumption); the per-request bound rides in the trace itself.
+  config["assign_delays"] = opts.max_delay_ms > 0.0 ? "true" : "false";
+  return config;
+}
+
+/// Unbuffered std::streambuf over a connected socket fd, so Daemon::run can
+/// keep its per-line flush discipline on sockets too.
+class FdStreambuf final : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return 0;
+    const char c = static_cast<char>(ch);
+    return write_all(&c, 1) ? ch : traits_type::eof();
+  }
+  std::streamsize xsputn(const char* data, std::streamsize count) override {
+    return write_all(data, count) ? count : 0;
+  }
+
+ private:
+  bool write_all(const char* data, std::streamsize count) {
+    std::streamsize done = 0;
+    while (done < count) {
+      const ssize_t n = ::write(fd_, data + done, static_cast<std::size_t>(count - done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;  // peer gone (EPIPE); the read side will see EOF
+      }
+      done += n;
+    }
+    return true;
+  }
+  int fd_;
+};
+
+void emit_summary(const serve::DaemonStats& stats) {
+  obs::JsonLine line;
+  line.field("event", "serve_exit")
+      .field("stop_cause", stats.stop_cause)
+      .field("lines", stats.counters.lines)
+      .field("admitted", stats.counters.admitted)
+      .field("rejected", stats.counters.rejected)
+      .field("overload_rejects", stats.counters.overload_rejects)
+      .field("departed", stats.counters.departed)
+      .field("parse_errors", stats.counters.parse_errors)
+      .field("invalid_requests", stats.counters.invalid_requests)
+      .field("snapshots_written", stats.counters.snapshots_written)
+      .field("active", stats.active)
+      .field("wall_s", stats.wall_seconds)
+      .field("p50_us", stats.p50_us)
+      .field("p90_us", stats.p90_us)
+      .field("p99_us", stats.p99_us);
+  std::cerr << line.str() << "\n";
+}
+
+/// Accepts connections one at a time until a drain, a signal, or an accept
+/// failure. Engine and daemon state (admissions, counters, snapshots) persist
+/// across connections.
+int serve_socket(const Options& opts, serve::Daemon& daemon) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) usage(std::string("--socket: socket: ") + std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts.socket_path.size() >= sizeof(addr.sun_path)) {
+    usage("--socket: path too long for AF_UNIX");
+  }
+  std::strncpy(addr.sun_path, opts.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(opts.socket_path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listener, 1) != 0) {
+    usage("--socket: cannot bind/listen on \"" + opts.socket_path + "\": " +
+          std::strerror(errno));
+  }
+  obs::log_info("listening on " + opts.socket_path);
+
+  serve::DaemonStats stats;
+  for (;;) {
+    if (g_stop.load(std::memory_order_relaxed)) {
+      stats.stop_cause = "signal";
+      break;
+    }
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    serve::FdLineSource source(conn, &g_stop);
+    FdStreambuf buf(conn);
+    std::ostream out(&buf);
+    stats = daemon.run(source, out);
+    ::close(conn);
+    if (stats.stop_cause != "eof") break;  // drain command or signal
+  }
+  ::close(listener);
+  ::unlink(opts.socket_path.c_str());
+  emit_summary(stats);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_args(argc, argv);
+  if (opts.threads > 0) util::ThreadPool::set_global_threads(opts.threads);
+
+  struct sigaction action{};
+  action.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  util::Rng rng(opts.seed);
+  topo::Topology topo = build_topology(opts, rng);
+  if (opts.max_delay_ms > 0) topo::assign_delays(topo, rng);
+  // stdout carries nothing but protocol replies; diagnostics go to stderr.
+  std::cerr << "# nfvm-serve: " << topo.name << ", " << topo.num_switches()
+            << " switches, algorithm " << opts.algorithm << "\n";
+
+  auto algorithm = build_algorithm(opts.algorithm, topo);
+  serve::DaemonOptions daemon_opts;
+  daemon_opts.max_inflight = opts.max_inflight;
+  daemon_opts.request_deadline_ms = opts.request_deadline_ms;
+  daemon_opts.snapshot_path = opts.snapshot_path;
+  daemon_opts.snapshot_every = opts.snapshot_every;
+  daemon_opts.fault_plan = opts.fault_plan;
+  daemon_opts.stop = &g_stop;
+  serve::Daemon daemon(*algorithm, snapshot_config(opts), daemon_opts);
+  if (opts.restore_snapshot.has_value()) {
+    try {
+      daemon.restore(*opts.restore_snapshot);
+    } catch (const std::exception& e) {
+      usage(std::string("--restore: ") + e.what());
+    }
+    std::cerr << "# restored from " << opts.restore_path << " (seq "
+              << opts.restore_snapshot->seq << ", "
+              << opts.restore_snapshot->lines_consumed
+              << " lines already consumed)\n";
+  }
+
+  int status = 0;
+  if (!opts.socket_path.empty()) {
+    status = serve_socket(opts, daemon);
+  } else {
+    serve::FdLineSource source(STDIN_FILENO, &g_stop);
+    const serve::DaemonStats stats = daemon.run(source, std::cout);
+    emit_summary(stats);
+  }
+
+  if (!opts.metrics_json.empty()) {
+    std::ofstream out(opts.metrics_json);
+    if (!out) usage("cannot open " + opts.metrics_json);
+    obs::Registry::global().write_json(out);
+  }
+  return status;
+}

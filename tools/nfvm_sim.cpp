@@ -57,6 +57,8 @@
 //
 // Prints one metrics row per algorithm; online rows include the
 // rejection-cause breakdown (rej_bw/rej_cpu/rej_thr/rej_dly/rej_other).
+#include <atomic>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -102,6 +104,13 @@ constexpr const char* kModes = "online|offline";
 constexpr const char* kTopologies = "waxman|transit-stub|geant|as1755|as4755";
 constexpr const char* kAlgorithms = "online_cp|online_sp|online_sp_static|all";
 constexpr const char* kLogLevels = "error|warn|info|debug";
+
+/// Soak-mode graceful shutdown: SIGINT/SIGTERM stop the arrival loop at the
+/// next iteration, so the run still flushes its partial artifacts (manifest,
+/// metrics, timeseries) instead of dying with a torn bundle.
+std::atomic<bool> g_soak_stop{false};
+
+void on_soak_signal(int) { g_soak_stop.store(true, std::memory_order_relaxed); }
 
 struct Options {
   std::string mode = "online";
@@ -333,6 +342,9 @@ struct RunContext {
   std::string start_time;
   std::string config_hash;
   util::Stopwatch wall;
+  /// False when a signal cut a soak run short (recorded in the manifest so
+  /// consumers know the bundle covers fewer arrivals than configured).
+  bool clean_shutdown = true;
 };
 
 /// Config echo recorded in manifest.json so a bundle is reproducible from
@@ -429,6 +441,9 @@ void write_artifacts(const Options& opts, const obs::EventLog& events,
     manifest.wall_time_s = ctx.wall.elapsed_seconds();
     manifest.config = manifest_config(opts);
     manifest.config["config_hash"] = ctx.config_hash;
+    if (opts.soak > 0) {
+      manifest.config["clean_shutdown"] = ctx.clean_shutdown ? "true" : "false";
+    }
     // The SLO verdict rides in the manifest so a bundle answers "did this
     // run meet its objectives" without opening slo.json.
     if (ctx.slo) manifest.config["slo_pass"] = ctx.slo->pass() ? "true" : "false";
@@ -582,6 +597,11 @@ int main(int argc, char** argv) {
     soak.diurnal_amplitude = opts.diurnal_amplitude;
     soak.diurnal_period = opts.diurnal_period;
     soak.max_delay_ms = opts.max_delay_ms;
+    soak.stop = &g_soak_stop;
+    struct sigaction action{};
+    action.sa_handler = on_soak_signal;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
     soak.sim = sim_opts;
     // Progress heartbeat at ~5% granularity (info level) so multi-hour
     // soaks are observably alive from the console too.
@@ -593,6 +613,11 @@ int main(int argc, char** argv) {
     obs::log_info("soak run: " + std::string(algo->name()) + ", " +
                   std::to_string(opts.soak) + " requests");
     const sim::SoakMetrics m = sim::run_soak(*algo, gen, workload, soak);
+    ctx.clean_shutdown = m.clean_shutdown;
+    if (!m.clean_shutdown) {
+      std::cerr << "# soak interrupted by signal after " << m.num_requests
+                << " requests; flushing partial artifacts\n";
+    }
     util::Table soak_table({"algorithm", "requests", "admitted", "acceptance",
                             "rej_bw", "rej_cpu", "rej_thr", "rej_dly",
                             "rej_other", "peak_active", "wall_s", "req_s",

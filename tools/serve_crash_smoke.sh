@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Crash-recovery equivalence gate for nfvm-serve.
+#
+#   serve_crash_smoke.sh <nfvm-serve> <nfvm-serve-client> <workdir> [threads]
+#
+# 1. Generates a fixed-seed trace.
+# 2. Runs it uninterrupted -> full.out (the reference reply stream).
+# 3. Runs it again with periodic snapshots and kill -9's the daemon at a
+#    random midpoint -> part1.out + the last atomic snapshot.
+# 4. Restores from that snapshot and replays the same trace -> part2.out
+#    (the daemon itself skips the consumed prefix).
+# 5. Asserts head -n lines_consumed(part1) + part2 is byte-identical to the
+#    uninterrupted run.
+#
+# The gate passes degenerately (empty part2) if the daemon finishes before
+# the kill lands - the diff still proves snapshot/restore did no harm.
+set -euo pipefail
+
+SERVE=$1
+CLIENT=$2
+DIR=$3
+THREADS=${4:-1}
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+TOPO_ARGS=(--topology waxman --nodes 60 --seed 11)
+SERVE_ARGS=("${TOPO_ARGS[@]}" --algorithm online_cp --threads "$THREADS")
+
+"$CLIENT" "${TOPO_ARGS[@]}" --requests 1500 --arrival-rate 20 \
+  --mean-duration 40 --out "$DIR/trace.jsonl" 2> "$DIR/client.err"
+TRACE_LINES=$(wc -l < "$DIR/trace.jsonl")
+
+# Reference: uninterrupted run.
+"$SERVE" "${SERVE_ARGS[@]}" \
+  < "$DIR/trace.jsonl" > "$DIR/full.out" 2> "$DIR/full.err"
+FULL_LINES=$(wc -l < "$DIR/full.out")
+if [ "$FULL_LINES" -ne "$TRACE_LINES" ]; then
+  echo "FAIL: one-reply-per-line broken ($FULL_LINES replies for $TRACE_LINES lines)" >&2
+  exit 1
+fi
+
+# Crash run: periodic snapshots, kill -9 once the reply stream passes a
+# random midpoint (>= 200 so at least one periodic snapshot exists).
+"$SERVE" "${SERVE_ARGS[@]}" --snapshot "$DIR/crash.snap" --snapshot-every 100 \
+  < "$DIR/trace.jsonl" > "$DIR/part1.out" 2> "$DIR/crash.err" &
+PID=$!
+MID=$(( (RANDOM % 1000) + 200 ))
+while kill -0 "$PID" 2>/dev/null; do
+  LINES=$(wc -l < "$DIR/part1.out" 2>/dev/null || echo 0)
+  if [ "$LINES" -ge "$MID" ]; then
+    kill -9 "$PID" 2>/dev/null || true
+    break
+  fi
+  sleep 0.02
+done
+wait "$PID" 2>/dev/null || true
+
+if [ ! -s "$DIR/crash.snap" ]; then
+  echo "FAIL: no snapshot survived the crash run" >&2
+  exit 1
+fi
+M=$(grep -o '"lines_consumed":[0-9]*' "$DIR/crash.snap" | head -n 1 | cut -d: -f2)
+PART1_LINES=$(wc -l < "$DIR/part1.out")
+if [ -z "$M" ] || [ "$PART1_LINES" -lt "$M" ]; then
+  echo "FAIL: snapshot cursor ($M) ran ahead of the flushed replies ($PART1_LINES)" >&2
+  exit 1
+fi
+
+# Restore and replay the same trace; the daemon skips the consumed prefix.
+"$SERVE" "${SERVE_ARGS[@]}" --restore "$DIR/crash.snap" \
+  < "$DIR/trace.jsonl" > "$DIR/part2.out" 2> "$DIR/restore.err"
+
+head -n "$M" "$DIR/part1.out" > "$DIR/combined.out"
+cat "$DIR/part2.out" >> "$DIR/combined.out"
+if ! diff -q "$DIR/full.out" "$DIR/combined.out" > /dev/null; then
+  echo "FAIL: reply stream diverged across the crash/restore boundary" >&2
+  echo "  (killed at $MID replies, snapshot covered $M lines)" >&2
+  diff "$DIR/full.out" "$DIR/combined.out" | head -n 10 >&2
+  exit 1
+fi
+echo "PASS: killed at >=$MID replies, snapshot at $M lines, $FULL_LINES-line stream identical (threads=$THREADS)"

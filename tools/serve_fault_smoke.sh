@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Fault-injection soak for nfvm-serve.
+#
+#   serve_fault_smoke.sh <nfvm-serve> <nfvm-serve-client> <workdir>
+#
+# Replays a fixed-seed trace with a deterministic fault plan (garbage line,
+# duplicate depart, unknown depart, stalls) under a tight inflight queue and
+# request deadline, then asserts:
+#   * the daemon exits 0 - no fault crashes it;
+#   * every injected protocol fault got a structured {"ok":false,...} reply;
+#   * still one reply per input line;
+#   * the stalls forced overload sheds (reject_cause "overload") and the
+#     final stats reply reports them plus latency quantiles.
+set -euo pipefail
+
+SERVE=$1
+CLIENT=$2
+DIR=$3
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+TOPO_ARGS=(--topology waxman --nodes 60 --seed 11)
+
+"$CLIENT" "${TOPO_ARGS[@]}" --requests 600 --arrival-rate 20 \
+  --mean-duration 40 --final-stats --out "$DIR/trace.jsonl" 2> "$DIR/client.err"
+TRACE_LINES=$(wc -l < "$DIR/trace.jsonl")
+
+cat > "$DIR/plan.json" <<'EOF'
+{"schema": "nfvm-fault-plan-v1", "seed": 7, "faults": [
+  {"line": 50, "kind": "garbage"},
+  {"line": 80, "kind": "dup_depart"},
+  {"line": 90, "kind": "unknown_depart"},
+  {"line": 120, "kind": "stall_ms", "value": 150},
+  {"line": 121, "kind": "stall_ms", "value": 150},
+  {"line": 122, "kind": "stall_ms", "value": 150}
+]}
+EOF
+
+set +e
+"$SERVE" "${TOPO_ARGS[@]}" --algorithm online_cp \
+  --fault-plan "$DIR/plan.json" --max-inflight 8 --request-deadline-ms 20 \
+  < "$DIR/trace.jsonl" > "$DIR/out.jsonl" 2> "$DIR/serve.err"
+STATUS=$?
+set -e
+if [ "$STATUS" -ne 0 ]; then
+  echo "FAIL: daemon exited $STATUS under fault injection" >&2
+  exit 1
+fi
+
+OUT_LINES=$(wc -l < "$DIR/out.jsonl")
+if [ "$OUT_LINES" -ne "$TRACE_LINES" ]; then
+  echo "FAIL: $OUT_LINES replies for $TRACE_LINES input lines" >&2
+  exit 1
+fi
+
+ERRORS=$(grep -c '"ok":false' "$DIR/out.jsonl" || true)
+if [ "$ERRORS" -lt 3 ]; then
+  echo "FAIL: expected >=3 structured error replies (garbage, dup depart," \
+       "unknown depart), got $ERRORS" >&2
+  exit 1
+fi
+grep -q '"error":"parse"' "$DIR/out.jsonl" || {
+  echo "FAIL: garbage line produced no parse error reply" >&2; exit 1; }
+grep -q '"error":"invalid"' "$DIR/out.jsonl" || {
+  echo "FAIL: bad departs produced no invalid-command reply" >&2; exit 1; }
+
+STATS=$(grep '"cmd":"stats"' "$DIR/out.jsonl" | tail -n 1)
+if [ -z "$STATS" ]; then
+  echo "FAIL: no stats reply in the output" >&2
+  exit 1
+fi
+SHED=$(printf '%s' "$STATS" | grep -o '"overload_rejects":[0-9]*' | cut -d: -f2)
+if [ -z "$SHED" ] || [ "$SHED" -eq 0 ]; then
+  echo "FAIL: stalls + deadline produced no overload sheds (stats: $STATS)" >&2
+  exit 1
+fi
+printf '%s' "$STATS" | grep -q '"p99_us":' || {
+  echo "FAIL: stats reply reports no p99 latency" >&2; exit 1; }
+grep -q '"reject_cause":"overload"' "$DIR/out.jsonl" || {
+  echo "FAIL: no shed reply carries reject_cause overload" >&2; exit 1; }
+
+echo "PASS: $ERRORS structured errors, $SHED overload sheds, one reply per line ($OUT_LINES)"
