@@ -12,10 +12,17 @@
 // (i+1) * (admitted ? 1 + cost : -1) - which is bit-deterministic, so the CI
 // artifact gate (nfvm-report --check) verifies that both paths keep taking
 // identical decisions on every run; timing / throughput columns (*_ms,
-// *_time) are machine-dependent and excluded from gating. The binary itself
-// also exits non-zero when the two paths disagree on any sequence, or when
-// the incremental path fails to deliver a 2x request rate on the largest
-// configuration.
+// *_time) are machine-dependent and only the speedup_vs_legacy ratio gates,
+// via an absolute floor (nfvm-report --min speedup_vs_legacy=0.95) rather
+// than a baseline-relative delta. Each mode runs twice with fresh algorithm
+// instances and reports the min time, so one scheduler hiccup cannot sink
+// the ratio. The binary itself exits non-zero when the two paths (or the
+// two repeats) disagree on any sequence, when the adaptive path loses to
+// the legacy rebuild on GEANT CP (floor 1.0x - the small-graph case the
+// view policy exists to protect), or when it fails 10x on the largest
+// Waxman CP case.
+#include <map>
+
 #include "bench_common.h"
 #include "core/online_cp.h"
 #include "core/online_sp.h"
@@ -84,25 +91,44 @@ int main() {
                "shared-closure scan vs per-request rebuild ("
             << num_requests << " requests, departures every 7th)\n";
   std::cout << "# checksum / admitted columns are deterministic and gate in "
-               "CI; *_ms / *_time columns do not\n";
+               "CI; *_ms / *_time columns do not; speedup_vs_legacy gates "
+               "via an absolute floor (--min)\n";
 
   util::Table table({"case", "mode", "n", "m", "requests", "admitted",
-                     "time_ms", "req_per_s_time", "checksum", "speedup_time",
-                     "classify_ms", "closure_ms", "eval_ms", "realize_ms",
-                     "patch_ms"});
+                     "time_ms", "req_per_s_time", "checksum",
+                     "speedup_vs_legacy", "classify_ms", "closure_ms",
+                     "eval_ms", "realize_ms", "patch_ms"});
 
   bool checksums_agree = true;
-  double largest_speedup = 0.0;
-  std::string largest_case;
+  std::map<std::string, double> speedups;
 
   const auto run_case = [&](const std::string& name, const topo::Topology& topo,
                             const std::vector<nfv::Request>& requests,
-                            auto make_rebuild, auto make_incremental,
-                            bool gate_speedup) {
-    auto rebuild = make_rebuild(topo);
-    auto incremental = make_incremental(topo);
-    const RunResult slow = run_sequence(rebuild, requests);
-    const RunResult fast = run_sequence(incremental, requests);
+                            auto make_rebuild, auto make_incremental) {
+    // Two repeats per mode with fresh instances; the min time feeds the
+    // speedup floor so a one-off scheduler hiccup cannot sink the ratio.
+    // The checksum must not move between repeats.
+    const auto timed_best = [&](auto make_algo) {
+      RunResult best;
+      for (int rep = 0; rep < 2; ++rep) {
+        auto algo = make_algo(topo);
+        const RunResult r = run_sequence(algo, requests);
+        if (rep == 0) {
+          best = r;
+          continue;
+        }
+        if (r.checksum != best.checksum) {
+          std::cerr << "FATAL: " << name
+                    << ": repeat run diverged from the first (checksum "
+                    << r.checksum << " vs " << best.checksum << ")\n";
+          checksums_agree = false;
+        }
+        if (r.time_ms < best.time_ms) best = r;
+      }
+      return best;
+    };
+    const RunResult slow = timed_best(make_rebuild);
+    const RunResult fast = timed_best(make_incremental);
 
     if (slow.checksum != fast.checksum) {
       std::cerr << "FATAL: " << name
@@ -112,13 +138,10 @@ int main() {
       checksums_agree = false;
     }
     const double speedup = fast.time_ms > 0.0 ? slow.time_ms / fast.time_ms : 0.0;
-    if (gate_speedup) {
-      largest_speedup = speedup;
-      largest_case = name;
-    }
+    speedups[name] = speedup;
 
     const auto row = [&](const std::string& mode, const RunResult& r,
-                         double ratio) {
+                         bool has_ratio, double ratio) {
       table.begin_row()
           .add(name)
           .add(mode)
@@ -131,16 +154,22 @@ int main() {
                    ? static_cast<double>(requests.size()) / (r.time_ms / 1000.0)
                    : 0.0,
                1)
-          .add(r.checksum, 3)
-          .add(ratio, 2)
-          .add(r.classify_ms, 3)
+          .add(r.checksum, 3);
+      // Legacy rows carry no ratio; a non-numeric cell stays a string in
+      // the artifact, so the --min floor only ever sees real speedups.
+      if (has_ratio) {
+        table.add(ratio, 2);
+      } else {
+        table.add("-");
+      }
+      table.add(r.classify_ms, 3)
           .add(r.closure_ms, 3)
           .add(r.eval_ms, 3)
           .add(r.realize_ms, 3)
           .add(r.patch_ms, 3);
     };
-    row("rebuild", slow, 0.0);
-    row("incremental", fast, speedup);
+    row("rebuild", slow, false, 0.0);
+    row("incremental", fast, true, speedup);
   };
 
   const auto make_cp_rebuild = [](const topo::Topology& topo) {
@@ -167,8 +196,8 @@ int main() {
     util::Rng workload(4242);
     sim::RequestGenerator gen(topo, workload);
     const std::vector<nfv::Request> requests = gen.sequence(num_requests);
-    run_case("cp_geant", topo, requests, make_cp_rebuild, make_cp_fast, false);
-    run_case("sp_geant", topo, requests, make_sp_rebuild, make_sp_fast, false);
+    run_case("cp_geant", topo, requests, make_cp_rebuild, make_cp_fast);
+    run_case("sp_geant", topo, requests, make_sp_rebuild, make_sp_fast);
   }
 
   // --- Waxman size sweep -------------------------------------------------
@@ -182,21 +211,29 @@ int main() {
     util::Rng workload(4242);
     sim::RequestGenerator gen(topo, workload);
     const std::vector<nfv::Request> requests = gen.sequence(num_requests);
-    const bool largest = n == sizes.back();
     run_case("cp_waxman_" + std::to_string(n), topo, requests, make_cp_rebuild,
-             make_cp_fast, largest);  // the 2x gate rides on the largest CP case
+             make_cp_fast);
     run_case("sp_waxman_" + std::to_string(n), topo, requests, make_sp_rebuild,
-             make_sp_fast, false);
+             make_sp_fast);
   }
 
   bench::finish("micro_online_admit", table);
 
   if (!checksums_agree) return 1;
-  if (largest_speedup < 2.0) {
-    std::cerr << "FATAL: " << largest_case
-              << ": incremental fast path speedup " << largest_speedup
-              << "x is below the required 2x\n";
-    return 1;
+  // Named speedup floors: the adaptive view policy must never lose to the
+  // legacy rebuild on small GEANT (the case it exists to protect), and the
+  // incremental path must keep its order-of-magnitude win at scale.
+  struct Floor {
+    const char* name;
+    double min;
+  };
+  for (const Floor floor : {Floor{"cp_geant", 1.0}, Floor{"cp_waxman_400", 10.0}}) {
+    const double speedup = speedups[floor.name];
+    if (speedup < floor.min) {
+      std::cerr << "FATAL: " << floor.name << ": speedup_vs_legacy " << speedup
+                << "x is below the required " << floor.min << "x\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -2,6 +2,10 @@
 //
 //   * adjacency-list Dijkstra (the historical implementation, kept here as
 //     the reference) vs the CSR-backed SpEngine,
+//   * the Dial bucket-ring specialization (auto-selected on integer-weight
+//     graphs) vs the binary-heap fallback on a non-integer-weight clone,
+//   * batched multi-source SSSP (graph::batch_dijkstra on the pool) vs the
+//     equivalent per-source engine loop,
 //   * cold SP-tree computation vs SpCache hits (the per-request tree reuse
 //     Appro_Multi / Alg_One_Server / SP_static rely on),
 //   * APSP builds at 1 / 2 / 4 worker threads.
@@ -9,9 +13,12 @@
 // Every row carries a dist_checksum — the sum of finite shortest-path
 // distances produced by that case. The checksums are bit-deterministic, so
 // the CI artifact gate (nfvm-report --check) verifies engine/reference and
-// cross-thread-count agreement on every run; timing columns (*_ms, *time*)
-// are machine-dependent and excluded from gating. The binary itself also
-// exits non-zero when the engine disagrees with the reference.
+// cross-thread-count agreement on every run; timing columns (*_ms, *time*,
+// the per-row time_ratio) are machine-dependent and excluded from gating.
+// The binary itself also exits non-zero when the engine disagrees with the
+// reference, when Dial auto-selection picks the wrong implementation, or
+// when the batched tables diverge from the sequential ones.
+#include <numeric>
 #include <queue>
 
 #include "bench_common.h"
@@ -92,8 +99,10 @@ int main() {
   const graph::Graph& g = topo.graph;
   const std::size_t m = g.num_edges();
 
+  // time_ratio is per-case: cold/cached for the cache rows, heap/dial for
+  // the Dial row, sequential/batched for the batch row; 0 elsewhere.
   util::Table table({"case", "n", "m", "reps", "time_ms", "dist_checksum",
-                     "cold_over_cached_time"});
+                     "time_ratio"});
   const auto row = [&](const std::string& name, std::size_t reps, double ms,
                        double checksum, double speedup) {
     table.begin_row()
@@ -128,6 +137,90 @@ int main() {
   if (engine_checksum != ref_checksum) {
     std::cerr << "FATAL: SpEngine disagrees with the adjacency reference\n";
     return 1;
+  }
+
+  // --- Dial bucket ring vs binary-heap fallback -------------------------
+  // The sweep topology is unit-weight, so the engine rows above already ran
+  // on the Dial ring; these rows pin the auto-selection rule explicitly and
+  // time the heap fallback on a non-integer-weight clone of the topology.
+  {
+    graph::Graph frac(g.num_vertices());
+    for (graph::EdgeId e = 0; e < m; ++e) {
+      const graph::Edge& ed = g.edge(e);
+      frac.add_edge(ed.u, ed.v, 1.0 + static_cast<double>(e % 7) * 0.1);
+    }
+
+    graph::SpEngine dial_engine;
+    double dial_checksum = 0.0;
+    util::Stopwatch dial_watch;
+    for (graph::VertexId s = 0; s < kSssspSources; ++s) {
+      dial_checksum += tree_checksum(dial_engine.shortest_paths(g, s));
+    }
+    const double dial_ms = dial_watch.elapsed_ms();
+    if (!dial_engine.last_used_dial()) {
+      std::cerr << "FATAL: unit-weight graph did not select the Dial ring\n";
+      return 1;
+    }
+    if (dial_checksum != ref_checksum) {
+      std::cerr << "FATAL: Dial ring disagrees with the adjacency reference\n";
+      return 1;
+    }
+
+    graph::SpEngine heap_engine;
+    double frac_checksum = 0.0;
+    util::Stopwatch frac_watch;
+    for (graph::VertexId s = 0; s < kSssspSources; ++s) {
+      frac_checksum += tree_checksum(heap_engine.shortest_paths(frac, s));
+    }
+    const double frac_ms = frac_watch.elapsed_ms();
+    if (heap_engine.last_used_dial()) {
+      std::cerr << "FATAL: non-integer weights selected the Dial ring\n";
+      return 1;
+    }
+    double frac_ref = 0.0;
+    for (graph::VertexId s = 0; s < kSssspSources; ++s) {
+      frac_ref += tree_checksum(adjacency_dijkstra(frac, s));
+    }
+    if (frac_checksum != frac_ref) {
+      std::cerr << "FATAL: heap fallback disagrees with the adjacency reference\n";
+      return 1;
+    }
+    row("dial_unit_weight", kSssspSources, dial_ms, dial_checksum,
+        dial_ms > 0.0 ? frac_ms / dial_ms : 0.0);
+    row("heap_fractional_weight", kSssspSources, frac_ms, frac_checksum, 0.0);
+  }
+
+  // --- batched multi-source SSSP vs per-source engine calls -------------
+  {
+    std::vector<graph::VertexId> sources(kSssspSources);
+    std::iota(sources.begin(), sources.end(), graph::VertexId{0});
+
+    graph::SpEngine engine;
+    double seq_checksum = 0.0;
+    util::Stopwatch seq_watch;
+    for (graph::VertexId s : sources) {
+      seq_checksum += tree_checksum(engine.shortest_paths(g, s));
+    }
+    const double seq_ms = seq_watch.elapsed_ms();
+
+    util::ThreadPool::set_global_threads(4);
+    util::Stopwatch batch_watch;
+    const std::vector<graph::ShortestPaths> batch =
+        graph::batch_dijkstra(g, sources);
+    const double batch_ms = batch_watch.elapsed_ms();
+    util::ThreadPool::set_global_threads(1);
+
+    double batch_checksum = 0.0;
+    for (const graph::ShortestPaths& sp : batch) {
+      batch_checksum += tree_checksum(sp);
+    }
+    if (batch_checksum != seq_checksum) {
+      std::cerr << "FATAL: batched SSSP diverged from the sequential loop\n";
+      return 1;
+    }
+    row("sssp_sequential", kSssspSources, seq_ms, seq_checksum, 0.0);
+    row("sssp_batched_t4", kSssspSources, batch_ms, batch_checksum,
+        batch_ms > 0.0 ? seq_ms / batch_ms : 0.0);
   }
 
   // --- cold trees vs SpCache hits ---------------------------------------

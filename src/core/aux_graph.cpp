@@ -41,6 +41,7 @@ WorkContext build_work_context(const topo::Topology& topo, const LinearCosts& co
   }
 
   ctx.sp_cache = std::make_shared<graph::SpCache>();
+  ctx.arena = std::make_shared<util::Arena>();
   ctx.sp_source = *ctx.sp_cache->paths_from(ctx.cost_graph, request.source);
 
   ctx.destinations_reachable = true;
@@ -75,11 +76,21 @@ std::vector<std::shared_ptr<const graph::ShortestPaths>> context_trees(
     trees[i] = ctx.sp_cache->try_get(ctx.cost_graph, sources[i]);
     if (!trees[i]) missing.push_back(i);
   }
-  util::ThreadPool::global().parallel_for(missing.size(), [&](std::size_t j) {
-    const std::size_t i = missing[j];
-    trees[i] = std::make_shared<const graph::ShortestPaths>(
-        graph::dijkstra(ctx.cost_graph, sources[i]));
-  });
+  if (!missing.empty()) {
+    // Batched multi-source SSSP: one engine invocation per pool chunk fills
+    // every missing terminal table off a single CSR sync and one
+    // generation-stamped workspace, instead of |missing| independent
+    // Dijkstra calls.
+    std::vector<graph::VertexId> miss_sources;
+    miss_sources.reserve(missing.size());
+    for (std::size_t i : missing) miss_sources.push_back(sources[i]);
+    std::vector<graph::ShortestPaths> batch =
+        graph::batch_dijkstra(ctx.cost_graph, miss_sources);
+    for (std::size_t j = 0; j < missing.size(); ++j) {
+      trees[missing[j]] =
+          std::make_shared<const graph::ShortestPaths>(std::move(batch[j]));
+    }
+  }
   // Insert in `sources` order so the cache's LRU state does not depend on
   // the parallel schedule.
   for (std::size_t i : missing) {
@@ -248,9 +259,15 @@ PseudoMulticastTree realize_pseudo_tree(const WorkContext& ctx,
                                         const AuxOverlay& aux,
                                         const std::vector<graph::EdgeId>& tree_edges,
                                         const nfv::Request& request) {
-  std::vector<graph::EdgeRecord> records;
-  records.reserve(tree_edges.size());
-  for (graph::EdgeId e : tree_edges) records.push_back(aux.record(e));
+  // Per-candidate record buffer from the request arena: realization is
+  // sequential (one candidate at a time), so a scope per call reuses the
+  // same warm bytes across the whole candidate walk.
+  util::ArenaScope scope(*ctx.arena);
+  std::span<graph::EdgeRecord> records =
+      scope.arena().make_span<graph::EdgeRecord>(tree_edges.size());
+  for (std::size_t i = 0; i < tree_edges.size(); ++i) {
+    records[i] = aux.record(tree_edges[i]);
+  }
   const graph::RootedTree rooted(aux.num_vertices(), records, aux.virtual_source);
   return realize_impl(
       ctx, aux, rooted, tree_edges, request,

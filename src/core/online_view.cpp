@@ -48,6 +48,15 @@ void OnlineWeightedView::apply_allocate(const nfv::Footprint& footprint) {
   }
   ++patches_applied_;
   NFVM_COUNTER_INC("core.online.view_patches");
+  churn_ewma_ += 0.125 * (static_cast<double>(changed.size()) - churn_ewma_);
+  if (!policy_incremental()) {
+    // Rebuild mode bypasses the cache entirely, so skip the rebind scan and
+    // keep the cache empty — a later flip back to incremental then starts
+    // cold instead of serving trees that were never maintained.
+    cache_.clear();
+    built_at_b_.clear();
+    return;
+  }
   if (changed.empty()) return;  // no weight moved: cached trees stay exact
   std::sort(changed.begin(), changed.end());
   // Eager weight-invalidation: drop exactly the trees containing a patched
@@ -78,6 +87,23 @@ void OnlineWeightedView::apply_release(const nfv::Footprint& footprint) {
   NFVM_COUNTER_INC("core.online.view_rebuilds");
 }
 
+bool OnlineWeightedView::policy_incremental() const noexcept {
+  if (policy_ == ViewPolicy::kForceIncremental) return true;
+  if (policy_ == ViewPolicy::kForceRebuild) return false;
+  const std::size_t m = view_.num_edges();
+  if (m < kPolicyMinEdges) return false;
+  return churn_ewma_ <= kPolicyMaxChurnFraction * static_cast<double>(m);
+}
+
+void OnlineWeightedView::build_eligibility_mask(const nfv::ResourceState& state,
+                                                double b) {
+  const std::size_t m = topo_->graph.num_edges();
+  mask_.resize(m);
+  for (graph::EdgeId e = 0; e < m; ++e) {
+    mask_[e] = nfv::edge_eligible(state, topo_->graph, e, b) ? 1 : 0;
+  }
+}
+
 bool OnlineWeightedView::tree_valid(const nfv::ResourceState& state,
                                     graph::VertexId source,
                                     const graph::ShortestPaths& tree,
@@ -99,6 +125,24 @@ OnlineWeightedView::trees_for(const nfv::ResourceState& state,
                               double b) {
   NFVM_SPAN("online/view_trees");
   std::vector<std::shared_ptr<const graph::ShortestPaths>> trees(sources.size());
+
+  if (!policy_incremental()) {
+    // Rebuild mode: no cache probe, no validity walk — one eligibility
+    // sweep and one batched masked SSSP for every slot. Bit-identical to
+    // the incremental path because a valid cached tree IS a fresh filtered
+    // Dijkstra (era invariant).
+    NFVM_COUNTER_INC("core.online.view_policy_rebuild");
+    build_eligibility_mask(state, b);
+    std::vector<graph::ShortestPaths> batch =
+        graph::batch_dijkstra(view_, sources, mask_);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      trees[i] =
+          std::make_shared<const graph::ShortestPaths>(std::move(batch[i]));
+    }
+    return trees;
+  }
+
+  NFVM_COUNTER_INC("core.online.view_policy_incremental");
   std::vector<std::size_t> missing;
   for (std::size_t i = 0; i < sources.size(); ++i) {
     // A repeated source lands in `missing` more than once before the first
@@ -110,14 +154,18 @@ OnlineWeightedView::trees_for(const nfv::ResourceState& state,
       missing.push_back(i);
     }
   }
-  const auto eligible = [&](graph::EdgeId e) {
-    return nfv::edge_eligible(state, topo_->graph, e, b);
-  };
-  util::ThreadPool::global().parallel_for(missing.size(), [&](std::size_t j) {
-    const std::size_t i = missing[j];
-    trees[i] = std::make_shared<const graph::ShortestPaths>(
-        graph::dijkstra_filtered(view_, sources[i], eligible));
-  });
+  if (!missing.empty()) {
+    build_eligibility_mask(state, b);
+    std::vector<graph::VertexId> miss_sources;
+    miss_sources.reserve(missing.size());
+    for (std::size_t i : missing) miss_sources.push_back(sources[i]);
+    std::vector<graph::ShortestPaths> batch =
+        graph::batch_dijkstra(view_, miss_sources, mask_);
+    for (std::size_t j = 0; j < missing.size(); ++j) {
+      trees[missing[j]] =
+          std::make_shared<const graph::ShortestPaths>(std::move(batch[j]));
+    }
+  }
   // Insert in `sources` order so cache state is thread-count independent.
   for (std::size_t i : missing) {
     cache_.put(view_, sources[i], trees[i]);

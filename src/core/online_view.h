@@ -27,8 +27,23 @@
 // validation only walks eligibility. Releases break the era's monotonicity
 // (residuals grow back, shorter paths may appear), so apply_release drops
 // the whole cache.
+//
+// Adaptive policy: the cache only pays for itself when the Dijkstra work it
+// saves exceeds the bookkeeping it adds — rebind_keep scans every cached
+// tree's parent_edge array per admission and tree_valid walks it again per
+// lookup, both O(|V|) per tree, while the saved Dijkstra is O(|E| log |V|).
+// On small graphs (GEANT: 61 links) the bookkeeping loses; on large Waxman
+// configs it wins ~10x. trees_for therefore measures graph size against
+// patch churn (EWMA of edges patched per admission) and below the threshold
+// runs in REBUILD mode: weights are still patched in place, but every tree
+// is computed fresh via one batched masked SSSP and the cache is bypassed
+// and kept empty. Both modes produce bit-identical trees (a valid cached
+// tree equals a fresh filtered Dijkstra by the era invariant), so the
+// policy can never change a decision — only what it costs. Counted by
+// core.online.view_policy_{incremental,rebuild}.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -41,6 +56,11 @@
 #include "topology/topology.h"
 
 namespace nfvm::core {
+
+/// Adaptive-policy override. kAdaptive (the default) picks per call from
+/// graph size and patch churn; the force modes exist for tests that pin the
+/// cache machinery and for benchmarks that measure one mode in isolation.
+enum class ViewPolicy { kAdaptive, kForceIncremental, kForceRebuild };
 
 class OnlineWeightedView {
  public:
@@ -96,14 +116,39 @@ class OnlineWeightedView {
   /// Patched-weight applications since construction (apply_allocate calls).
   std::uint64_t patches_applied() const noexcept { return patches_applied_; }
 
+  /// True when the adaptive policy currently selects the incremental cache
+  /// (performance state only — the decision stream is identical either way).
+  bool policy_incremental() const noexcept;
+
+  /// Pins or restores the adaptive policy (performance state only).
+  void set_policy(ViewPolicy policy) noexcept { policy_ = policy; }
+
+  /// Calibrated policy floor: below this many edges the cache bookkeeping
+  /// costs more than the Dijkstras it saves (GEANT's 61 links fall under,
+  /// the smallest Waxman config's ~200 stay over).
+  static constexpr std::size_t kPolicyMinEdges = 128;
+  /// If a typical admission patches more than this fraction of all edges,
+  /// rebind_keep evicts most of the cache every request and caching loses
+  /// regardless of size.
+  static constexpr double kPolicyMaxChurnFraction = 0.5;
+
  private:
   bool tree_valid(const nfv::ResourceState& state, graph::VertexId source,
                   const graph::ShortestPaths& tree, double b) const;
+  /// Fills mask_ with nfv::edge_eligible(state, e, b) for every edge — the
+  /// predicate is a pure function of (state, b), so one O(|E|) sweep
+  /// replaces a per-scanned-edge std::function call in every Dijkstra.
+  void build_eligibility_mask(const nfv::ResourceState& state, double b);
 
   const topo::Topology* topo_;
   EdgeWeightFn edge_weight_;
   graph::Graph view_;
   graph::SpCache cache_;
+  /// Per-edge eligibility bitmap scratch, rebuilt once per trees_for call.
+  std::vector<std::uint8_t> mask_;
+  /// EWMA of edges whose weight actually changed per apply_allocate.
+  double churn_ewma_ = 0.0;
+  ViewPolicy policy_ = ViewPolicy::kAdaptive;
   /// b_T per cached source: the eligibility threshold the tree was computed
   /// at. Stale entries for evicted sources are harmless (overwritten on the
   /// next insert, ignored when try_get misses).

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace nfvm::graph {
 
@@ -57,6 +58,8 @@ void SpEngine::prepare(const Graph& g) {
   }
   if (++generation_ == 0) {  // wrapped: stamps are ambiguous, hard reset
     std::fill(stamp_.begin(), stamp_.end(), 0);
+    std::fill(bucket_stamp_.begin(), bucket_stamp_.end(), 0);
+    for (std::vector<VertexId>& bucket : buckets_) bucket.clear();
     generation_ = 1;
   }
   heap_.clear();
@@ -72,13 +75,31 @@ void SpEngine::touch(VertexId v) {
   reached_.push_back(v);
 }
 
-void SpEngine::run(VertexId source, const std::function<bool(EdgeId)>* edge_allowed,
-                   std::size_t targets_remaining) {
+void SpEngine::run(std::span<const VertexId> seeds,
+                   const std::function<bool(EdgeId)>* edge_allowed,
+                   const std::uint8_t* edge_mask, std::size_t targets_remaining) {
   NFVM_SPAN("graph/dijkstra");
+  last_settled_target_ = kInvalidVertex;
+  last_used_dial_ = view_.dial_eligible();
+  for (VertexId s : seeds) {
+    touch(s);
+    dist_[s] = 0.0;
+  }
+  if (last_used_dial_) {
+    run_dial(seeds, edge_allowed, edge_mask, targets_remaining);
+    NFVM_COUNTER_INC("graph.dijkstra.dial_runs");
+  } else {
+    run_heap(seeds, edge_allowed, edge_mask, targets_remaining);
+  }
+  NFVM_COUNTER_INC("graph.dijkstra.runs");
+}
+
+void SpEngine::run_heap(std::span<const VertexId> seeds,
+                        const std::function<bool(EdgeId)>* edge_allowed,
+                        const std::uint8_t* edge_mask,
+                        std::size_t targets_remaining) {
   NFVM_OBS_ONLY(std::uint64_t edges_scanned = 0; std::uint64_t edges_relaxed = 0;)
-  touch(source);
-  dist_[source] = 0.0;
-  heap_push(HeapItem{0.0, source});
+  for (VertexId s : seeds) heap_push(HeapItem{0.0, s});
 
   while (!heap_.empty()) {
     const HeapItem top = heap_pop();
@@ -86,10 +107,12 @@ void SpEngine::run(VertexId source, const std::function<bool(EdgeId)>* edge_allo
     if (top.dist > dist_[u]) continue;  // stale entry
     if (targets_remaining > 0 && target_stamp_[u] == target_generation_) {
       target_stamp_[u] = 0;  // settled: count each distinct target once
+      last_settled_target_ = u;
       if (--targets_remaining == 0) break;
     }
     for (const CsrEntry& entry : view_.out(u)) {
       if (edge_allowed != nullptr && !(*edge_allowed)(entry.edge)) continue;
+      if (edge_mask != nullptr && edge_mask[entry.edge] == 0) continue;
       NFVM_OBS_ONLY(++edges_scanned;)
       const double nd = top.dist + entry.weight;
       touch(entry.neighbor);
@@ -102,7 +125,91 @@ void SpEngine::run(VertexId source, const std::function<bool(EdgeId)>* edge_allo
       }
     }
   }
-  NFVM_COUNTER_INC("graph.dijkstra.runs");
+  NFVM_COUNTER_ADD("graph.dijkstra.edges_scanned", edges_scanned);
+  NFVM_COUNTER_ADD("graph.dijkstra.edges_relaxed", edges_relaxed);
+}
+
+// Bucket-queue (Dial) loop. Precondition (checked by the CSR weight
+// inspection): every edge weight is an integer in [1, kMaxDialWeight].
+// Invariant: while draining distance d, every live entry lies in
+// [d, d + ring - 1], and bucket d % ring holds only entries whose stored
+// distance is exactly d — a push during the drain of d' targets
+// nd in [d' + 1, d' + ring - 1], which never wraps onto a still-undrained
+// smaller distance. Draining each bucket in ascending vertex-id order
+// therefore settles vertices in exactly the heap's (distance, id) order.
+void SpEngine::run_dial(std::span<const VertexId> seeds,
+                        const std::function<bool(EdgeId)>* edge_allowed,
+                        const std::uint8_t* edge_mask,
+                        std::size_t targets_remaining) {
+  NFVM_OBS_ONLY(std::uint64_t edges_scanned = 0; std::uint64_t edges_relaxed = 0;)
+  const std::size_t ring = static_cast<std::size_t>(view_.max_integer_weight()) + 1;
+  if (buckets_.size() < ring) {
+    buckets_.resize(ring);
+    bucket_stamp_.resize(ring, 0);
+  }
+  const auto bucket_at = [&](std::size_t slot) -> std::vector<VertexId>& {
+    std::vector<VertexId>& bucket = buckets_[slot];
+    if (bucket_stamp_[slot] != generation_) {  // stale from an earlier query
+      bucket.clear();
+      bucket_stamp_[slot] = generation_;
+    }
+    return bucket;
+  };
+
+  std::size_t pending = seeds.size();
+  {
+    std::vector<VertexId>& zero = bucket_at(0);
+    zero.insert(zero.end(), seeds.begin(), seeds.end());
+  }
+
+  std::uint64_t d = 0;
+  while (pending > 0) {
+    const std::size_t slot = static_cast<std::size_t>(d % ring);
+    std::vector<VertexId>& bucket = bucket_at(slot);
+    if (bucket.empty()) {
+      ++d;
+      continue;
+    }
+    // Stage and sort: every entry here has stored distance exactly d, so
+    // ascending id is the heap's tie-break. Entries whose dist_ no longer
+    // equals d were improved before being drained — stale, skip.
+    bucket_scratch_.assign(bucket.begin(), bucket.end());
+    bucket.clear();
+    pending -= bucket_scratch_.size();
+    std::sort(bucket_scratch_.begin(), bucket_scratch_.end());
+    const double dd = static_cast<double>(d);
+    for (VertexId u : bucket_scratch_) {
+      if (dist_[u] != dd) continue;  // stale entry
+      if (targets_remaining > 0 && target_stamp_[u] == target_generation_) {
+        target_stamp_[u] = 0;
+        last_settled_target_ = u;
+        if (--targets_remaining == 0) {
+          // Leftover ring entries are abandoned; their stamps go stale at
+          // the next generation bump, so no cleanup sweep is needed.
+          NFVM_COUNTER_ADD("graph.dijkstra.edges_scanned", edges_scanned);
+          NFVM_COUNTER_ADD("graph.dijkstra.edges_relaxed", edges_relaxed);
+          return;
+        }
+      }
+      for (const CsrEntry& entry : view_.out(u)) {
+        if (edge_allowed != nullptr && !(*edge_allowed)(entry.edge)) continue;
+        if (edge_mask != nullptr && edge_mask[entry.edge] == 0) continue;
+        NFVM_OBS_ONLY(++edges_scanned;)
+        const double nd = dd + entry.weight;
+        touch(entry.neighbor);
+        if (nd < dist_[entry.neighbor]) {
+          NFVM_OBS_ONLY(++edges_relaxed;)
+          dist_[entry.neighbor] = nd;
+          parent_[entry.neighbor] = u;
+          parent_edge_[entry.neighbor] = entry.edge;
+          bucket_at(static_cast<std::size_t>(static_cast<std::uint64_t>(nd) % ring))
+              .push_back(entry.neighbor);
+          ++pending;
+        }
+      }
+    }
+    ++d;
+  }
   NFVM_COUNTER_ADD("graph.dijkstra.edges_scanned", edges_scanned);
   NFVM_COUNTER_ADD("graph.dijkstra.edges_relaxed", edges_relaxed);
 }
@@ -127,7 +234,7 @@ ShortestPaths SpEngine::shortest_paths(const Graph& g, VertexId source) {
     throw std::out_of_range("dijkstra: invalid source vertex");
   }
   prepare(g);
-  run(source, nullptr, 0);
+  run({&source, 1}, nullptr, nullptr, 0);
   return materialize(source);
 }
 
@@ -138,8 +245,46 @@ ShortestPaths SpEngine::shortest_paths_filtered(
     throw std::out_of_range("dijkstra: invalid source vertex");
   }
   prepare(g);
-  run(source, &edge_allowed, 0);
+  run({&source, 1}, &edge_allowed, nullptr, 0);
   return materialize(source);
+}
+
+ShortestPaths SpEngine::shortest_paths_masked(
+    const Graph& g, VertexId source, std::span<const std::uint8_t> edge_mask) {
+  if (!g.has_vertex(source)) {
+    throw std::out_of_range("dijkstra: invalid source vertex");
+  }
+  if (!edge_mask.empty() && edge_mask.size() < g.num_edges()) {
+    throw std::invalid_argument("dijkstra: edge mask smaller than edge count");
+  }
+  prepare(g);
+  run({&source, 1}, nullptr, edge_mask.empty() ? nullptr : edge_mask.data(), 0);
+  return materialize(source);
+}
+
+std::vector<ShortestPaths> SpEngine::batch_shortest_paths(
+    const Graph& g, std::span<const VertexId> sources,
+    std::span<const std::uint8_t> edge_mask) {
+  for (VertexId s : sources) {
+    if (!g.has_vertex(s)) {
+      throw std::out_of_range("dijkstra: invalid source vertex");
+    }
+  }
+  if (!edge_mask.empty() && edge_mask.size() < g.num_edges()) {
+    throw std::invalid_argument("dijkstra: edge mask smaller than edge count");
+  }
+  const std::uint8_t* mask = edge_mask.empty() ? nullptr : edge_mask.data();
+  std::vector<ShortestPaths> out;
+  out.reserve(sources.size());
+  for (VertexId s : sources) {
+    // prepare() after the first source is two loads (view match) plus a
+    // generation bump — the workspace "clear" is the stamp, not an O(n)
+    // fill, so the whole batch reuses one set of buffers.
+    prepare(g);
+    run({&s, 1}, nullptr, mask, 0);
+    out.push_back(materialize(s));
+  }
+  return out;
 }
 
 double SpEngine::shortest_distance(const Graph& g, VertexId from, VertexId to) {
@@ -156,7 +301,7 @@ double SpEngine::shortest_distance(const Graph& g, VertexId from, VertexId to) {
     target_generation_ = 1;
   }
   target_stamp_[to] = target_generation_;
-  run(from, nullptr, 1);
+  run({&from, 1}, nullptr, nullptr, 1);
   target_stamp_[to] = 0;
   return stamp_[to] == generation_ ? dist_[to] : kInfiniteDistance;
 }
@@ -182,7 +327,7 @@ std::vector<double> SpEngine::distances_to(const Graph& g, VertexId from,
       ++distinct;
     }
   }
-  run(from, nullptr, distinct);
+  run({&from, 1}, nullptr, nullptr, distinct);
   std::vector<double> out;
   out.reserve(targets.size());
   for (VertexId t : targets) {
@@ -192,9 +337,56 @@ std::vector<double> SpEngine::distances_to(const Graph& g, VertexId from,
   return out;
 }
 
+VertexId SpEngine::grow_step(const Graph& g,
+                             std::span<const VertexId> tree_vertices,
+                             std::span<const VertexId> targets) {
+  prepare(g);
+  if (++target_generation_ == 0) {
+    std::fill(target_stamp_.begin(), target_stamp_.end(), 0);
+    target_generation_ = 1;
+  }
+  std::size_t distinct = 0;
+  for (VertexId t : targets) {
+    if (target_stamp_[t] != target_generation_) {
+      target_stamp_[t] = target_generation_;
+      ++distinct;
+    }
+  }
+  // Stop at the FIRST settled target — pending terminals race, closest wins.
+  run(tree_vertices, nullptr, nullptr, distinct > 0 ? 1 : 0);
+  for (VertexId t : targets) target_stamp_[t] = 0;
+  return last_settled_target_;
+}
+
 SpEngine& SpEngine::thread_local_engine() {
   thread_local SpEngine engine;
   return engine;
+}
+
+std::vector<ShortestPaths> batch_dijkstra(const Graph& g,
+                                          std::span<const VertexId> sources,
+                                          std::span<const std::uint8_t> edge_mask) {
+  util::ThreadPool& pool = util::ThreadPool::global();
+  const std::size_t chunks = std::min(sources.size(), pool.num_threads());
+  if (chunks <= 1) {
+    return SpEngine::thread_local_engine().batch_shortest_paths(g, sources,
+                                                                edge_mask);
+  }
+  // Contiguous chunks, one batched engine invocation per chunk. Slot i
+  // depends only on sources[i], never on the chunking, so the merged result
+  // is byte-identical to the single-threaded batch.
+  std::vector<ShortestPaths> out(sources.size());
+  pool.parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = sources.size() * c / chunks;
+    const std::size_t end = sources.size() * (c + 1) / chunks;
+    std::vector<ShortestPaths> part =
+        SpEngine::thread_local_engine().batch_shortest_paths(
+            g, sources.subspan(begin, end - begin), edge_mask);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      out[begin + i] = std::move(part[i]);
+    }
+  });
+  return out;
 }
 
 // --- SpCache ----------------------------------------------------------------

@@ -9,10 +9,20 @@
 //  * SpEngine — owns a CsrView (rebuilt lazily when the graph's
 //    (uid, epoch) changes) plus scratch dist/parent/parent_edge buffers
 //    with generation-stamped lazy reset, a 4-ary heap, early-exit
-//    point-to-point / target-set queries, and the filtered-edge variant.
+//    point-to-point / target-set queries, and filtered-edge variants
+//    (std::function predicate or a precomputed per-edge byte mask).
 //    The dijkstra() free functions are thin wrappers over the per-thread
 //    engine, so existing call sites keep working and allocate nothing
 //    beyond the returned ShortestPaths.
+//
+//    When the CSR weight inspection proves every edge weight is a strictly
+//    positive integer <= kMaxDialWeight (true for every topology generator
+//    in the repo and all hop-count modes), queries take a bucket-queue
+//    (Dial) specialization instead of the heap: a generation-stamped
+//    bucket ring reused across queries, each bucket drained in ascending
+//    vertex-id order. That drain order reproduces the heap's
+//    (distance, vertex id) pop order exactly, so the two paths are
+//    bit-identical — which tests/test_sp_dial.cpp asserts.
 //
 //  * SpCache — an LRU of shortest-path trees keyed by
 //    (graph uid, graph epoch, source). Sharing one cache across a
@@ -61,6 +71,22 @@ class SpEngine {
       const Graph& g, VertexId source,
       const std::function<bool(EdgeId)>& edge_allowed);
 
+  /// Dijkstra ignoring edges whose mask byte is zero. `edge_mask` must
+  /// cover every EdgeId of `g`; an empty mask means all edges allowed.
+  /// Equivalent to the std::function variant but without a per-scanned-edge
+  /// indirect call — callers that evaluate the same predicate across many
+  /// sources precompute the mask once.
+  ShortestPaths shortest_paths_masked(const Graph& g, VertexId source,
+                                      std::span<const std::uint8_t> edge_mask);
+
+  /// Batched multi-source SSSP: one view refresh and one generation-stamped
+  /// workspace serve every source in order (slot i = tree from sources[i]),
+  /// so the batch pays a single CSR sync and no per-call O(n) clears.
+  /// Results are bit-identical to calling shortest_paths_masked per source.
+  std::vector<ShortestPaths> batch_shortest_paths(
+      const Graph& g, std::span<const VertexId> sources,
+      std::span<const std::uint8_t> edge_mask = {});
+
   /// Point-to-point distance, stopping as soon as `to` is settled (the
   /// classic early exit: no work beyond the target's distance ring).
   /// Throws std::out_of_range for a bad `from` or `to`.
@@ -71,6 +97,24 @@ class SpEngine {
   /// like `targets`; unreachable targets get kInfiniteDistance.
   std::vector<double> distances_to(const Graph& g, VertexId from,
                                    std::span<const VertexId> targets);
+
+  /// One Takahashi–Matsuyama growth step: seeds every vertex of
+  /// `tree_vertices` (must be distinct) at distance zero and stops as soon
+  /// as the first vertex of `targets` is settled, returning it —
+  /// kInvalidVertex when no target is reachable. Ties settle by
+  /// (distance, vertex id), so the result does not depend on seed order.
+  /// Read the attachment path afterwards via parent_of/parent_edge_of/
+  /// dist_of; the workspace stays valid until the next query.
+  VertexId grow_step(const Graph& g, std::span<const VertexId> tree_vertices,
+                     std::span<const VertexId> targets);
+
+  /// Workspace reads for vertices reached by the last query (unchecked).
+  VertexId parent_of(VertexId v) const noexcept { return parent_[v]; }
+  EdgeId parent_edge_of(VertexId v) const noexcept { return parent_edge_[v]; }
+  double dist_of(VertexId v) const noexcept { return dist_[v]; }
+
+  /// True when the last query ran the bucket-queue (Dial) specialization.
+  bool last_used_dial() const noexcept { return last_used_dial_; }
 
   /// The CSR view currently held (refreshed on every query).
   const CsrView& view() const noexcept { return view_; }
@@ -97,10 +141,20 @@ class SpEngine {
   void prepare(const Graph& g);
   /// Lazily initializes v's workspace slots for this generation.
   void touch(VertexId v);
-  /// Core loop. `edge_allowed` may be null. When `targets_remaining` > 0
-  /// the run stops once that many target-stamped vertices are settled.
-  void run(VertexId source, const std::function<bool(EdgeId)>* edge_allowed,
-           std::size_t targets_remaining);
+  /// Core dispatch: seeds every vertex of `seeds` at distance zero, then
+  /// runs the Dial loop when the view's weight inspection allows it and
+  /// the 4-ary heap loop otherwise. `edge_allowed` / `edge_mask` may be
+  /// null. When `targets_remaining` > 0 the run stops once that many
+  /// target-stamped vertices are settled.
+  void run(std::span<const VertexId> seeds,
+           const std::function<bool(EdgeId)>* edge_allowed,
+           const std::uint8_t* edge_mask, std::size_t targets_remaining);
+  void run_heap(std::span<const VertexId> seeds,
+                const std::function<bool(EdgeId)>* edge_allowed,
+                const std::uint8_t* edge_mask, std::size_t targets_remaining);
+  void run_dial(std::span<const VertexId> seeds,
+                const std::function<bool(EdgeId)>* edge_allowed,
+                const std::uint8_t* edge_mask, std::size_t targets_remaining);
   /// Copies the touched region of the workspace into a ShortestPaths.
   ShortestPaths materialize(VertexId source) const;
 
@@ -114,7 +168,25 @@ class SpEngine {
   std::uint32_t target_generation_ = 0;
   std::vector<HeapItem> heap_;     // 4-ary min-heap, lazy deletion
   std::vector<VertexId> reached_;  // vertices touched this run
+  /// Dial bucket ring, sized max_integer_weight + 1 and reused across
+  /// queries. A bucket whose stamp is stale belongs to an earlier query
+  /// (e.g. abandoned by an early exit) and is cleared lazily on first use.
+  std::vector<std::vector<VertexId>> buckets_;
+  std::vector<std::uint32_t> bucket_stamp_;
+  std::vector<VertexId> bucket_scratch_;  // drain staging, sorted by id
+  bool last_used_dial_ = false;
+  VertexId last_settled_target_ = kInvalidVertex;
 };
+
+/// Parallel batched SSSP over the global ThreadPool: slot i of the result
+/// is the shortest-path tree from sources[i] under the (optional) shared
+/// edge mask. Sources are split into contiguous chunks, one thread-local
+/// engine per chunk, each chunk served by one batched engine invocation;
+/// every slot depends only on (graph, mask, sources[i]), so the output is
+/// byte-identical at any thread count and to a sequential per-source loop.
+std::vector<ShortestPaths> batch_dijkstra(
+    const Graph& g, std::span<const VertexId> sources,
+    std::span<const std::uint8_t> edge_mask = {});
 
 /// Default SpCache capacity: enough for a request's source + destinations +
 /// eligible servers on every topology in the repo without eviction churn.

@@ -9,6 +9,7 @@
 #include "graph/apsp.h"
 #include "graph/dijkstra.h"
 #include "graph/mst.h"
+#include "graph/sp_engine.h"
 #include "graph/union_find.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -346,56 +347,29 @@ SteinerResult takahashi_matsuyama_steiner(const Graph& g,
 
   const std::size_t n = g.num_vertices();
   std::vector<bool> in_tree(n, false);
-  std::vector<bool> is_pending_terminal(n, false);
   in_tree[terms[0]] = true;
-  std::size_t pending = terms.size() - 1;
-  for (std::size_t i = 1; i < terms.size(); ++i) is_pending_terminal[terms[i]] = true;
+  std::vector<VertexId> tree_vertices;
+  tree_vertices.reserve(n);
+  tree_vertices.push_back(terms[0]);
+  std::vector<VertexId> pending(terms.begin() + 1, terms.end());
 
-  // Each round: multi-source Dijkstra from the current tree, attach the
-  // nearest pending terminal along its shortest path.
-  std::vector<double> dist(n);
-  std::vector<VertexId> parent(n);
-  std::vector<EdgeId> parent_edge(n);
-  using Item = std::pair<double, VertexId>;
-
-  while (pending > 0) {
-    std::fill(dist.begin(), dist.end(), kInfiniteDistance);
-    std::fill(parent.begin(), parent.end(), kInvalidVertex);
-    std::fill(parent_edge.begin(), parent_edge.end(), kInvalidEdge);
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-    for (VertexId v = 0; v < n; ++v) {
-      if (in_tree[v]) {
-        dist[v] = 0.0;
-        heap.emplace(0.0, v);
-      }
-    }
-    VertexId reached = kInvalidVertex;
-    while (!heap.empty()) {
-      const auto [d, u] = heap.top();
-      heap.pop();
-      if (d > dist[u]) continue;
-      if (is_pending_terminal[u]) {
-        reached = u;
-        break;  // nearest pending terminal found
-      }
-      for (const Adjacency& adj : g.neighbors(u)) {
-        const double nd = d + g.edge(adj.edge).weight;
-        if (nd < dist[adj.neighbor]) {
-          dist[adj.neighbor] = nd;
-          parent[adj.neighbor] = u;
-          parent_edge[adj.neighbor] = adj.edge;
-          heap.emplace(nd, adj.neighbor);
-        }
-      }
-    }
+  // Each round: one multi-source grow step on the shared engine (every
+  // tree vertex seeded at distance zero), attaching the nearest pending
+  // terminal along its shortest path. The engine settles ties by
+  // (distance, vertex id) and stops before relaxing the settled terminal —
+  // exactly the std::priority_queue loop this replaces — and brings the
+  // bucket-queue specialization to unit-weight graphs for free.
+  SpEngine& engine = SpEngine::thread_local_engine();
+  while (!pending.empty()) {
+    const VertexId reached = engine.grow_step(g, tree_vertices, pending);
     if (reached == kInvalidVertex) return result;  // disconnected
 
-    is_pending_terminal[reached] = false;
-    --pending;
-    for (VertexId v = reached; !in_tree[v]; v = parent[v]) {
+    pending.erase(std::find(pending.begin(), pending.end(), reached));
+    for (VertexId v = reached; !in_tree[v]; v = engine.parent_of(v)) {
       in_tree[v] = true;
-      result.edges.push_back(parent_edge[v]);
-      result.weight += g.weight(parent_edge[v]);
+      tree_vertices.push_back(v);
+      result.edges.push_back(engine.parent_edge_of(v));
+      result.weight += g.weight(engine.parent_edge_of(v));
     }
   }
   std::sort(result.edges.begin(), result.edges.end());

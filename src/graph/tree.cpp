@@ -1,19 +1,21 @@
 #include "graph/tree.h"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
+
+#include "util/arena.h"
 
 namespace nfvm::graph {
 
 RootedTree::RootedTree(const Graph& g, std::span<const EdgeId> tree_edges,
                        VertexId root) {
   if (!g.has_vertex(root)) throw std::out_of_range("RootedTree: invalid root");
-  std::vector<EdgeRecord> records;
-  records.reserve(tree_edges.size());
-  for (EdgeId e : tree_edges) {
-    const Edge& ed = g.edge(e);
-    records.push_back(EdgeRecord{e, ed.u, ed.v, ed.weight});
+  util::ArenaScope scope(util::Arena::thread_local_arena());
+  std::span<EdgeRecord> records =
+      scope.arena().make_span<EdgeRecord>(tree_edges.size());
+  for (std::size_t i = 0; i < tree_edges.size(); ++i) {
+    const Edge& ed = g.edge(tree_edges[i]);
+    records[i] = EdgeRecord{tree_edges[i], ed.u, ed.v, ed.weight};
   }
   init(g.num_vertices(), records, root);
 }
@@ -33,57 +35,74 @@ void RootedTree::init(std::size_t n, std::span<const EdgeRecord> tree_edges,
   dist_.assign(n, 0.0);
   present_.assign(n, false);
 
-  // Adjacency restricted to tree edges, in input order.
+  // Adjacency restricted to tree edges, CSR-packed via counting sort into
+  // arena scratch: two spans instead of n vectors, discarded on return.
   struct Arc {
     VertexId neighbor;
     EdgeId edge;
     double weight;
   };
-  std::vector<std::vector<Arc>> adj(n);
+  util::ArenaScope scope(util::Arena::thread_local_arena());
+  std::span<std::size_t> offsets = scope.arena().make_span<std::size_t>(n + 1);
+  std::fill(offsets.begin(), offsets.end(), std::size_t{0});
   for (const EdgeRecord& r : tree_edges) {
     if (r.u >= n || r.v >= n) {
       throw std::out_of_range("RootedTree: edge endpoint out of range");
     }
     if (r.u == r.v) throw std::invalid_argument("RootedTree: self-loop in tree edges");
-    adj[r.u].push_back(Arc{r.v, r.id, r.weight});
-    adj[r.v].push_back(Arc{r.u, r.id, r.weight});
+    ++offsets[r.u + 1];
+    ++offsets[r.v + 1];
+  }
+  for (std::size_t v = 1; v <= n; ++v) offsets[v] += offsets[v - 1];
+  std::span<Arc> arcs = scope.arena().make_span<Arc>(2 * tree_edges.size());
+  {
+    // fill[v] walks v's slice; arcs end up grouped per vertex, and within a
+    // vertex in input order — the same order the per-vertex vectors had.
+    std::span<std::size_t> fill = scope.arena().make_span<std::size_t>(n);
+    std::copy(offsets.begin(), offsets.end() - 1, fill.begin());
+    for (const EdgeRecord& r : tree_edges) {
+      arcs[fill[r.u]++] = Arc{r.v, r.id, r.weight};
+      arcs[fill[r.v]++] = Arc{r.u, r.id, r.weight};
+    }
   }
 
-  // BFS orientation from the root.
-  std::queue<VertexId> queue;
+  // BFS orientation from the root; order_ doubles as the queue (the scan
+  // index chases the push index, visiting in exactly std::queue order).
+  order_.clear();
+  order_.reserve(tree_edges.size() + 1);
   present_[root] = true;
-  queue.push(root);
-  while (!queue.empty()) {
-    const VertexId u = queue.front();
-    queue.pop();
-    order_.push_back(u);
-    for (const Arc& a : adj[u]) {
-      if (a.edge == parent_edge_[u]) continue;
-      if (present_[a.neighbor]) {
+  order_.push_back(root);
+  for (std::size_t head = 0; head < order_.size(); ++head) {
+    const VertexId u = order_[head];
+    for (std::size_t a = offsets[u]; a < offsets[u + 1]; ++a) {
+      const Arc& arc = arcs[a];
+      if (arc.edge == parent_edge_[u]) continue;
+      if (present_[arc.neighbor]) {
         throw std::invalid_argument("RootedTree: edges contain a cycle");
       }
-      present_[a.neighbor] = true;
-      parent_[a.neighbor] = u;
-      parent_edge_[a.neighbor] = a.edge;
-      depth_[a.neighbor] = depth_[u] + 1;
-      dist_[a.neighbor] = dist_[u] + a.weight;
-      queue.push(a.neighbor);
+      present_[arc.neighbor] = true;
+      parent_[arc.neighbor] = u;
+      parent_edge_[arc.neighbor] = arc.edge;
+      depth_[arc.neighbor] = depth_[u] + 1;
+      dist_[arc.neighbor] = dist_[u] + arc.weight;
+      order_.push_back(arc.neighbor);
     }
   }
   // Edges touching the root's component but unused would indicate a cycle;
   // detected above. Edges fully outside the component are allowed (forest).
 
-  // Binary lifting tables.
+  // Binary lifting table, flat (one allocation, stride n).
   std::size_t max_depth = 0;
   for (VertexId v : order_) max_depth = std::max(max_depth, depth_[v]);
-  std::size_t levels = 1;
-  while ((std::size_t{1} << levels) <= std::max<std::size_t>(max_depth, 1)) ++levels;
-  up_.assign(levels, std::vector<VertexId>(n, kInvalidVertex));
-  up_[0] = parent_;
-  for (std::size_t k = 1; k < levels; ++k) {
+  levels_ = 1;
+  while ((std::size_t{1} << levels_) <= std::max<std::size_t>(max_depth, 1)) ++levels_;
+  up_.assign(levels_ * n, kInvalidVertex);
+  std::copy(parent_.begin(), parent_.end(), up_.begin());
+  for (std::size_t k = 1; k < levels_; ++k) {
     for (VertexId v : order_) {
-      const VertexId mid = up_[k - 1][v];
-      up_[k][v] = mid == kInvalidVertex ? kInvalidVertex : up_[k - 1][mid];
+      const VertexId mid = up_[(k - 1) * n + v];
+      up_[k * n + v] =
+          mid == kInvalidVertex ? kInvalidVertex : up_[(k - 1) * n + mid];
     }
   }
 }
@@ -121,16 +140,17 @@ double RootedTree::dist_from_root(VertexId v) const {
 VertexId RootedTree::lca(VertexId a, VertexId b) const {
   check_present(a);
   check_present(b);
+  const std::size_t n = present_.size();
   if (depth_[a] < depth_[b]) std::swap(a, b);
   std::size_t diff = depth_[a] - depth_[b];
   for (std::size_t k = 0; diff != 0; ++k, diff >>= 1) {
-    if (diff & 1) a = up_[k][a];
+    if (diff & 1) a = up_[k * n + a];
   }
   if (a == b) return a;
-  for (std::size_t k = up_.size(); k-- > 0;) {
-    if (up_[k][a] != up_[k][b]) {
-      a = up_[k][a];
-      b = up_[k][b];
+  for (std::size_t k = levels_; k-- > 0;) {
+    if (up_[k * n + a] != up_[k * n + b]) {
+      a = up_[k * n + a];
+      b = up_[k * n + b];
     }
   }
   return parent_[a];

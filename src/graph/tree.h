@@ -69,8 +69,11 @@ class RootedTree {
   std::vector<double> dist_;
   std::vector<bool> present_;
   std::vector<VertexId> order_;
-  /// up_[k][v] = 2^k-th ancestor of v (kInvalidVertex beyond the root).
-  std::vector<std::vector<VertexId>> up_;
+  /// Binary-lifting table, flattened to one allocation: the 2^k-th
+  /// ancestor of v is up_[k * n + v] (kInvalidVertex beyond the root),
+  /// where n = present_.size() and k < levels_.
+  std::vector<VertexId> up_;
+  std::size_t levels_ = 0;
 
   /// Shared constructor body: BFS orientation + binary-lifting tables.
   void init(std::size_t num_vertices, std::span<const EdgeRecord> tree_edges,

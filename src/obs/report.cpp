@@ -440,6 +440,24 @@ CompareReport compare_artifacts(const Artifact& baseline,
     ++base_it;
     ++cand_it;
   }
+  // Absolute floors run over the candidate alone: a key matching a
+  // min-bound substring must sit at or above the bound, ignore list or not.
+  for (const auto& [key, value] : candidate.scalars) {
+    for (const auto& [pattern, bound] : options.min_bounds) {
+      if (pattern.empty() || key.find(pattern) == std::string::npos) continue;
+      if (value < bound) {
+        Delta violation;
+        violation.key = key;
+        violation.baseline = bound;  // the floor, not a baseline value
+        violation.candidate = value;
+        violation.rel = bound == 0.0 ? 0.0 : (value - bound) / std::abs(bound);
+        violation.regression = true;
+        report.min_violations.push_back(std::move(violation));
+        ++report.num_regressions;
+      }
+      break;  // first matching bound wins
+    }
+  }
   return report;
 }
 
@@ -605,7 +623,24 @@ void write_report_markdown(std::ostream& out, const Artifact& baseline,
     out << "; ignoring keys containing:";
     for (const std::string& pattern : options.ignore) out << " `" << pattern << "`";
   }
+  if (!options.min_bounds.empty()) {
+    out << "\n- floors:";
+    for (const auto& [pattern, bound] : options.min_bounds) {
+      out << " `" << pattern << "` >= " << format_value(bound);
+    }
+  }
   out << "\n- regressions: **" << report.num_regressions << "**\n\n";
+
+  if (!report.min_violations.empty()) {
+    out << "| key | floor | candidate | status |\n";
+    out << "|---|---:|---:|---|\n";
+    for (const Delta& violation : report.min_violations) {
+      out << "| `" << violation.key << "` | " << format_value(violation.baseline)
+          << " | " << format_value(violation.candidate)
+          << " | BELOW FLOOR |\n";
+    }
+    out << "\n";
+  }
 
   std::size_t changed = 0;
   for (const Delta& delta : report.deltas) {
@@ -650,6 +685,23 @@ void write_report_json(std::ostream& out, const Artifact& baseline,
   w.key("threshold").value(options.threshold);
   w.key("ignore").begin_array();
   for (const std::string& pattern : options.ignore) w.value(pattern);
+  w.end_array();
+  w.key("min_bounds").begin_array();
+  for (const auto& [pattern, bound] : options.min_bounds) {
+    w.begin_object();
+    w.key("key_contains").value(pattern);
+    w.key("min").value(bound);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("min_violations").begin_array();
+  for (const Delta& violation : report.min_violations) {
+    w.begin_object();
+    w.key("key").value(violation.key);
+    w.key("min").value(violation.baseline);
+    w.key("candidate").value(violation.candidate);
+    w.end_object();
+  }
   w.end_array();
   w.key("num_regressions").value(static_cast<std::uint64_t>(report.num_regressions));
   w.key("deltas").begin_array();

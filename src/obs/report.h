@@ -15,6 +15,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/json.h"
@@ -70,6 +71,14 @@ struct CompareOptions {
   /// Keys containing any of these substrings are reported but never gate
   /// (timing columns on shared CI runners, for example).
   std::vector<std::string> ignore;
+  /// Absolute floors: a CANDIDATE scalar whose key contains the substring
+  /// and whose value is below the bound is a regression — independent of
+  /// the baseline, the relative threshold, and the ignore list. This is
+  /// how timing-derived ratio columns gate: their run-to-run noise forces
+  /// them onto the ignore list (substring "time" matches "speedup_time" —
+  /// the historical silent-regression hole), but a hard floor like
+  /// `speedup_vs_legacy >= 0.95` still holds the line.
+  std::vector<std::pair<std::string, double>> min_bounds;
 };
 
 struct CompareReport {
@@ -77,6 +86,9 @@ struct CompareReport {
   std::vector<Delta> deltas;
   std::vector<std::string> only_baseline;
   std::vector<std::string> only_candidate;
+  /// Candidate scalars below a min_bounds floor (Delta::baseline holds the
+  /// bound). Counted in num_regressions.
+  std::vector<Delta> min_violations;
   std::size_t num_regressions = 0;
 };
 

@@ -1,0 +1,113 @@
+// Bump-pointer arena for short-lived, trivially-destructible records.
+//
+// The per-candidate hot paths (RootedTree construction during online
+// admission Phase C, AuxOverlay realization in Appro_Multi) repeatedly
+// build small scratch structures — adjacency arrays, edge-record buffers —
+// whose lifetimes nest perfectly: allocate, use, discard, repeat. Routing
+// them through the general-purpose heap costs an allocator round trip per
+// structure per candidate. An Arena turns each allocation into a pointer
+// bump against a block that is reused forever after warm-up.
+//
+// Lifetime rules (see docs/performance.md, "SP engine internals"):
+//  * allocate()/make_span() return uninitialized storage valid until the
+//    enclosing scope is rewound or the arena is reset.
+//  * ArenaScope is the intended API: mark on entry, rewind on exit (LIFO
+//    nesting, exception-safe). Rewinding reclaims the bytes in O(1).
+//  * If an allocation outgrows the live block, the block is retired (NOT
+//    freed — outstanding pointers stay valid) and a larger one starts;
+//    rewinding across a growth is a no-op and the memory is reclaimed at
+//    the next reset()/scope-chain unwind to a pre-growth marker.
+//  * reset() frees retired blocks and rewinds the live one: the epoch
+//    boundary between requests.
+//
+// Thread model: an Arena is single-threaded. thread_local_arena() gives
+// each thread its own (the pattern for pool workers building RootedTrees
+// in parallel); per-request arenas (WorkContext) are confined to the
+// request's sequential phases.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace nfvm::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_capacity = kDefaultCapacity);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage of `bytes` bytes aligned to `align` (a power of
+  /// two). Valid until the covering rewind()/reset().
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Typed span of `count` uninitialized T slots. T must be trivially
+  /// destructible (the arena never runs destructors).
+  template <typename T>
+  std::span<T> make_span(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is reclaimed without destructors");
+    T* data = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    return {data, count};
+  }
+
+  /// Position marker for LIFO rewinding (see ArenaScope).
+  struct Marker {
+    std::uint64_t block_generation = 0;
+    std::size_t used = 0;
+  };
+  Marker mark() const noexcept { return Marker{block_generation_, used_}; }
+
+  /// Reclaims everything allocated since `m` — O(1). If the arena grew a
+  /// new block since the mark, the rewind is deferred: pointers stay valid
+  /// and the memory comes back at the next reset().
+  void rewind(Marker m) noexcept {
+    if (m.block_generation == block_generation_) used_ = m.used;
+  }
+
+  /// Epoch reset: frees retired blocks, rewinds the live one to empty.
+  /// Every pointer previously handed out becomes invalid.
+  void reset();
+
+  /// Bytes currently allocated out of the live block.
+  std::size_t bytes_used() const noexcept { return used_; }
+  /// Capacity of the live block (retired blocks excluded).
+  std::size_t capacity() const noexcept { return block_.size(); }
+
+  /// Per-thread arena for call sites without a natural owner (e.g.
+  /// RootedTree scratch inside ThreadPool workers). Confine use to
+  /// ArenaScope so independent call sites on one thread compose.
+  static Arena& thread_local_arena();
+
+  static constexpr std::size_t kDefaultCapacity = 64 * 1024;
+
+ private:
+  std::vector<std::byte> block_;
+  std::size_t used_ = 0;
+  std::uint64_t block_generation_ = 0;
+  /// Blocks outgrown since the last reset; kept alive so pointers into
+  /// them stay valid until the epoch ends.
+  std::vector<std::vector<std::byte>> retired_;
+};
+
+/// RAII mark/rewind pair. Scopes must nest LIFO (stack order), which
+/// C++ scoping enforces for automatic storage.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(&arena), marker_(arena.mark()) {}
+  ~ArenaScope() { arena_->rewind(marker_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  Arena& arena() noexcept { return *arena_; }
+
+ private:
+  Arena* arena_;
+  Arena::Marker marker_;
+};
+
+}  // namespace nfvm::util

@@ -218,7 +218,9 @@ TEST(BenchSchemaV1, CheckedInBaselineStillParses) {
   ASSERT_TRUE(doc.at("rows").is_array());
   ASSERT_FALSE(doc.at("rows").array.empty());
   // Every row carries exactly the declared columns, with "case"/"mode" as
-  // strings and the rest numeric.
+  // strings and the rest numeric — except speedup_vs_legacy, which is "-"
+  // on rebuild rows (no legacy-vs-legacy ratio) so the CI --min floor only
+  // ever gates real speedups.
   std::set<std::string> columns;
   for (const JsonValue& c : doc.at("columns").array) columns.insert(c.string);
   for (const JsonValue& row : doc.at("rows").array) {
@@ -226,6 +228,11 @@ TEST(BenchSchemaV1, CheckedInBaselineStillParses) {
     for (const auto& [key, value] : row.object) {
       if (key == "case" || key == "mode") {
         EXPECT_TRUE(value.is_string()) << key;
+      } else if (key == "speedup_vs_legacy") {
+        const bool rebuild_row = row.at("mode").string == "rebuild";
+        EXPECT_TRUE(rebuild_row ? value.is_string() && value.string == "-"
+                                : value.is_number())
+            << key;
       } else {
         EXPECT_TRUE(value.is_number()) << key;
       }

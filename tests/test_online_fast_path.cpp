@@ -157,6 +157,7 @@ TEST(OnlineWeightedView, PatchEvictsOnlyTreesContainingChangedEdges) {
         state.bandwidth_capacity(e) - state.residual_bandwidth(e);
     return topo.graph.weight(e) + consumed / 1000.0;
   });
+  view.set_policy(ViewPolicy::kForceIncremental);  // pin the cache machinery
 
   const std::vector<graph::VertexId> sources = {0, 1};
   const auto first = view.trees_for(state, sources, 50.0);
@@ -190,6 +191,9 @@ TEST(OnlineWeightedView, AllocationWithoutWeightChangeKeepsCache) {
   // never dirty the cache.
   OnlineWeightedView view(topo,
                           [&](graph::EdgeId e) { return topo.graph.weight(e); });
+  // Pin the incremental cache: these tests assert cache mechanics, and the
+  // adaptive policy would (correctly) pick rebuild mode on a 4-edge graph.
+  view.set_policy(ViewPolicy::kForceIncremental);
   const std::vector<graph::VertexId> sources = {0};
   const auto first = view.trees_for(state, sources, 50.0);
   nfv::Footprint fp;
@@ -205,6 +209,9 @@ TEST(OnlineWeightedView, ReleaseStartsNewEraDroppingAllTrees) {
   nfv::ResourceState state(topo);
   OnlineWeightedView view(topo,
                           [&](graph::EdgeId e) { return topo.graph.weight(e); });
+  // Pin the incremental cache: these tests assert cache mechanics, and the
+  // adaptive policy would (correctly) pick rebuild mode on a 4-edge graph.
+  view.set_policy(ViewPolicy::kForceIncremental);
   const std::vector<graph::VertexId> sources = {0, 1};
   const auto first = view.trees_for(state, sources, 50.0);
   nfv::Footprint fp;
@@ -225,6 +232,9 @@ TEST(OnlineWeightedView, LowerBandwidthThresholdForcesRecompute) {
   nfv::ResourceState state(topo);
   OnlineWeightedView view(topo,
                           [&](graph::EdgeId e) { return topo.graph.weight(e); });
+  // Pin the incremental cache: these tests assert cache mechanics, and the
+  // adaptive policy would (correctly) pick rebuild mode on a 4-edge graph.
+  view.set_policy(ViewPolicy::kForceIncremental);
   const std::vector<graph::VertexId> sources = {0};
   const auto at_100 = view.trees_for(state, sources, 100.0);
   // b' < b_T: eligibility at b' is a superset, the cached tree may be wrong.
@@ -240,6 +250,9 @@ TEST(OnlineWeightedView, IneligibleTreeEdgeForcesRecompute) {
   nfv::ResourceState state(topo);
   OnlineWeightedView view(topo,
                           [&](graph::EdgeId e) { return topo.graph.weight(e); });
+  // Pin the incremental cache: these tests assert cache mechanics, and the
+  // adaptive policy would (correctly) pick rebuild mode on a 4-edge graph.
+  view.set_policy(ViewPolicy::kForceIncremental);
   const std::vector<graph::VertexId> sources = {0};
   const auto before = view.trees_for(state, sources, 50.0);
   ASSERT_EQ(before[0]->parent_edge[2], 2u);  // uses e2

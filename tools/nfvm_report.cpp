@@ -34,6 +34,9 @@
 //   --threshold X     relative-change gate, default 0.10 (= 10%)
 //   --ignore SUBSTR   keys containing SUBSTR never gate (repeatable);
 //                     use for timing columns on noisy runners
+//   --min SUBSTR=X    candidate keys containing SUBSTR must be >= X
+//                     (repeatable); an absolute floor that gates even when
+//                     the key is on the ignore list
 //   --md FILE         also write a markdown report ("-" for stdout)
 //   --json FILE       also write an "nfvm-report-v1" JSON report ("-")
 //
@@ -58,7 +61,8 @@ using nfvm::obs::report::CompareReport;
   std::cerr
       << "usage: nfvm-report summary ARTIFACT\n"
          "       nfvm-report diff BASELINE CANDIDATE [--threshold X]\n"
-         "                   [--ignore SUBSTR]... [--md FILE|-] [--json FILE|-]\n"
+         "                   [--ignore SUBSTR]... [--min SUBSTR=VALUE]...\n"
+         "                   [--md FILE|-] [--json FILE|-]\n"
          "       nfvm-report --check BASELINE CANDIDATE [diff options]\n"
          "       nfvm-report --validate FILE...\n"
          "       nfvm-report latency EVENTS [--md|--json] [--check]\n"
@@ -132,7 +136,11 @@ int run_diff(const std::string& baseline_path, const std::string& candidate_path
 
   if (report.num_regressions > 0) {
     std::cerr << "nfvm-report: " << report.num_regressions
-              << " regression(s) above threshold " << options.threshold << "\n";
+              << " regression(s) above threshold " << options.threshold;
+    if (!report.min_violations.empty()) {
+      std::cerr << " (" << report.min_violations.size() << " below a --min floor)";
+    }
+    std::cerr << "\n";
     if (check) return 1;
   }
   return 0;
@@ -285,6 +293,17 @@ int main(int argc, char** argv) {
       if (options.threshold < 0.0) usage("--threshold must be >= 0");
     } else if (arg == "--ignore") {
       options.ignore.push_back(next());
+    } else if (arg == "--min") {
+      const std::string spec = next();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) usage("--min needs SUBSTR=VALUE");
+      double bound = 0.0;
+      try {
+        bound = std::stod(spec.substr(eq + 1));
+      } catch (const std::exception&) {
+        usage("--min needs a numeric VALUE after '='");
+      }
+      options.min_bounds.emplace_back(spec.substr(0, eq), bound);
     } else if (arg == "--md") {
       md_path = next();
     } else if (arg == "--json") {

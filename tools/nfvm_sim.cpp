@@ -122,6 +122,10 @@ struct Options {
   double dest_ratio = 0.0;  // 0 = paper default range
   double max_delay_ms = 0.0;  // 0 = unconstrained
   bool dynamic = false;
+  /// Run Online_CP / Online_SP with incremental_view off (per-request
+  /// rebuild). Decisions must be byte-identical to the default fast path —
+  /// CI diffs the two decision streams.
+  bool legacy_path = false;
   double arrival_rate = 1.0;
   double mean_duration = 20.0;
   std::size_t soak = 0;  // 0 = not a soak run
@@ -146,7 +150,8 @@ struct Options {
   if (!error.empty()) std::cerr << "error: " << error << "\n";
   std::cerr << "usage: nfvm_sim [--mode " << kModes << "] [--topology T] [--nodes N] [--seed S]\n"
                "                [--algorithm A] [--requests R] [--dest-ratio X]\n"
-               "                [--max-delay MS] [--dynamic] [--arrival-rate X] [--mean-duration X]\n"
+               "                [--max-delay MS] [--dynamic] [--legacy-path]\n"
+               "                [--arrival-rate X] [--mean-duration X]\n"
                "                [--soak N] [--diurnal-amplitude A] [--diurnal-period P]\n"
                "                [--threads N]\n"
                "                [--dump-topology FILE] [--dump-dot FILE]\n"
@@ -282,6 +287,7 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--dest-ratio") opts.dest_ratio = std::stod(need_value(i));
     else if (arg == "--max-delay") opts.max_delay_ms = std::stod(need_value(i));
     else if (arg == "--dynamic") opts.dynamic = true;
+    else if (arg == "--legacy-path") opts.legacy_path = true;
     else if (arg == "--arrival-rate") opts.arrival_rate = std::stod(need_value(i));
     else if (arg == "--mean-duration") opts.mean_duration = std::stod(need_value(i));
     else if (arg == "--soak") opts.soak = std::stoul(need_value(i));
@@ -326,9 +332,18 @@ topo::Topology build_topology(const Options& opts, util::Rng& rng) {
 }
 
 std::unique_ptr<core::OnlineAlgorithm> build_algorithm(const std::string& name,
-                                                       const topo::Topology& topo) {
-  if (name == "online_cp") return std::make_unique<core::OnlineCp>(topo);
-  if (name == "online_sp") return std::make_unique<core::OnlineSp>(topo);
+                                                       const topo::Topology& topo,
+                                                       bool legacy_path) {
+  if (name == "online_cp") {
+    core::OnlineCpOptions cp_opts;
+    cp_opts.incremental_view = !legacy_path;
+    return std::make_unique<core::OnlineCp>(topo, cp_opts);
+  }
+  if (name == "online_sp") {
+    core::OnlineSpOptions sp_opts;
+    sp_opts.incremental_view = !legacy_path;
+    return std::make_unique<core::OnlineSp>(topo, sp_opts);
+  }
   return std::make_unique<core::OnlineSpStatic>(topo);  // validated at parse time
 }
 
@@ -360,6 +375,7 @@ std::map<std::string, std::string> manifest_config(const Options& opts) {
   config["dest_ratio"] = util::format_double(opts.dest_ratio, 4);
   config["max_delay_ms"] = util::format_double(opts.max_delay_ms, 3);
   config["dynamic"] = opts.dynamic ? "true" : "false";
+  config["legacy_path"] = opts.legacy_path ? "true" : "false";
   if (opts.dynamic || opts.soak > 0) {
     config["arrival_rate"] = util::format_double(opts.arrival_rate, 4);
     config["mean_duration"] = util::format_double(opts.mean_duration, 4);
@@ -589,7 +605,7 @@ int main(int argc, char** argv) {
   if (opts.soak > 0) {
     util::Rng workload(opts.seed + 1);
     sim::RequestGenerator gen(topo, workload, gen_opts);
-    auto algo = build_algorithm(opts.algorithm, topo);
+    auto algo = build_algorithm(opts.algorithm, topo, opts.legacy_path);
     sim::SoakOptions soak;
     soak.num_requests = opts.soak;
     soak.arrival_rate = opts.arrival_rate;
@@ -651,7 +667,7 @@ int main(int argc, char** argv) {
     // Fresh, identical workload per algorithm.
     util::Rng workload(opts.seed + 1);
     sim::RequestGenerator gen(topo, workload, gen_opts);
-    auto algo = build_algorithm(name, topo);
+    auto algo = build_algorithm(name, topo, opts.legacy_path);
     obs::log_info("admission run: " + std::string(algo->name()) + ", " +
                   std::to_string(opts.requests) + " requests");
     const auto reject_cells = [&table](const auto& m) {
