@@ -7,6 +7,7 @@
 
 #include "core/aux_graph.h"
 #include "core/delay.h"
+#include "core/shared_closure.h"
 #include "graph/mst.h"
 #include "graph/steiner.h"
 #include "graph/tree.h"
@@ -90,14 +91,7 @@ OfflineSolution alg_one_server(const topo::Topology& topo, const LinearCosts& co
   std::vector<CandidatePlan> candidates;
   for (graph::VertexId v : ctx.eligible_servers) {
     ++sol.combinations_explored;
-    std::size_t nearest = t;
-    double nearest_dist = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < t; ++i) {
-      if (sp_dest[i]->dist[v] < nearest_dist) {
-        nearest_dist = sp_dest[i]->dist[v];
-        nearest = i;
-      }
-    }
+    const std::size_t nearest = nearest_table_root(sp_dest, v);
     if (nearest == t) continue;  // no destination reaches this server
 
     std::set<graph::EdgeId> edges = mst_expansion;

@@ -35,6 +35,9 @@ struct OfflineSolution {
   /// Server combinations (Appro_Multi) or candidate servers
   /// (Alg_One_Server) evaluated.
   std::size_t combinations_explored = 0;
+  /// Combinations the branch-and-bound search discarded via lower bounds
+  /// without evaluating (0 for the legacy sweep and for Alg_One_Server).
+  std::size_t combinations_pruned = 0;
 };
 
 struct ApproMultiOptions {
@@ -42,8 +45,13 @@ struct ApproMultiOptions {
   std::size_t max_servers = 3;
   /// Non-null enables the capacitated variant (Appro_Multi_Cap).
   const nfv::ResourceState* resources = nullptr;
-  /// Safety valve for pathological |V_S| choose K blow-ups; enumeration is
-  /// stopped (deterministically) after this many combinations.
+  /// Safety valve for pathological |V_S| choose K blow-ups: the number of
+  /// combinations *evaluated* per request, counted identically in both
+  /// search modes (branch-and-bound counts evaluator calls across every
+  /// re-search pass; pruned combinations are free and do not consume
+  /// budget). The search stops deterministically once the budget is spent.
+  /// When the valve actually binds, the two modes may legitimately return
+  /// different results — they spend the budget on different combinations.
   std::size_t max_combinations = std::numeric_limits<std::size_t>::max();
   /// Steiner approximation used inside every auxiliary graph (paper: KMB).
   graph::SteinerEngine steiner_engine = graph::SteinerEngine::kKmb;
@@ -60,6 +68,24 @@ struct ApproMultiOptions {
   ///    steiner_engine == kKmb (throws std::invalid_argument otherwise).
   enum class Engine { kReference, kSharedDijkstra };
   Engine engine = Engine::kReference;
+  /// Combination-search strategy:
+  ///  * kBranchAndBound (default) — deterministic branch-and-bound over
+  ///    combination prefixes with admissible lower bounds
+  ///    (core/combo_search.h). Returns the same cost and the same argmin
+  ///    combination as the exhaustive sweep — bit-identical decisions at
+  ///    any thread count — while evaluating a fraction of the
+  ///    combinations.
+  ///  * kLegacySweep — materialize and evaluate every combination, then
+  ///    sort (the original implementation; kept as the equivalence
+  ///    baseline).
+  enum class Search { kLegacySweep, kBranchAndBound };
+  Search search = Search::kBranchAndBound;
+  /// Opt-in beam mode: restrict the sweep to the `beam_width` most central
+  /// eligible servers (see beam_server_pool). 0 (default) or >= |V_S|
+  /// disables the restriction and keeps the search exact; smaller widths
+  /// trade optimality within the 2K guarantee for speed. Pools are nested
+  /// in beam_width, so the returned cost is non-increasing in the width.
+  std::size_t beam_width = 0;
 };
 
 /// Runs Algorithm 1 (or its capacitated variant) for one request.

@@ -1,0 +1,161 @@
+#include "core/combo_search.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/hdr_histogram.h"
+#include "obs/metrics.h"
+#include "util/combinatorics.h"
+#include "util/thread_pool.h"
+
+namespace nfvm::core {
+namespace {
+
+/// Candidates are skipped/committed in fixed-size chunks so the skip
+/// decisions (which read the incumbent) and the commits (which write it)
+/// stay sequential while evaluations inside a chunk run on the pool. The
+/// chunk size must NOT depend on the thread count, or the set of evaluated
+/// combinations — and with it the pruning counters — would too. Smaller
+/// chunks refresh the incumbent more often (more pruning), larger chunks
+/// expose more parallelism per round; 8 keeps the bound-sorted tail cut
+/// sharp while still feeding the common 4-8 thread pools.
+constexpr std::size_t kChunk = 8;
+
+}  // namespace
+
+bool combo_key_less(const ComboKey& a, const ComboKey& b) {
+  if (a.cost != b.cost) return a.cost < b.cost;
+  if (a.idx.size() != b.idx.size()) return a.idx.size() < b.idx.size();
+  return a.idx < b.idx;
+}
+
+ComboSearch::ComboSearch(std::size_t pool_size, const ComboBounds& bounds,
+                         std::size_t max_servers, Evaluator evaluator)
+    : pool_size_(pool_size),
+      bounds_(&bounds),
+      max_servers_(std::min(max_servers, pool_size)),
+      evaluator_(std::move(evaluator)) {}
+
+ComboSearchResult ComboSearch::next_best(const ComboKey* floor,
+                                         std::size_t max_evaluations) {
+  ComboSearchResult res;
+  const std::size_t n = pool_size_;
+
+  struct Node {
+    std::vector<std::size_t> idx;
+    ComboBounds::Partial partial;
+  };
+  struct Cand {
+    std::vector<std::size_t> idx;
+    ComboBounds::Partial partial;
+    double bound = 0.0;
+    bool eval = false;
+    ComboEvaluation result;
+  };
+
+  // Level-synchronous walk: the frontier holds the size-(k-1) prefixes that
+  // survived the expansion filter. Extending each by every larger pool index
+  // yields the level-k candidate set; within a level the candidates are
+  // evaluated in ascending lower-bound order (ties toward the
+  // lexicographically smaller index vector) so the incumbent tightens as
+  // early as possible and — the bounds being sorted — every candidate past
+  // the first one exceeding the incumbent can be pruned in bulk. The final
+  // argmin does not depend on the evaluation order (see the header), and
+  // the order itself is a pure function of the bounds, so the counters stay
+  // thread-count invariant.
+  std::vector<Node> frontier;
+  frontier.push_back(Node{{}, bounds_->root()});
+  bool stop = false;
+  for (std::size_t k = 1; k <= max_servers_ && !frontier.empty() && !stop;
+       ++k) {
+    std::vector<Cand> cands;
+    for (const Node& node : frontier) {
+      const std::size_t start = node.idx.empty() ? 0 : node.idx.back() + 1;
+      for (std::size_t i = start; i < n; ++i) {
+        Cand c;
+        c.idx = node.idx;
+        c.idx.push_back(i);
+        c.partial = bounds_->extend(node.partial, i);
+        c.bound = bounds_->candidate_bound(c.idx);
+        cands.push_back(std::move(c));
+      }
+    }
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.bound != b.bound) return a.bound < b.bound;
+      return a.idx < b.idx;
+    });
+
+    bool level_done = false;
+    for (std::size_t base = 0; base < cands.size() && !stop && !level_done;
+         base += kChunk) {
+      const std::size_t end = std::min(base + kChunk, cands.size());
+      // Skip decisions are taken sequentially against the incumbent as of
+      // the previous chunk; commits below update it in canonical order.
+      std::vector<std::size_t> to_eval;
+      for (std::size_t c = base; c < end; ++c) {
+        if (res.found && cands[c].bound > res.key.cost) {
+          // Ascending bound order: every remaining candidate in this level
+          // is bounded at least as high, so the whole tail is pruned. The
+          // level is done, but deeper levels are not covered by these
+          // bounds and still get their turn.
+          res.pruned =
+              util::saturating_add(res.pruned, cands.size() - c);
+          level_done = true;
+          break;
+        }
+        if (res.evaluated + to_eval.size() >= max_evaluations) {
+          res.budget_exhausted = true;
+          stop = true;
+          break;
+        }
+        cands[c].eval = true;
+        to_eval.push_back(c);
+      }
+
+      util::ThreadPool::global().parallel_for(
+          to_eval.size(), [&](std::size_t t) {
+            Cand& c = cands[to_eval[t]];
+            c.result = evaluator_(c.idx);
+          });
+
+      for (const std::size_t c : to_eval) {
+        Cand& cand = cands[c];
+        ++res.evaluated;
+        if (!cand.result.connected) continue;
+        NFVM_OBS_ONLY(if (cand.result.cost > 0.0) {
+          NFVM_HDR_OBSERVE("core.appro_multi.lb_tightness",
+                           100.0 * cand.bound / cand.result.cost);
+        })
+        ComboKey key{cand.result.cost, cand.idx};
+        if (floor != nullptr && !combo_key_less(*floor, key)) continue;
+        if (!res.found || combo_key_less(key, res.key)) {
+          res.found = true;
+          res.key = std::move(key);
+          res.tree_edges = std::move(cand.result.tree_edges);
+        }
+      }
+    }
+
+    if (stop || k == max_servers_) break;
+
+    std::vector<Node> next;
+    for (Cand& c : cands) {
+      const std::size_t last = c.idx.back();
+      if (last + 1 >= n) continue;
+      if (res.found &&
+          bounds_->subtree_bound(c.partial, last + 1) > res.key.cost) {
+        // Every completion draws 1..(max_k - k) more servers from the
+        // n - 1 - last remaining pool indices.
+        res.pruned = util::saturating_add(
+            res.pruned,
+            util::count_combinations_upto(n - 1 - last, max_servers_ - k));
+        continue;
+      }
+      next.push_back(Node{std::move(c.idx), std::move(c.partial)});
+    }
+    frontier = std::move(next);
+  }
+  return res;
+}
+
+}  // namespace nfvm::core

@@ -7,23 +7,11 @@
 #include "core/aux_graph.h"
 #include "graph/steiner.h"
 #include "graph/tree.h"
+#include "util/combinatorics.h"
 
 namespace nfvm::core {
-namespace {
 
-bool next_combination(std::vector<std::size_t>& idx, std::size_t n) {
-  const std::size_t k = idx.size();
-  for (std::size_t i = k; i-- > 0;) {
-    if (idx[i] + (k - i) < n) {
-      ++idx[i];
-      for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
-      return true;
-    }
-  }
-  return false;
-}
-
-}  // namespace
+using util::next_combination;
 
 OfflineSolution exact_one_server(const topo::Topology& topo, const LinearCosts& costs,
                                  const nfv::Request& request,

@@ -20,7 +20,8 @@ const graph::ShortestPaths& TerminalTables::from(graph::VertexId v) const {
 }
 
 SharedOracle build_shared_oracle(const WorkContext& ctx,
-                                 const nfv::Request& request) {
+                                 const nfv::Request& request,
+                                 std::span<const graph::VertexId> servers) {
   NFVM_SPAN("appro_multi/build_shared_oracle");
   NFVM_OBS_ONLY(util::Stopwatch oracle_watch;)
   SharedOracle oracle;
@@ -31,8 +32,7 @@ SharedOracle build_shared_oracle(const WorkContext& ctx,
   // served from) the context's shared SP-tree cache.
   std::vector<graph::VertexId> sources(request.destinations.begin(),
                                        request.destinations.end());
-  sources.insert(sources.end(), ctx.eligible_servers.begin(),
-                 ctx.eligible_servers.end());
+  sources.insert(sources.end(), servers.begin(), servers.end());
   auto trees = context_trees(ctx, sources);
   for (std::size_t i = 0; i < sources.size(); ++i) {
     oracle.tables.set(sources[i], std::move(trees[i]));
@@ -42,6 +42,351 @@ SharedOracle build_shared_oracle(const WorkContext& ctx,
   oracle.tables.set_unowned(request.source, &ctx.sp_source);
   NFVM_HDR_OBSERVE("core.shared_closure.oracle_us", oracle_watch.elapsed_us());
   return oracle;
+}
+
+SharedOracle build_shared_oracle(const WorkContext& ctx,
+                                 const nfv::Request& request) {
+  return build_shared_oracle(ctx, request, ctx.eligible_servers);
+}
+
+std::size_t nearest_table_root(
+    std::span<const std::shared_ptr<const graph::ShortestPaths>> tables,
+    graph::VertexId v) {
+  std::size_t nearest = tables.size();
+  double nearest_dist = graph::kInfiniteDistance;
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i]->dist[v] < nearest_dist) {
+      nearest_dist = tables[i]->dist[v];
+      nearest = i;
+    }
+  }
+  return nearest;
+}
+
+std::vector<graph::VertexId> beam_server_pool(
+    const WorkContext& ctx,
+    std::span<const std::shared_ptr<const graph::ShortestPaths>> dest_trees,
+    std::size_t beam_width) {
+  std::vector<graph::VertexId> pool(ctx.eligible_servers.begin(),
+                                    ctx.eligible_servers.end());
+  if (beam_width == 0 || beam_width >= pool.size()) return pool;
+  std::vector<std::pair<double, graph::VertexId>> scored;
+  scored.reserve(pool.size());
+  for (const graph::VertexId v : pool) {
+    double dest_sum = 0.0;
+    for (const auto& tree : dest_trees) dest_sum += tree->dist[v];
+    const double score = ctx.sp_source.dist[v] + ctx.server_chain_cost[v] +
+                         dest_sum / static_cast<double>(dest_trees.size());
+    scored.emplace_back(score, v);
+  }
+  // (score, vertex) pairs give a deterministic total order, so the top-m
+  // sets are nested as m grows.
+  std::sort(scored.begin(), scored.end());
+  pool.clear();
+  for (std::size_t i = 0; i < beam_width; ++i) pool.push_back(scored[i].second);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+ComboBounds::ComboBounds(
+    const WorkContext& ctx, const nfv::Request& request,
+    std::span<const graph::VertexId> pool,
+    std::span<const std::shared_ptr<const graph::ShortestPaths>> dest_trees)
+    : num_servers_(pool.size()), num_dests_(dest_trees.size()) {
+  const std::size_t n = num_servers_;
+  const std::size_t nd = num_dests_;
+  constexpr double kInf = graph::kInfiniteDistance;
+
+  // Widened zero-cost star: the source plus every POOL server adjacent to
+  // it (a superset of any single combination's star — shortcuts can only
+  // get shorter, so distance bounds stay admissible).
+  std::vector<graph::VertexId> star{request.source};
+  for (const graph::Adjacency& adj : ctx.cost_graph.neighbors(request.source)) {
+    if (!std::binary_search(pool.begin(), pool.end(), adj.neighbor)) continue;
+    if (std::find(star.begin(), star.end(), adj.neighbor) == star.end()) {
+      star.push_back(adj.neighbor);
+    }
+  }
+  double maxstar = 0.0;
+  for (const graph::VertexId a : star) {
+    maxstar = std::max(maxstar, ctx.sp_source.dist[a]);
+  }
+  // snear[d]: exact distance from destination d to the widened star.
+  std::vector<double> snear(nd, kInf);
+  for (std::size_t d = 0; d < nd; ++d) {
+    for (const graph::VertexId a : star) {
+      snear[d] = std::min(snear[d], dest_trees[d]->dist[a]);
+    }
+  }
+
+  virt_.resize(n);
+  reach_.resize(n * nd);
+  sdist_.resize(n);
+  ddirect_.resize(n * nd);
+  star_member_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const graph::VertexId v = pool[i];
+    virt_[i] = ctx.sp_source.dist[v] + ctx.server_chain_cost[v];
+    sdist_[i] = ctx.sp_source.dist[v];
+    star_member_[i] =
+        std::find(star.begin(), star.end(), v) != star.end() ? 1 : 0;
+    // Triangle inequality through the source: d(v, star) >= d(s_k, v) -
+    // max_a d(s_k, a). Keeps the bound free of per-server tables.
+    const double server_snear = std::max(0.0, ctx.sp_source.dist[v] - maxstar);
+    for (std::size_t d = 0; d < nd; ++d) {
+      ddirect_[i * nd + d] = dest_trees[d]->dist[v];
+      reach_[i * nd + d] =
+          std::min(dest_trees[d]->dist[v], server_snear + snear[d]);
+    }
+  }
+
+  dsrc_.resize(nd);
+  ddraw_.assign(nd * nd, 0.0);
+  for (std::size_t d = 0; d < nd; ++d) {
+    dsrc_[d] = dest_trees[d]->dist[request.source];
+    for (std::size_t e = 0; e < nd; ++e) {
+      ddraw_[d * nd + e] = dest_trees[d]->dist[request.destinations[e]];
+    }
+  }
+
+  rdist_.resize(nd * nd, kInf);
+  rmin_.assign(nd, kInf);
+  for (std::size_t d = 0; d < nd; ++d) {
+    for (std::size_t e = 0; e < nd; ++e) {
+      if (e == d) continue;
+      rdist_[d * nd + e] =
+          std::min(dest_trees[d]->dist[request.destinations[e]],
+                   snear[d] + snear[e]);
+      rmin_[d] = std::min(rmin_[d], rdist_[d * nd + e]);
+    }
+  }
+
+  suffix_min_virt_.assign(n + 1, kInf);
+  suffix_min_sv_.assign((n + 1) * nd, kInf);
+  suffix_min_reach_.assign((n + 1) * nd, kInf);
+  for (std::size_t j = n; j-- > 0;) {
+    suffix_min_virt_[j] = std::min(virt_[j], suffix_min_virt_[j + 1]);
+    for (std::size_t d = 0; d < nd; ++d) {
+      suffix_min_sv_[j * nd + d] =
+          std::min(virt_[j] + reach_[j * nd + d], suffix_min_sv_[(j + 1) * nd + d]);
+      suffix_min_reach_[j * nd + d] =
+          std::min(reach_[j * nd + d], suffix_min_reach_[(j + 1) * nd + d]);
+    }
+  }
+}
+
+ComboBounds::Partial ComboBounds::root() const {
+  Partial p;
+  p.min_sv.assign(num_dests_, graph::kInfiniteDistance);
+  p.min_reach.assign(num_dests_, graph::kInfiniteDistance);
+  return p;
+}
+
+ComboBounds::Partial ComboBounds::extend(const Partial& prefix,
+                                         std::size_t i) const {
+  Partial p = prefix;
+  p.min_virt = std::min(p.min_virt, virt_[i]);
+  for (std::size_t d = 0; d < num_dests_; ++d) {
+    p.min_sv[d] = std::min(p.min_sv[d], virt_[i] + reach_[i * num_dests_ + d]);
+    p.min_reach[d] = std::min(p.min_reach[d], reach_[i * num_dests_ + d]);
+  }
+  return p;
+}
+
+double ComboBounds::candidate_bound(std::span<const std::size_t> idx) const {
+  const std::size_t nd = num_dests_;
+  // The combination is complete, so its zero-cost star is exactly
+  // {s_k} ∪ (combo ∩ N(s_k)) — usually far smaller than the pool-level
+  // star the prefix bounds must assume. Rebuild the closure entries
+  // against it; every entry only grows versus the pool-level relaxation,
+  // so this bound dominates bound_from over the prefix minima (and when
+  // the combo has no source-adjacent server the star degenerates to
+  // {s_k}, where the triangle inequality makes the entries exact).
+  double maxstar = 0.0;
+  bool any_star = false;
+  for (const std::size_t i : idx) {
+    if (star_member_[i] != 0) {
+      any_star = true;
+      maxstar = std::max(maxstar, sdist_[i]);
+    }
+  }
+  std::vector<double>& snear = scratch_snear_;
+  snear.assign(dsrc_.begin(), dsrc_.end());
+  if (any_star) {
+    for (const std::size_t i : idx) {
+      if (star_member_[i] == 0) continue;
+      for (std::size_t d = 0; d < nd; ++d) {
+        snear[d] = std::min(snear[d], ddirect_[i * nd + d]);
+      }
+    }
+  }
+
+  double min_virt = graph::kInfiniteDistance;
+  std::vector<double>& min_sv = scratch_min_sv_;
+  std::vector<double>& min_reach = scratch_min_reach_;
+  min_sv.assign(nd, graph::kInfiniteDistance);
+  min_reach.assign(nd, graph::kInfiniteDistance);
+  for (const std::size_t i : idx) {
+    min_virt = std::min(min_virt, virt_[i]);
+    const double server_snear = std::max(0.0, sdist_[i] - maxstar);
+    for (std::size_t d = 0; d < nd; ++d) {
+      const double reach =
+          std::min(ddirect_[i * nd + d], server_snear + snear[d]);
+      min_sv[d] = std::min(min_sv[d], virt_[i] + reach);
+      min_reach[d] = std::min(min_reach[d], reach);
+    }
+  }
+
+  std::vector<double>& rdist = scratch_rdist_;
+  std::vector<double>& rmin = scratch_rmin_;
+  rdist.assign(nd * nd, graph::kInfiniteDistance);
+  rmin.assign(nd, graph::kInfiniteDistance);
+  for (std::size_t d = 0; d < nd; ++d) {
+    for (std::size_t e = 0; e < nd; ++e) {
+      if (e == d) continue;
+      rdist[d * nd + e] = std::min(ddraw_[d * nd + e], snear[d] + snear[e]);
+      rmin[d] = std::min(rmin[d], rdist[d * nd + e]);
+    }
+  }
+  return bound_from(min_virt, min_sv, min_reach, rdist, rmin);
+}
+
+double ComboBounds::subtree_bound(const Partial& prefix,
+                                  std::size_t next) const {
+  const std::size_t nd = num_dests_;
+  std::vector<double>& min_sv = scratch_min_sv_;
+  std::vector<double>& min_reach = scratch_min_reach_;
+  min_sv.resize(nd);
+  min_reach.resize(nd);
+  for (std::size_t d = 0; d < nd; ++d) {
+    min_sv[d] = std::min(prefix.min_sv[d], suffix_min_sv_[next * nd + d]);
+    min_reach[d] =
+        std::min(prefix.min_reach[d], suffix_min_reach_[next * nd + d]);
+  }
+  return bound_from(std::min(prefix.min_virt, suffix_min_virt_[next]), min_sv,
+                    min_reach, rdist_, rmin_);
+}
+
+/// Scaled subset-MST sweep over the (|D| + 1)-terminal closure-matrix
+/// lower bounds M (terminal 0 = s', j >= 1 = dest j-1).
+///
+/// For ANY subset S of the terminals, the admitted tree T contains a
+/// subtree spanning S, so w(T) >= SMT(S); the classic Steiner-ratio
+/// argument (double the tree, Euler tour, shortcut, drop the heaviest of
+/// the |S| cycle edges) gives MST(closure|S) <= 2(1 - 1/|S|) * SMT(S), and
+/// entrywise M <= closure makes MST(M|S) a usable stand-in. Hence
+///   w(T) >= MST(M|S) * |S| / (2(|S| - 1)).
+/// Small, spread-out subsets enjoy a multiplier far better than the
+/// full-set 1/2 (|S| = 2 gives 1, |S| = 3 gives 3/4, ...), so the sweep
+/// takes the max over the farthest-point-insertion prefixes S_1 ⊂ S_2 ⊂ …
+/// seeded at s' — the prefixes that pack the most metric spread into the
+/// fewest terminals. |S| = 2 reproduces the single-path bound; |S| = |D|+1
+/// sharpens the old half-MST bound by (|D|+1)/|D|.
+double ComboBounds::scaled_subset_mst_bound(
+    std::span<const double> min_sv, std::span<const double> rdist) const {
+  const std::size_t t = num_dests_ + 1;
+  const auto entry = [&](std::size_t a, std::size_t b) {
+    if (a > b) std::swap(a, b);
+    if (a == 0) return min_sv[b - 1];
+    return std::min(rdist[(a - 1) * num_dests_ + (b - 1)],
+                    min_sv[a - 1] + min_sv[b - 1]);
+  };
+
+  // Farthest-point insertion order from s'. to_set[j] tracks each pending
+  // destination's distance to the chosen set; ties break toward the
+  // smaller terminal index, so the order — and with it the bound — is a
+  // pure function of the matrix entries (thread-count invariant).
+  std::vector<std::size_t>& order = scratch_order_;
+  std::vector<double>& to_set = scratch_to_set_;
+  std::vector<char>& chosen = scratch_chosen_;
+  order.assign(1, 0);
+  to_set.assign(t, graph::kInfiniteDistance);
+  chosen.assign(t, 0);
+  chosen[0] = 1;
+  for (std::size_t j = 1; j < t; ++j) to_set[j] = min_sv[j - 1];
+  // MST weight of each chosen prefix via Prim restricted to `order`.
+  std::vector<double>& prim = scratch_prim_;
+  std::vector<char>& in_tree = scratch_in_tree_;
+  prim.assign(t, graph::kInfiniteDistance);
+  double best_bound = 0.0;
+  for (std::size_t step = 1; step < t; ++step) {
+    std::size_t pick = 0;
+    double far = -1.0;
+    for (std::size_t j = 1; j < t; ++j) {
+      if (!chosen[j] && to_set[j] > far) {
+        far = to_set[j];
+        pick = j;
+      }
+    }
+    if (far >= graph::kInfiniteDistance) return graph::kInfiniteDistance;
+    chosen[pick] = 1;
+    order.push_back(pick);
+    for (std::size_t j = 1; j < t; ++j) {
+      if (!chosen[j]) to_set[j] = std::min(to_set[j], entry(pick, j));
+    }
+
+    const std::size_t s = order.size();  // |S| terminals in this prefix
+    double mst = 0.0;
+    std::fill(prim.begin(), prim.begin() + s, graph::kInfiniteDistance);
+    prim[0] = 0.0;  // indices into `order`; seed at s'
+    in_tree.assign(s, 0);
+    for (std::size_t grown = 0; grown < s; ++grown) {
+      std::size_t next = s;
+      for (std::size_t i = 0; i < s; ++i) {
+        if (!in_tree[i] && (next == s || prim[i] < prim[next])) next = i;
+      }
+      mst += prim[next];
+      in_tree[next] = 1;
+      for (std::size_t i = 0; i < s; ++i) {
+        if (!in_tree[i]) {
+          prim[i] = std::min(prim[i], entry(order[next], order[i]));
+        }
+      }
+    }
+    best_bound = std::max(best_bound, mst * static_cast<double>(s) /
+                                          (2.0 * static_cast<double>(s - 1)));
+  }
+  return best_bound;
+}
+
+double ComboBounds::bound_from(double min_virt, std::span<const double> min_sv,
+                               std::span<const double> min_reach,
+                               std::span<const double> rdist,
+                               std::span<const double> rmin) const {
+  const std::size_t nd = num_dests_;
+  // (a) Single-path: any spanning tree contains an s'-to-d path of weight
+  // >= min_sv[d] for every destination.
+  double single_path = 0.0;
+  double min_sv_all = graph::kInfiniteDistance;
+  for (std::size_t d = 0; d < nd; ++d) {
+    single_path = std::max(single_path, min_sv[d]);
+    min_sv_all = std::min(min_sv_all, min_sv[d]);
+  }
+  if (single_path >= graph::kInfiniteDistance) return graph::kInfiniteDistance;
+  // (b) One virtual edge (s' has positive degree, all its edges virtual)
+  // plus half-radius ball packing over the destinations in the real forest
+  // left by removing s'.
+  double forest = min_virt;
+  for (std::size_t d = 0; d < nd; ++d) {
+    forest += 0.5 * std::min(rmin[d], min_reach[d]);
+  }
+  // (c) Ball packing over all terminals {s'} ∪ D in the auxiliary metric.
+  double packing = min_sv_all;
+  for (std::size_t d = 0; d < nd; ++d) {
+    packing += std::min(rmin[d], min_sv[d]);
+  }
+  packing *= 0.5;
+  // (d) Scaled subset-MST sweep over the closure lower bounds; subsumes
+  // the single-path bound (a) via its |S| = 2 prefix.
+  const double subset_mst = scaled_subset_mst_bound(min_sv, rdist);
+  const double bound =
+      std::max(std::max(single_path, forest), std::max(packing, subset_mst));
+  // Tiny relative slack so float rounding in the bound arithmetic can never
+  // nudge a mathematically-tight bound above the (differently-ordered)
+  // evaluated sum — strict-inequality pruning then provably keeps the exact
+  // argmin. Costs carry ~1e-14 relative noise; 1e-9 dwarfs it while giving
+  // up a negligible sliver of pruning power.
+  return bound * (1.0 - 1e-9);
 }
 
 SharedComboSolver::SharedComboSolver(const SharedOracle& oracle,

@@ -21,8 +21,10 @@
 //     with d_i(s', y) = min over v in combo of (w_virtual(v) + d_i(v, y)).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "core/aux_graph.h"
@@ -72,9 +74,155 @@ struct SharedOracle {
 };
 
 /// Primes the oracle's tables in one parallel fan-out (context_trees) through
-/// ctx.sp_cache.
+/// ctx.sp_cache. `servers` is the combination pool the oracle must answer
+/// for — the beamed Appro_Multi passes a subset of ctx.eligible_servers.
+SharedOracle build_shared_oracle(const WorkContext& ctx,
+                                 const nfv::Request& request,
+                                 std::span<const graph::VertexId> servers);
+
+/// Full-pool overload: every eligible server.
 SharedOracle build_shared_oracle(const WorkContext& ctx,
                                  const nfv::Request& request);
+
+/// Index into `tables` of the tree whose root is nearest to `v`; the first
+/// minimum wins, matching the deterministic first-min scans used across the
+/// codebase. Returns tables.size() when `v` is unreachable from every root.
+std::size_t nearest_table_root(
+    std::span<const std::shared_ptr<const graph::ShortestPaths>> tables,
+    graph::VertexId v);
+
+/// The top-`beam_width` eligible servers by closure centrality — score
+///   d(s_k, v) + c_v(SC_k) + mean over destinations of d(v, d)
+/// (lower is more central; ties break toward the smaller vertex id) —
+/// returned sorted ascending so the combination sweep keeps its canonical
+/// order. beam_width == 0 or >= |V_S| returns every eligible server. The
+/// score order does not depend on m, so pools are nested in beam_width;
+/// that nesting is what makes the beamed Appro_Multi cost non-increasing
+/// in m (a wider beam only adds combinations).
+std::vector<graph::VertexId> beam_server_pool(
+    const WorkContext& ctx,
+    std::span<const std::shared_ptr<const graph::ShortestPaths>> dest_trees,
+    std::size_t beam_width);
+
+/// Admissible (never overestimating) lower bounds on the Steiner cost of
+/// Appro_Multi server combinations, assembled once per request from the
+/// shared per-terminal tables. Used by the branch-and-bound combination
+/// search (core/combo_search.h) to discard combinations and whole prefix
+/// subtrees without evaluating them; docs/performance.md derives each bound.
+///
+/// Every bound underestimates the weight of ANY tree spanning
+/// {s'_k} ∪ D_k in ANY auxiliary graph G_k^i whose combination is drawn
+/// from the pool, so pruning with strict inequality preserves the exact
+/// argmin of the exhaustive sweep for both evaluation engines. The
+/// ingredients only need the source and destination shortest-path tables
+/// (the graph is undirected, so d(v, d) = dest_tree[d].dist[v]); the
+/// zero-cost star is widened to source ∪ (pool ∩ N(source)), which can only
+/// shorten distances and therefore keeps every bound admissible for every
+/// sub-combination.
+class ComboBounds {
+ public:
+  ComboBounds(const WorkContext& ctx, const nfv::Request& request,
+              std::span<const graph::VertexId> pool,
+              std::span<const std::shared_ptr<const graph::ShortestPaths>>
+                  dest_trees);
+
+  std::size_t num_servers() const { return num_servers_; }
+  std::size_t num_destinations() const { return num_dests_; }
+
+  /// Element-wise minima of the bound ingredients over a combination
+  /// prefix. Extending a prefix only takes O(|D|).
+  struct Partial {
+    /// min over the prefix of d(s_k, v) + c_v(SC_k) (the virtual-edge
+    /// weight).
+    double min_virt = graph::kInfiniteDistance;
+    /// Per destination: min over the prefix of virt(v) + reach(v, d) — a
+    /// lower bound on d_i(s', d) through any prefix server.
+    std::vector<double> min_sv;
+    /// Per destination: min over the prefix of reach(v, d) — a lower bound
+    /// on the star-or-direct distance from any prefix server to d.
+    std::vector<double> min_reach;
+  };
+
+  /// The empty prefix (all minima infinite).
+  Partial root() const;
+  /// Minima after appending pool server index `i` to the prefix.
+  Partial extend(const Partial& prefix, std::size_t i) const;
+
+  /// Lower bound on the evaluated Steiner cost of exactly the combination
+  /// with strictly increasing pool indices `idx`. Unlike the prefix bounds,
+  /// the combination is complete here, so its zero-cost star
+  /// ({s_k} ∪ (combo ∩ N(s_k))) is exactly known: the closure entries are
+  /// rebuilt against that combo-specific star instead of the widened
+  /// pool-level star, which dominates the prefix relaxation entrywise —
+  /// combinations avoiding the source-adjacent servers get (near-)exact
+  /// entries. NOT thread-safe: bound queries reuse per-object scratch
+  /// buffers, so all calls must come from one thread at a time (the
+  /// combination search only queries bounds from its orchestration thread).
+  double candidate_bound(std::span<const std::size_t> idx) const;
+  /// Lower bound over every combination extending `prefix` with one or more
+  /// servers drawn from pool indices >= `next`. Same single-caller contract
+  /// as candidate_bound().
+  double subtree_bound(const Partial& prefix, std::size_t next) const;
+
+ private:
+  /// Assembles the four sub-bounds from per-destination ingredient minima
+  /// and a destination-destination distance matrix (`rdist`/`rmin` are the
+  /// pool-level members for the prefix bounds, combo-specific scratch for
+  /// candidate_bound).
+  double bound_from(double min_virt, std::span<const double> min_sv,
+                    std::span<const double> min_reach,
+                    std::span<const double> rdist,
+                    std::span<const double> rmin) const;
+  double scaled_subset_mst_bound(std::span<const double> min_sv,
+                                 std::span<const double> rdist) const;
+
+  std::size_t num_servers_ = 0;
+  std::size_t num_dests_ = 0;
+  /// virt_[i]: weight of the virtual edge (s', pool[i]).
+  std::vector<double> virt_;
+  /// reach_[i * |D| + d]: lower bound on the star-or-direct distance from
+  /// pool[i] to destination d.
+  std::vector<double> reach_;
+  /// rdist_[d * |D| + d']: lower bound on the star-or-direct distance
+  /// between destinations d and d'.
+  std::vector<double> rdist_;
+  /// rmin_[d]: min over d' != d of rdist_ (infinite when |D| == 1).
+  std::vector<double> rmin_;
+  /// Raw (unrelaxed) ingredients for the combo-specific star rebuild in
+  /// candidate_bound: working-graph distances untouched by any star
+  /// shortcut.
+  /// sdist_[i]: d(s_k, pool[i]).
+  std::vector<double> sdist_;
+  /// ddirect_[i * |D| + d]: d(pool[i], destination d).
+  std::vector<double> ddirect_;
+  /// star_member_[i]: pool[i] is adjacent to the source (a potential
+  /// zero-cost-star member).
+  std::vector<char> star_member_;
+  /// dsrc_[d]: d(s_k, destination d).
+  std::vector<double> dsrc_;
+  /// ddraw_[d * |D| + d']: d(destination d, destination d').
+  std::vector<double> ddraw_;
+  /// Suffix minima over pool index j in [0, n]: row j holds the minima over
+  /// servers [j, n), row n is infinite. Combining a prefix Partial with row
+  /// `next` yields the minima over prefix ∪ [next, n).
+  std::vector<double> suffix_min_virt_;
+  std::vector<double> suffix_min_sv_;
+  std::vector<double> suffix_min_reach_;
+  /// Scratch reused across bound queries (hence the single-caller contract
+  /// above): combined minima for subtree_bound and the farthest-point /
+  /// Prim state for scaled_subset_mst_bound. Bounds run once per candidate,
+  /// so allocating here instead of per call keeps the search overhead flat.
+  mutable std::vector<double> scratch_min_sv_;
+  mutable std::vector<double> scratch_min_reach_;
+  mutable std::vector<double> scratch_snear_;
+  mutable std::vector<double> scratch_rdist_;
+  mutable std::vector<double> scratch_rmin_;
+  mutable std::vector<std::size_t> scratch_order_;
+  mutable std::vector<double> scratch_to_set_;
+  mutable std::vector<char> scratch_chosen_;
+  mutable std::vector<double> scratch_prim_;
+  mutable std::vector<char> scratch_in_tree_;
+};
 
 /// Evaluates one combination via the shared tables; returns a Steiner tree
 /// in auxiliary-graph edge ids. Deterministic: identical output to running

@@ -25,6 +25,8 @@
 //                            Steiner SSSP, Appro_Multi combinations, offline
 //                            batches). Default: NFVM_THREADS env var, else 1.
 //                            Results are bit-identical for any thread count.
+//     --beam-width <m>       offline mode: restrict Appro_Multi to the m most
+//                            central eligible servers (0 = exact, default)
 //     --dump-topology <file> write the topology in nfvm-topology format
 //     --dump-dot <file>      write a Graphviz rendering of the topology
 //   Observability (see docs/observability.md):
@@ -122,10 +124,14 @@ struct Options {
   double dest_ratio = 0.0;  // 0 = paper default range
   double max_delay_ms = 0.0;  // 0 = unconstrained
   bool dynamic = false;
-  /// Run Online_CP / Online_SP with incremental_view off (per-request
-  /// rebuild). Decisions must be byte-identical to the default fast path —
-  /// CI diffs the two decision streams.
+  /// Online: run Online_CP / Online_SP with incremental_view off
+  /// (per-request rebuild). Offline: run Appro_Multi with the legacy
+  /// materialize-everything combination sweep instead of branch-and-bound.
+  /// Decisions must be byte-identical to the default fast path — CI diffs
+  /// the two decision streams in both modes.
   bool legacy_path = false;
+  /// Offline: Appro_Multi beam width (0 = exact full server pool).
+  std::size_t beam_width = 0;
   double arrival_rate = 1.0;
   double mean_duration = 20.0;
   std::size_t soak = 0;  // 0 = not a soak run
@@ -153,7 +159,7 @@ struct Options {
                "                [--max-delay MS] [--dynamic] [--legacy-path]\n"
                "                [--arrival-rate X] [--mean-duration X]\n"
                "                [--soak N] [--diurnal-amplitude A] [--diurnal-period P]\n"
-               "                [--threads N]\n"
+               "                [--threads N] [--beam-width M]\n"
                "                [--dump-topology FILE] [--dump-dot FILE]\n"
                "                [--metrics-json FILE|-] [--trace FILE] [--events FILE|-]\n"
                "                [--run-dir DIR] [--timeseries FILE] [--sample-interval-ms N]\n"
@@ -200,6 +206,9 @@ void validate_options(Options& opts) {
   }
   if (opts.sample_interval_ms <= 0) {
     usage("--sample-interval-ms must be positive");
+  }
+  if (opts.beam_width > 0 && opts.mode != "offline") {
+    usage("--beam-width only applies to --mode offline");
   }
   if (opts.soak > 0) {
     if (opts.mode != "online") usage("--soak requires --mode online");
@@ -294,6 +303,7 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--diurnal-amplitude") opts.diurnal_amplitude = std::stod(need_value(i));
     else if (arg == "--diurnal-period") opts.diurnal_period = std::stod(need_value(i));
     else if (arg == "--threads") opts.threads = std::stoul(need_value(i));
+    else if (arg == "--beam-width") opts.beam_width = std::stoul(need_value(i));
     else if (arg == "--dump-topology") opts.dump_topology = need_value(i);
     else if (arg == "--dump-dot") opts.dump_dot = need_value(i);
     else if (arg == "--metrics-json") opts.metrics_json = need_value(i);
@@ -376,6 +386,9 @@ std::map<std::string, std::string> manifest_config(const Options& opts) {
   config["max_delay_ms"] = util::format_double(opts.max_delay_ms, 3);
   config["dynamic"] = opts.dynamic ? "true" : "false";
   config["legacy_path"] = opts.legacy_path ? "true" : "false";
+  if (opts.mode == "offline") {
+    config["beam_width"] = std::to_string(opts.beam_width);
+  }
   if (opts.dynamic || opts.soak > 0) {
     config["arrival_rate"] = util::format_double(opts.arrival_rate, 4);
     config["mean_duration"] = util::format_double(opts.mean_duration, 4);
@@ -567,7 +580,13 @@ int main(int argc, char** argv) {
       }
       // Requests fan out across the thread pool; aggregation below walks the
       // indexed results in request order, so stats match a serial run.
-      const auto results = sim::run_offline_batch(topo, costs, batch_requests);
+      sim::OfflineBatchOptions batch_opts;
+      batch_opts.search = opts.legacy_path
+                              ? core::ApproMultiOptions::Search::kLegacySweep
+                              : core::ApproMultiOptions::Search::kBranchAndBound;
+      batch_opts.beam_width = opts.beam_width;
+      const auto results =
+          sim::run_offline_batch(topo, costs, batch_requests, batch_opts);
       for (const sim::OfflineRequestResult& res : results) {
         for (std::size_t k = 1; k <= 3; ++k) {
           const core::OfflineSolution& sol = res.appro_multi[k - 1];
